@@ -1,0 +1,104 @@
+// Ablation bench for CuSP's communication optimizations beyond the paper's
+// own sweeps (Fig. 7 covers buffering; Tables VI/VII cover sync rounds):
+//
+//  (a) pure-master optimization (paper IV-D5): pure getMaster rules skip
+//      ALL master communication by replicating the computation. Disabling
+//      the optimization forces the full request/assign/list exchanges.
+//  (b) reading-split importance (paper IV-B1): edge-balanced (default)
+//      vs node-balanced reading and its effect on partition balance and
+//      partitioning time for EEC (whose partitions mirror the read split).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cusp;
+  const uint64_t edges = 250'000;
+  const uint32_t hosts = 16;
+
+  bench::printHeader(
+      "Ablation (a): pure-master optimization (paper IV-D5), 16 hosts");
+  std::printf("%-10s %-8s %12s %14s %16s\n", "input", "policy", "time (s)",
+              "master KB", "masterlist KB");
+  for (const std::string input : {"clueweb", "uk"}) {
+    const auto& g = bench::standIn(input, edges);
+    for (const std::string policy : {"EEC", "CVC"}) {
+      for (bool disabled : {false, true}) {
+        core::PartitionerConfig config = bench::benchConfig();
+        config.disablePureMasterOptimization = disabled;
+        const auto timed = bench::partitionNamed(g, policy, hosts, config);
+        const auto& v = timed.result.volume;
+        const double masterKb =
+            (v.bytes[comm::kTagMasterRequest] +
+             v.bytes[comm::kTagMasterAssign]) / 1024.0;
+        const double listKb = v.bytes[comm::kTagMasterList] / 1024.0;
+        std::printf("%-10s %-8s %12.4f %14.1f %16.1f   %s\n", input.c_str(),
+                    policy.c_str(), timed.seconds, masterKb, listKb,
+                    disabled ? "(optimization DISABLED)" : "(default)");
+      }
+    }
+  }
+
+  // The read split does not change the produced partitions (masters come
+  // from the policy), but it changes which host READS what — an unbalanced
+  // read makes the slowest reader a straggler and forces edges to move from
+  // reader to owner. Reported: read-edge imbalance (max/avg over hosts),
+  // partitioning time, and construction traffic.
+  bench::printHeader(
+      "Ablation (b): reading-split importance weights (paper IV-B1), EEC");
+  std::printf("%-10s %-14s %12s %14s %16s\n", "input", "split", "time (s)",
+              "readEdgeImb", "construction KB");
+  for (const std::string input : {"clueweb", "kron"}) {
+    const auto& g = bench::standIn(input, edges);
+    const graph::GraphFile file = graph::GraphFile::fromCsr(g);
+    struct Split {
+      const char* name;
+      double nodeWeight, edgeWeight;
+    };
+    for (const Split split : {Split{"edge-balanced", 0.0, 1.0},
+                              Split{"node-balanced", 1.0, 0.0},
+                              Split{"mixed", 1.0, 1.0}}) {
+      core::PartitionerConfig config = bench::benchConfig();
+      config.readNodeWeight = split.nodeWeight;
+      config.readEdgeWeight = split.edgeWeight;
+      const auto ranges =
+          (split.nodeWeight == 0.0 && split.edgeWeight == 1.0)
+              ? graph::contiguousEbRanges(file, hosts)
+              : graph::computeReadRanges(file, hosts, split.nodeWeight,
+                                         split.edgeWeight);
+      uint64_t maxRead = 0;
+      for (const auto& r : ranges) {
+        maxRead = std::max(maxRead, r.numEdges());
+      }
+      const double readImb = static_cast<double>(maxRead) * hosts /
+                             static_cast<double>(g.numEdges());
+      const auto timed = bench::partitionNamed(g, "EEC", hosts, config);
+      std::printf("%-10s %-14s %12.4f %14.2f %16.1f\n", input.c_str(),
+                  split.name, timed.seconds, readImb,
+                  timed.result.volume.bytes[comm::kTagEdgeBatch] / 1024.0);
+    }
+  }
+
+  // (c) delta+varint compression of construction edge batches — an
+  // optimization beyond the paper, ablated here: same partitions, smaller
+  // construction volume (the phase Table V measures).
+  bench::printHeader(
+      "Ablation (c): edge-batch compression in graph construction");
+  std::printf("%-10s %-8s %12s %18s\n", "input", "policy", "time (s)",
+              "construction KB");
+  for (const std::string input : {"clueweb", "kron"}) {
+    const auto& g = bench::standIn(input, edges);
+    for (const std::string policy : {"CVC", "HVC"}) {
+      for (bool compress : {false, true}) {
+        core::PartitionerConfig config = bench::benchConfig();
+        config.compressEdgeBatches = compress;
+        const auto timed = bench::partitionNamed(g, policy, hosts, config);
+        std::printf("%-10s %-8s %12.4f %18.1f   %s\n", input.c_str(),
+                    policy.c_str(), timed.seconds,
+                    timed.result.volume.bytes[comm::kTagEdgeBatch] / 1024.0,
+                    compress ? "(compressed)" : "(plain)");
+      }
+    }
+  }
+  return 0;
+}

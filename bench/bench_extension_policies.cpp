@@ -1,0 +1,41 @@
+// Extension bench: the Table I literature policies expressed in CuSP
+// (LDG, DBH, HDRF, PowerGraph-Greedy) against the paper's Table II
+// policies, demonstrating the framework's generality claim ("Any streaming
+// partitioning algorithm can be implemented using CuSP", Section II-B).
+//
+// Expected qualitative behaviour from the source papers:
+//  * LDG: an edge-cut with locality — replication between EEC and Fennel.
+//  * DBH: replicates high-degree endpoints; lower replication than pure
+//    hashing of both endpoints, higher than 2D cuts on skewed graphs.
+//  * HDRF / Greedy: replica-aware vertex cuts — the lowest replication of
+//    the hash-master family, at the cost of a stateful (sequential)
+//    assignment pass.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cusp;
+  const uint64_t edges = 150'000;
+  const uint32_t hosts = 8;
+  bench::printHeader(
+      "Extension: Table I literature policies in the CuSP framework");
+  for (const std::string input : {"clueweb", "kron"}) {
+    const auto& g = bench::standIn(input, edges);
+    const uint64_t source = analytics::maxOutDegreeNode(g);
+    std::printf("\n-- %s, %u hosts --\n%-10s %10s %12s %9s %9s\n",
+                input.c_str(), hosts, "policy", "time (s)", "replication",
+                "edgeImb", "bfs (s)");
+    for (const auto& policy : core::extendedPolicyCatalog()) {
+      const auto timed = bench::partitionNamed(g, policy, hosts);
+      const auto quality = core::computeQuality(timed.result.partitions);
+      analytics::RunStats stats;
+      analytics::runBfs(timed.result.partitions, source, &stats,
+                        bench::benchCostModel());
+      std::printf("%-10s %10.4f %12.2f %9.2f %9.4f\n", policy.c_str(),
+                  timed.seconds, quality.avgReplicationFactor,
+                  quality.edgeImbalance, stats.seconds);
+    }
+  }
+  return 0;
+}

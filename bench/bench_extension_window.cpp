@@ -1,0 +1,42 @@
+// Extension bench: streaming-window partitioning (the ADWISE class, paper
+// Section II-B2 — left as future work there, implemented here).
+//
+// Sweeps the window size for the replica-tracking vertex cuts (HDRF and
+// Greedy with the replica-affinity window score). Expected shape, from the
+// ADWISE idea: a larger window lets the partitioner defer "fresh" edges
+// until replica state accumulates, trading partitioning time for
+// replication quality; gains flatten once the window covers the working
+// set of in-flight vertices.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cusp;
+  const uint64_t edges = 150'000;
+  const uint32_t hosts = 8;
+  const std::vector<uint32_t> windows = {1, 8, 64, 512};
+  bench::printHeader(
+      "Extension: streaming-window partitioning (ADWISE class)");
+  for (const std::string policyName : {"HDRF", "GREEDY"}) {
+    for (const std::string input : {"clueweb", "kron"}) {
+      const auto& g = bench::standIn(input, edges);
+      const graph::GraphFile file = graph::GraphFile::fromCsr(g);
+      std::printf("\n-- %s on %s, %u hosts --\n%-10s %12s %12s\n",
+                  policyName.c_str(), input.c_str(), hosts, "window",
+                  "time (s)", "replication");
+      for (uint32_t window : windows) {
+        core::PartitionPolicy policy = bench::benchPolicy(policyName);
+        policy.edge = core::withWindowScore(policy.edge);
+        core::PartitionerConfig config = bench::benchConfig();
+        config.numHosts = hosts;
+        config.windowSize = window;
+        const auto result = core::partitionGraph(file, policy, config);
+        const auto quality = core::computeQuality(result.partitions);
+        std::printf("%-10u %12.4f %12.2f\n", window, result.totalSeconds,
+                    quality.avgReplicationFactor);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces paper Fig. 3: partitioning time for XtraPulp and the six CuSP
+// policies, per input graph, at three cluster sizes.
+//
+// Paper shapes to check (Section V-B):
+//  * every CuSP policy partitions faster than XtraPulp (avg 5.9x; CVC 11.9x);
+//  * EEC is the fastest CuSP policy (no communication; avg 4.7x vs others);
+//  * FennelEB policies (FEC/GVC/SVC) are slower than ContiguousEB ones
+//    (EEC/HVC/CVC) because of the master-assignment phase.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cusp;
+  const uint64_t edges = 250'000;
+  const std::vector<uint32_t> hostCounts = {4, 8, 16};  // paper: 32/64/128
+  bench::printHeader("Fig. 3: partitioning time (seconds)");
+  const auto series = bench::allSeries();
+
+  for (uint32_t hosts : hostCounts) {
+    std::printf("\n-- %u hosts --\n%-10s", hosts, "input");
+    for (const auto& s : series) {
+      std::printf(" %9s", s.c_str());
+    }
+    std::printf("\n");
+    // Geometric-mean speedup of each CuSP policy over XtraPulp.
+    std::vector<double> logSpeedup(series.size(), 0.0);
+    for (const auto& input : bench::inputNames()) {
+      const auto& g = bench::standIn(input, edges);
+      std::printf("%-10s", input.c_str());
+      double xtrapulpSeconds = 0.0;
+      for (size_t i = 0; i < series.size(); ++i) {
+        const auto timed = bench::partitionNamed(g, series[i], hosts);
+        if (i == 0) {
+          xtrapulpSeconds = timed.seconds;
+        } else {
+          logSpeedup[i] += std::log(xtrapulpSeconds / timed.seconds);
+        }
+        std::printf(" %9.3f", timed.seconds);
+      }
+      std::printf("\n");
+    }
+    std::printf("%-10s %9s", "speedup", "1.00x");
+    for (size_t i = 1; i < series.size(); ++i) {
+      std::printf(" %8.2fx",
+                  std::exp(logSpeedup[i] / bench::inputNames().size()));
+    }
+    std::printf("   (geo-mean vs XtraPulp)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces paper Fig. 4: time spent in the different phases of CuSP for
+// clueweb12 and uk14 at the top host count.
+//
+// Paper shapes to check:
+//  * EEC is dominated by graph reading (no inter-host communication);
+//  * HVC/CVC spend their time in edge assignment + construction, with HVC's
+//    edge assignment above CVC's (more data, all-to-all partners);
+//  * FEC/GVC/SVC are dominated by the master-assignment phase.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cusp;
+  const uint64_t edges = 250'000;
+  const uint32_t hosts = 16;  // paper: 128
+  const std::vector<std::string> phases = {
+      "Graph Reading", "Master Assignment", "Edge Assignment",
+      "Graph Allocation", "Graph Construction"};
+
+  bench::printHeader("Fig. 4: per-phase partitioning time (seconds)");
+  for (const std::string input : {"clueweb", "uk"}) {
+    const auto& g = bench::standIn(input, edges);
+    std::printf("\n-- %s, %u hosts --\n%-8s", input.c_str(), hosts, "policy");
+    for (const auto& phase : phases) {
+      std::printf(" %12.12s", phase.c_str());
+    }
+    std::printf(" %9s\n", "total");
+    for (const auto& policy : core::policyCatalog()) {
+      const auto timed = bench::partitionNamed(g, policy, hosts);
+      std::printf("%-8s", policy.c_str());
+      for (const auto& phase : phases) {
+        std::printf(" %12.4f", timed.result.phaseTimes.get(phase));
+      }
+      std::printf(" %9.4f\n", timed.seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Structural quality metrics per policy (paper Section V-C discusses
+// replication factor and load balance as the classic partition-quality
+// metrics, while cautioning they do not always predict execution time).
+//
+// Prints, for every input and series: average replication factor, node and
+// edge imbalance (max/avg), application-sync traffic of one BFS, and the
+// number of communication-partner pairs — the structural reason CVC-style
+// partitions execute faster at scale.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cusp;
+  const uint64_t edges = 150'000;
+  const uint32_t hosts = 8;
+  bench::printHeader("Partition quality metrics (8 hosts)");
+  for (const auto& input : bench::inputNames()) {
+    const auto& g = bench::standIn(input, edges);
+    const uint64_t source = analytics::maxOutDegreeNode(g);
+    std::printf("\n-- %s --\n%-10s %11s %9s %9s %10s %9s\n", input.c_str(),
+                "policy", "replication", "nodeImb", "edgeImb", "bfsSyncKB",
+                "partners");
+    for (const auto& series : bench::allSeries()) {
+      const auto timed = bench::partitionNamed(g, series, hosts);
+      const auto quality = core::computeQuality(timed.result.partitions);
+      analytics::RunStats stats;
+      analytics::runBfs(timed.result.partitions, source, &stats,
+                        bench::benchCostModel());
+      uint64_t partners = 0;
+      for (const auto& part : timed.result.partitions) {
+        for (uint32_t h = 0; h < hosts; ++h) {
+          if (h != part.hostId && (!part.mirrorsOnHost[h].empty() ||
+                                   !part.myMirrorsByOwner[h].empty())) {
+            ++partners;
+          }
+        }
+      }
+      std::printf("%-10s %11.2f %9.2f %9.2f %10.1f %9llu\n", series.c_str(),
+                  quality.avgReplicationFactor, quality.nodeImbalance,
+                  quality.edgeImbalance, stats.syncBytes / 1024.0,
+                  (unsigned long long)partners);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces paper Table III: input (directed) graphs and their properties.
+//
+// Prints |V|, |E|, |E|/|V|, max out-degree and max in-degree for the five
+// stand-in inputs. The paper's absolute sizes (up to 3.5B nodes / 129B
+// edges) are scaled to a single-machine budget; the *shape* to check is the
+// |E|/|V| ratios and the web crawls' max in-degree >> max out-degree.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/csr_graph.h"
+
+int main() {
+  using namespace cusp;
+  bench::printHeader("Table III: input graphs and their properties");
+  std::printf("%-10s %12s %12s %8s %14s %14s\n", "input", "|V|", "|E|",
+              "|E|/|V|", "maxOutDegree", "maxInDegree");
+  for (const auto& name : bench::inputNames()) {
+    const auto& g = bench::standIn(name, 300'000);
+    const auto stats = graph::computeStats(g);
+    std::printf("%-10s %12llu %12llu %8.1f %14llu %14llu\n", name.c_str(),
+                (unsigned long long)stats.numNodes,
+                (unsigned long long)stats.numEdges, stats.avgOutDegree,
+                (unsigned long long)stats.maxOutDegree,
+                (unsigned long long)stats.maxInDegree);
+  }
+  return 0;
+}

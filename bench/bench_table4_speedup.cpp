@@ -1,0 +1,56 @@
+// Reproduces paper Table IV: average speedup of CuSP partitioning policies
+// over XtraPulp, in (a) partitioning time and (b) application execution
+// time.
+//
+// Paper numbers for orientation: partitioning speedups EEC 22.0x, HVC 9.5x,
+// CVC 11.9x, FEC 1.9x, GVC 2.2x, SVC 2.0x; application speedups around
+// 0.9x-1.9x. Shapes to check: all partitioning speedups > 1 with
+// ContiguousEB policies far ahead of FennelEB ones, and application
+// performance roughly at parity or better.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cusp;
+  const uint64_t edges = 150'000;
+  const uint32_t hosts = 8;
+  const std::vector<std::string> inputs = {"kron", "gsh", "clueweb", "uk"};
+  const auto series = bench::allSeries();
+
+  bench::printHeader("Table IV: average speedup of CuSP over XtraPulp");
+
+  // (a) partitioning-time speedups (geo-mean across inputs).
+  std::vector<double> logPart(series.size(), 0.0);
+  for (const auto& input : inputs) {
+    const auto& g = bench::standIn(input, edges);
+    double xtrapulpSeconds = 0.0;
+    for (size_t s = 0; s < series.size(); ++s) {
+      const auto timed = bench::partitionNamed(g, series[s], hosts);
+      if (s == 0) {
+        xtrapulpSeconds = timed.seconds;
+      } else {
+        logPart[s] += std::log(xtrapulpSeconds / timed.seconds);
+      }
+    }
+  }
+
+  // (b) application-time speedups via the shared app suite.
+  const auto apps = bench::runAppSuite(hosts, edges, inputs);
+
+  std::printf("\n%-24s", "");
+  for (size_t s = 1; s < series.size(); ++s) {
+    std::printf(" %7s", series[s].c_str());
+  }
+  std::printf("\n%-24s", "Partitioning Time");
+  for (size_t s = 1; s < series.size(); ++s) {
+    std::printf(" %6.1fx",
+                std::exp(logPart[s] / static_cast<double>(inputs.size())));
+  }
+  std::printf("\n%-24s", "Application Execution");
+  for (size_t s = 1; s < series.size(); ++s) {
+    std::printf(" %6.1fx", apps.geoMeanSpeedupVsXtraPulp[s]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces paper Table V: data volume sent in the edge-assignment and
+// graph-construction phases of CuSP, for CVC and HVC at the top host count.
+//
+// Paper shape to check: HVC communicates as much or (on the web crawls) up
+// to an order of magnitude more data than CVC in both phases, because CVC
+// only exchanges edges within adjacency-matrix rows/columns while HVC may
+// ship to every host.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cusp;
+  const uint64_t edges = 250'000;
+  const uint32_t hosts = 16;  // paper: 128
+  bench::printHeader(
+      "Table V: data volume (MB) in edge assignment and graph construction");
+  std::printf("%-10s %-8s %16s %18s\n", "input", "policy", "assignment MB",
+              "construction MB");
+  for (const auto& input : bench::inputNames()) {
+    const auto& g = bench::standIn(input, edges);
+    for (const std::string policy : {"CVC", "HVC"}) {
+      const auto timed = bench::partitionNamed(g, policy, hosts);
+      const auto& v = timed.result.volume;
+      const double assignment =
+          (v.bytes[comm::kTagEdgeCounts] + v.bytes[comm::kTagMirrorFlags]) /
+          (1024.0 * 1024.0);
+      const double construction =
+          v.bytes[comm::kTagEdgeBatch] / (1024.0 * 1024.0);
+      std::printf("%-10s %-8s %16.2f %18.2f\n", input.c_str(),
+                  policy.c_str(), assignment, construction);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces paper Table VI: partitioning time of SVC with a varying number
+// of master-assignment synchronization rounds, on clueweb12 and uk14 at the
+// top host count.
+//
+// Paper shape to check: time is flat from 1 to ~100 rounds and only climbs
+// at very high round counts (the paper sees the jump at 1000).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cusp;
+  const uint64_t edges = 250'000;
+  const uint32_t hosts = 16;  // paper: 128
+  const std::vector<uint32_t> rounds = {1, 10, 100, 1000};
+  bench::printHeader(
+      "Table VI: SVC partitioning time (seconds) vs synchronization rounds");
+  std::printf("%-10s", "rounds");
+  for (uint32_t r : rounds) {
+    std::printf(" %9u", r);
+  }
+  std::printf("\n");
+  for (const std::string input : {"clueweb", "uk"}) {
+    const auto& g = bench::standIn(input, edges);
+    std::printf("%-10s", input.c_str());
+    for (uint32_t r : rounds) {
+      core::PartitionerConfig config = bench::benchConfig();
+      config.stateSyncRounds = r;
+      const auto timed = bench::partitionNamed(g, "SVC", hosts, config);
+      std::printf(" %9.3f", timed.seconds);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces paper Table VII: execution time of bfs / cc / pagerank / sssp
+// using SVC partitions generated with different numbers of synchronization
+// rounds, on clueweb12 and uk14 at the top host count.
+//
+// Paper shape to check: more rounds give the Fennel heuristic a fresher
+// global view and can improve application time (uk14), but not universally
+// (clueweb12 fluctuates) — there is a workload-dependent sweet spot.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace cusp;
+  const uint64_t edges = 150'000;
+  const uint32_t hosts = 16;  // paper: 128
+  const std::vector<uint32_t> rounds = {1, 10, 100, 1000};
+  const std::vector<std::string> apps = {"bfs", "cc", "pagerank", "sssp"};
+
+  bench::printHeader(
+      "Table VII: app execution time (seconds) with SVC partitions vs "
+      "synchronization rounds");
+  for (const std::string input : {"clueweb", "uk"}) {
+    const graph::CsrGraph weighted =
+        graph::withRandomWeights(bench::standIn(input, edges), 64, 7);
+    const graph::CsrGraph symmetric = weighted.symmetrized();
+    const uint64_t source = analytics::maxOutDegreeNode(weighted);
+    std::printf("\n-- %s, %u hosts --\n%-10s", input.c_str(), hosts,
+                "rounds");
+    for (const auto& app : apps) {
+      std::printf(" %9s", app.c_str());
+    }
+    std::printf("\n");
+    for (uint32_t r : rounds) {
+      core::PartitionerConfig config = bench::benchConfig();
+      config.stateSyncRounds = r;
+      const auto dir = bench::partitionNamed(weighted, "SVC", hosts, config);
+      const auto sym = bench::partitionNamed(symmetric, "SVC", hosts, config);
+      analytics::RunStats stats;
+      double times[4];
+      analytics::runBfs(dir.result.partitions, source, &stats,
+                         bench::benchCostModel());
+      times[0] = stats.seconds;
+      analytics::runCc(sym.result.partitions, &stats,
+                       bench::benchCostModel());
+      times[1] = stats.seconds;
+      analytics::PageRankParams pr;
+      pr.maxIterations = 30;
+      pr.tolerance = 1e-4;
+      analytics::runPageRank(dir.result.partitions, pr, &stats,
+                              bench::benchCostModel());
+      times[2] = stats.seconds;
+      analytics::runSssp(dir.result.partitions, source, &stats,
+                          bench::benchCostModel());
+      times[3] = stats.seconds;
+      std::printf("%-10u", r);
+      for (double t : times) {
+        std::printf(" %9.4f", t);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

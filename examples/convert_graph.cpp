@@ -1,0 +1,91 @@
+// cusp-convert: graph format converter (paper Section III-A: "CuSP provides
+// converters between these and other graph formats like edge-lists").
+//
+//   convert_graph el2cgr  <in.el>  <out.cgr>     edge list -> binary CSR
+//   convert_graph cgr2el  <in.cgr> <out.el>      binary CSR -> edge list
+//   convert_graph transpose <in.cgr> <out.cgr>   CSR -> CSC (transpose)
+//   convert_graph symmetrize <in.cgr> <out.cgr>  add reverse edges
+//   convert_graph gr2cgr  <in.gr>  <out.cgr>     Galois .gr v1 -> binary CSR
+//   convert_graph cgr2gr  <in.cgr> <out.gr>      binary CSR -> Galois .gr v1
+//   convert_graph stats   <in.cgr>               print Table III-style stats
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "graph/edge_list.h"
+#include "graph/graph_file.h"
+
+using namespace cusp;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: convert_graph el2cgr <in.el> <out.cgr>\n"
+               "       convert_graph cgr2el <in.cgr> <out.el>\n"
+               "       convert_graph transpose <in.cgr> <out.cgr>\n"
+               "       convert_graph symmetrize <in.cgr> <out.cgr>\n"
+               "       convert_graph gr2cgr <in.gr> <out.cgr>\n"
+               "       convert_graph cgr2gr <in.cgr> <out.gr>\n"
+               "       convert_graph stats <in.cgr>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const std::string mode = argv[1];
+  try {
+    if (mode == "el2cgr" && argc == 4) {
+      const auto parsed = graph::parseEdgeListFile(argv[2]);
+      const auto csr = graph::edgeListToCsr(parsed);
+      graph::GraphFile::save(argv[3], csr);
+      std::printf("wrote %s: %llu nodes, %llu edges%s\n", argv[3],
+                  (unsigned long long)csr.numNodes(),
+                  (unsigned long long)csr.numEdges(),
+                  csr.hasEdgeData() ? " (weighted)" : "");
+    } else if (mode == "cgr2el" && argc == 4) {
+      const auto csr = graph::GraphFile::load(argv[2]).toCsr();
+      graph::writeEdgeListFile(argv[3], csr);
+      std::printf("wrote %s\n", argv[3]);
+    } else if (mode == "transpose" && argc == 4) {
+      const auto csr = graph::GraphFile::load(argv[2]).toCsr();
+      graph::GraphFile::save(argv[3], csr.transpose());
+      std::printf("wrote transpose to %s\n", argv[3]);
+    } else if (mode == "symmetrize" && argc == 4) {
+      const auto csr = graph::GraphFile::load(argv[2]).toCsr();
+      graph::GraphFile::save(argv[3], csr.symmetrized());
+      std::printf("wrote symmetrized graph to %s\n", argv[3]);
+    } else if (mode == "gr2cgr" && argc == 4) {
+      const auto csr = graph::GraphFile::loadGalois(argv[2]).toCsr();
+      graph::GraphFile::save(argv[3], csr);
+      std::printf("converted Galois .gr to %s (%llu nodes, %llu edges)\n",
+                  argv[3], (unsigned long long)csr.numNodes(),
+                  (unsigned long long)csr.numEdges());
+    } else if (mode == "cgr2gr" && argc == 4) {
+      const auto csr = graph::GraphFile::load(argv[2]).toCsr();
+      graph::GraphFile::saveGalois(argv[3], csr);
+      std::printf("wrote Galois .gr v1 to %s\n", argv[3]);
+    } else if (mode == "stats" && argc == 3) {
+      const auto csr = graph::GraphFile::load(argv[2]).toCsr();
+      const auto stats = graph::computeStats(csr);
+      std::printf("|V|            %llu\n|E|            %llu\n"
+                  "|E|/|V|        %.1f\nmax out-degree %llu\n"
+                  "max in-degree  %llu\nisolated       %llu\n",
+                  (unsigned long long)stats.numNodes,
+                  (unsigned long long)stats.numEdges, stats.avgOutDegree,
+                  (unsigned long long)stats.maxOutDegree,
+                  (unsigned long long)stats.maxInDegree,
+                  (unsigned long long)stats.numIsolatedNodes);
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

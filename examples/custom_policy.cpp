@@ -1,0 +1,115 @@
+// Writing a custom partitioning policy with the CuSP framework.
+//
+//   $ ./custom_policy
+//
+// The paper's central claim is programmability: "the user can thus
+// implement any streaming edge-cut or vertex-cut policy using only a few
+// lines of code" (Section III-B). This example builds two policies that do
+// not ship with the factory:
+//
+//  1. "LeastLoaded" — a history-sensitive master rule that assigns each
+//     vertex to the partition currently holding the fewest out-edges
+//     (a greedy balancer using partitioning state), paired with the Source
+//     edge rule: a custom streaming edge-cut.
+//
+//  2. "DegreeRange" — a stateless master rule that groups vertices by
+//     out-degree class (hubs together, leaves together), paired with the
+//     Dest edge rule: a custom vertex-cut in ~10 lines.
+//
+// Both are validated structurally and by running distributed BFS against
+// the single-image reference.
+#include <cstdio>
+
+#include "analytics/algorithms.h"
+#include "analytics/reference.h"
+#include "core/partitioner.h"
+#include "core/policies.h"
+#include "graph/generators.h"
+#include "graph/graph_file.h"
+
+using namespace cusp;
+
+// A history-sensitive getMaster: pick the partition with the fewest
+// assigned out-edges so far. State ("edges" counter) is synchronized across
+// hosts by CuSP; no communication code needed here.
+core::PartitionPolicy makeLeastLoadedPolicy() {
+  core::MasterRule master;
+  master.name = "LeastLoaded";
+  master.usesState = true;
+  master.stateCounters = {"edges"};
+  master.fn = [](const core::GraphProperties& prop, uint64_t nodeId,
+                 core::PartitionState& mstate, const core::MasterLookup&) {
+    const auto edges = mstate.counterId("edges");
+    uint32_t best = 0;
+    for (uint32_t p = 1; p < prop.getNumPartitions(); ++p) {
+      if (mstate.read(edges, p) < mstate.read(edges, best)) {
+        best = p;
+      }
+    }
+    mstate.add(edges, best,
+               static_cast<int64_t>(prop.getNodeOutDegree(nodeId)));
+    return best;
+  };
+  core::PartitionPolicy policy;
+  policy.name = "LeastLoaded";
+  policy.master = master;
+  policy.edge = core::edgeSource();
+  return policy;
+}
+
+// A pure getMaster: spread degree classes round-robin so every partition
+// gets a fair share of hubs. Pure rules need no master synchronization at
+// all — CuSP replicates the computation (paper Section IV-D5).
+core::PartitionPolicy makeDegreeRangePolicy() {
+  core::MasterRule master;
+  master.name = "DegreeRange";
+  master.fn = [](const core::GraphProperties& prop, uint64_t nodeId,
+                 core::PartitionState&, const core::MasterLookup&) {
+    const uint64_t degree = prop.getNodeOutDegree(nodeId);
+    uint64_t cls = 0;
+    for (uint64_t d = degree; d > 1; d /= 2) {
+      ++cls;  // log2 degree class
+    }
+    return static_cast<uint32_t>((cls * 2654435761u + nodeId) %
+                                 prop.getNumPartitions());
+  };
+  core::PartitionPolicy policy;
+  policy.name = "DegreeRange";
+  policy.master = master;
+  policy.edge = core::edgeDest();
+  return policy;
+}
+
+int main() {
+  graph::WebCrawlParams genParams;
+  genParams.numNodes = 10'000;
+  genParams.avgOutDegree = 10.0;
+  genParams.seed = 9;
+  const graph::CsrGraph input = graph::generateWebCrawl(genParams);
+  const graph::GraphFile file = graph::GraphFile::fromCsr(input);
+  const uint64_t source = analytics::maxOutDegreeNode(input);
+  const auto expected = analytics::bfsReference(input, source);
+
+  core::PartitionerConfig config;
+  config.numHosts = 4;
+
+  for (const auto& policy : {makeLeastLoadedPolicy(), makeDegreeRangePolicy(),
+                             core::makePolicy("EEC")}) {
+    const auto result = core::partitionGraph(file, policy, config);
+    core::validatePartitions(input, result.partitions);  // throws if broken
+    const auto quality = core::computeQuality(result.partitions);
+    const auto distances = analytics::runBfs(result.partitions, source);
+    std::printf(
+        "%-12s partition %.3f s | replication %.3f | edge imbalance %.3f | "
+        "bfs %s\n",
+        policy.name.c_str(), result.totalSeconds,
+        quality.avgReplicationFactor, quality.edgeImbalance,
+        distances == expected ? "ok" : "WRONG");
+    if (distances != expected) {
+      return 1;
+    }
+  }
+  std::printf("\nboth custom policies produce valid partitions and correct "
+              "analytics.\n");
+  return 0;
+}

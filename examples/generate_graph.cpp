@@ -1,0 +1,113 @@
+// cusp-generate: synthetic graph generation to .cgr files.
+//
+//   generate_graph standin <kron|gsh|clueweb|uk|wdc> <edges> <out.cgr>
+//   generate_graph rmat    <scale> <edges> <out.cgr>
+//   generate_graph web     <nodes> <avgdeg> <out.cgr>
+//   generate_graph er      <nodes> <edges> <out.cgr>
+//   common options: --seed <n>  --weights <max>  --symmetric
+//
+// Together with convert_graph and partition_tool this completes the
+// offline tool chain: generate → (convert) → partition → analyze.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "graph/csr_graph.h"
+#include "graph/generators.h"
+#include "graph/graph_file.h"
+
+using namespace cusp;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: generate_graph standin <name> <edges> <out.cgr> [options]\n"
+      "       generate_graph rmat <scale> <edges> <out.cgr> [options]\n"
+      "       generate_graph web <nodes> <avgdeg> <out.cgr> [options]\n"
+      "       generate_graph er <nodes> <edges> <out.cgr> [options]\n"
+      "options: --seed <n> --weights <maxW> --symmetric\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 5) {
+    return usage();
+  }
+  const std::string mode = argv[1];
+  const std::string arg1 = argv[2];
+  const std::string arg2 = argv[3];
+  const std::string outPath = argv[4];
+  uint64_t seed = 42;
+  uint32_t maxWeight = 0;
+  bool symmetric = false;
+  for (int i = 5; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return usage();
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--weights") {
+      const char* v = next();
+      if (!v) return usage();
+      maxWeight = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--symmetric") {
+      symmetric = true;
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    graph::CsrGraph g;
+    if (mode == "standin") {
+      g = graph::makeStandIn(arg1, std::strtoull(arg2.c_str(), nullptr, 10),
+                             seed);
+    } else if (mode == "rmat") {
+      graph::RmatParams params;
+      params.scale = static_cast<uint32_t>(std::atoi(arg1.c_str()));
+      params.numEdges = std::strtoull(arg2.c_str(), nullptr, 10);
+      params.seed = seed;
+      g = graph::generateRmat(params);
+    } else if (mode == "web") {
+      graph::WebCrawlParams params;
+      params.numNodes = std::strtoull(arg1.c_str(), nullptr, 10);
+      params.avgOutDegree = std::atof(arg2.c_str());
+      params.seed = seed;
+      g = graph::generateWebCrawl(params);
+    } else if (mode == "er") {
+      g = graph::generateErdosRenyi(std::strtoull(arg1.c_str(), nullptr, 10),
+                                    std::strtoull(arg2.c_str(), nullptr, 10),
+                                    seed);
+    } else {
+      return usage();
+    }
+    if (symmetric) {
+      g = g.symmetrized();
+    }
+    if (maxWeight > 0) {
+      g = graph::withRandomWeights(g, maxWeight, seed + 1);
+    }
+    graph::GraphFile::save(outPath, g);
+    const auto stats = graph::computeStats(g);
+    std::printf("wrote %s: %llu nodes, %llu edges (|E|/|V| %.1f, "
+                "max out %llu, max in %llu)%s%s\n",
+                outPath.c_str(), (unsigned long long)stats.numNodes,
+                (unsigned long long)stats.numEdges, stats.avgOutDegree,
+                (unsigned long long)stats.maxOutDegree,
+                (unsigned long long)stats.maxInDegree,
+                symmetric ? ", symmetric" : "",
+                maxWeight > 0 ? ", weighted" : "");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,563 @@
+#include "analytics/algorithms.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "analytics/engine.h"
+#include "support/timer.h"
+
+namespace cusp::analytics {
+
+namespace {
+
+using core::DistGraph;
+using support::DynamicBitset;
+
+void requireCsrOrientation(const DistGraph& part) {
+  if (part.isTransposed) {
+    throw std::invalid_argument(
+        "analytics: partition is in CSC orientation; algorithms expect CSR "
+        "(out-edge) partitions");
+  }
+}
+
+// Shared skeleton for bfs / sssp / cc: Bellman-Ford-style rounds.
+// candidate(value[u], edgeId) proposes a value for the edge's destination;
+// the global fixpoint of min over all proposals is computed. `init`
+// seeds per-local-node values and the initial frontier.
+std::vector<uint64_t> minPropagate(
+    comm::Network& net, comm::HostId me, const DistGraph& part,
+    const std::function<uint64_t(uint64_t lid, uint64_t gid)>& init,
+    const std::function<uint64_t(uint64_t value, uint64_t edge)>& candidate,
+    uint32_t* roundsOut, double* modeledSecondsOut) {
+  requireCsrOrientation(part);
+  SyncContext sync(net, me, part);
+  const uint64_t numLocal = part.numLocalNodes();
+  std::vector<uint64_t> value(numLocal);
+  DynamicBitset frontier(numLocal);   // nodes to relax from this round
+  DynamicBitset dirty(numLocal);      // nodes whose value changed this round
+  for (uint64_t lid = 0; lid < numLocal; ++lid) {
+    value[lid] = init(lid, part.globalId(lid));
+    if (value[lid] != kInfinity) {
+      frontier.set(lid);
+    }
+  }
+  auto combineMin = [](uint64_t& acc, uint64_t in) {
+    if (in < acc) {
+      acc = in;
+      return true;
+    }
+    return false;
+  };
+  uint32_t rounds = 0;
+  double clusterSeconds = 0.0;  // sum over rounds of the slowest host
+  for (;;) {
+    const double cpu0 = support::threadCpuSeconds();
+    const double comm0 = net.modeledCommSeconds(me);
+    // Local relaxation along out-edges.
+    std::vector<uint64_t> active;
+    frontier.collectSetBits(active);
+    frontier.resetAll();
+    for (uint64_t u : active) {
+      if (value[u] == kInfinity) {
+        continue;
+      }
+      for (uint64_t e = part.graph.edgeBegin(u); e < part.graph.edgeEnd(u);
+           ++e) {
+        const uint64_t v = part.graph.edgeDst(e);
+        const uint64_t proposal = candidate(value[u], e);
+        if (proposal < value[v]) {
+          value[v] = proposal;
+          dirty.set(v);
+        }
+      }
+    }
+    // Mirrors push changes to masters (min), masters push canonical values
+    // back; every changed node joins the next frontier.
+    DynamicBitset masterChanged(numLocal);
+    sync.reduceToMasters<uint64_t>(value, dirty, combineMin, masterChanged);
+    // Masters changed locally this round must broadcast too.
+    std::vector<uint64_t> dirtyMasters;
+    dirty.collectSetBits(dirtyMasters);
+    for (uint64_t lid : dirtyMasters) {
+      if (part.isMaster(lid)) {
+        masterChanged.set(lid);
+      }
+      frontier.set(lid);
+    }
+    DynamicBitset mirrorUpdated(numLocal);
+    sync.broadcastToMirrors<uint64_t>(value, masterChanged, mirrorUpdated);
+    std::vector<uint64_t> updated;
+    masterChanged.collectSetBits(updated);
+    mirrorUpdated.collectSetBits(updated);
+    for (uint64_t lid : updated) {
+      frontier.set(lid);
+    }
+    dirty.resetAll();
+    ++rounds;
+    // BSP makespan: the round ends for everyone when the slowest host
+    // finishes its compute + modeled communication.
+    const double myRound = (support::threadCpuSeconds() - cpu0) +
+                           (net.modeledCommSeconds(me) - comm0);
+    clusterSeconds += net.allReduceMax(me, myRound);
+    if (!net.allReduceOr(me, frontier.any())) {
+      break;
+    }
+  }
+  if (roundsOut != nullptr) {
+    *roundsOut = rounds;
+  }
+  if (modeledSecondsOut != nullptr) {
+    *modeledSecondsOut = clusterSeconds;
+  }
+  return value;
+}
+
+// Global out-degrees at every proxy: local degrees add-reduced to masters,
+// then broadcast. Needed by pagerank (a vertex-cut splits a node's
+// out-edges across hosts).
+std::vector<uint64_t> globalOutDegrees(comm::Network& net, comm::HostId me,
+                                       const DistGraph& part) {
+  SyncContext sync(net, me, part);
+  const uint64_t numLocal = part.numLocalNodes();
+  std::vector<uint64_t> degree(numLocal);
+  DynamicBitset dirty(numLocal);
+  for (uint64_t lid = 0; lid < numLocal; ++lid) {
+    degree[lid] = part.graph.outDegree(lid);
+    dirty.set(lid);
+  }
+  DynamicBitset changed(numLocal);
+  sync.reduceToMasters<uint64_t>(
+      degree, dirty,
+      [](uint64_t& acc, uint64_t in) {
+        acc += in;
+        return true;
+      },
+      changed);
+  DynamicBitset allMasters(numLocal);
+  for (uint64_t lid = 0; lid < part.numMasters; ++lid) {
+    allMasters.set(lid);
+  }
+  DynamicBitset mirrorUpdated(numLocal);
+  sync.broadcastToMirrors<uint64_t>(degree, allMasters, mirrorUpdated);
+  return degree;
+}
+
+// Runs hostMain on every host of a fresh Network over `partitions` and
+// gathers the master values into a global array.
+template <typename T, typename HostFn>
+std::vector<T> runGathered(std::span<const DistGraph> partitions,
+                           RunStats* stats,
+                           const comm::NetworkCostModel& costModel,
+                           HostFn&& hostMain) {
+  if (partitions.empty()) {
+    return {};
+  }
+  const uint32_t numHosts = static_cast<uint32_t>(partitions.size());
+  comm::Network net(numHosts, costModel);
+  std::vector<T> global(partitions.front().numGlobalNodes);
+  std::vector<uint32_t> roundsPerHost(numHosts, 0);
+  std::vector<double> modeledPerHost(numHosts, 0.0);
+  support::Timer timer;
+  comm::runHosts(net, [&](comm::HostId me) {
+    const DistGraph& part = partitions[me];
+    std::vector<T> local =
+        hostMain(net, me, part, &roundsPerHost[me], &modeledPerHost[me]);
+    // Masters hold the canonical values; global ids are disjoint across
+    // hosts' master sets, so concurrent writes land on distinct slots.
+    for (uint64_t lid = 0; lid < part.numMasters; ++lid) {
+      global[part.globalId(lid)] = local[lid];
+    }
+  });
+  if (stats != nullptr) {
+    stats->wallSeconds = timer.elapsedSeconds();
+    stats->seconds = *std::max_element(modeledPerHost.begin(),
+                                       modeledPerHost.end());
+    stats->rounds = *std::max_element(roundsPerHost.begin(),
+                                      roundsPerHost.end());
+    const auto volume = net.statsSnapshot();
+    stats->syncBytes = volume.bytes[comm::kTagAppReduce] +
+                       volume.bytes[comm::kTagAppBroadcast];
+    stats->syncMessages = volume.messages[comm::kTagAppReduce] +
+                          volume.messages[comm::kTagAppBroadcast];
+  }
+  return global;
+}
+
+}  // namespace
+
+std::vector<uint64_t> bfsOnHost(comm::Network& net, comm::HostId me,
+                                const DistGraph& part, uint64_t sourceGid,
+                                uint32_t* roundsOut,
+                                double* modeledSecondsOut) {
+  return minPropagate(
+      net, me, part,
+      [&](uint64_t, uint64_t gid) {
+        return gid == sourceGid ? 0ull : kInfinity;
+      },
+      [](uint64_t value, uint64_t) { return value + 1; }, roundsOut,
+      modeledSecondsOut);
+}
+
+std::vector<uint64_t> ssspOnHost(comm::Network& net, comm::HostId me,
+                                 const DistGraph& part, uint64_t sourceGid,
+                                 uint32_t* roundsOut,
+                                 double* modeledSecondsOut) {
+  return minPropagate(
+      net, me, part,
+      [&](uint64_t, uint64_t gid) {
+        return gid == sourceGid ? 0ull : kInfinity;
+      },
+      [&](uint64_t value, uint64_t edge) {
+        return value + part.graph.edgeData(edge);
+      },
+      roundsOut, modeledSecondsOut);
+}
+
+std::vector<uint64_t> ccOnHost(comm::Network& net, comm::HostId me,
+                               const DistGraph& part, uint32_t* roundsOut,
+                               double* modeledSecondsOut) {
+  return minPropagate(
+      net, me, part,
+      [](uint64_t, uint64_t gid) { return gid; },
+      [](uint64_t value, uint64_t) { return value; }, roundsOut,
+      modeledSecondsOut);
+}
+
+std::vector<double> pageRankOnHost(comm::Network& net, comm::HostId me,
+                                   const DistGraph& part,
+                                   const PageRankParams& params,
+                                   uint32_t* roundsOut,
+                                   double* modeledSecondsOut) {
+  requireCsrOrientation(part);
+  SyncContext sync(net, me, part);
+  const uint64_t numLocal = part.numLocalNodes();
+  const double n = static_cast<double>(part.numGlobalNodes);
+  double clusterSeconds = 0.0;
+  double cpu0 = support::threadCpuSeconds();
+  double comm0 = net.modeledCommSeconds(me);
+  const std::vector<uint64_t> degree = globalOutDegrees(net, me, part);
+  clusterSeconds += net.allReduceMax(
+      me, (support::threadCpuSeconds() - cpu0) +
+              (net.modeledCommSeconds(me) - comm0));
+
+  std::vector<double> rank(numLocal, n > 0 ? 1.0 / n : 0.0);
+  std::vector<double> accum(numLocal, 0.0);
+  DynamicBitset allMasters(numLocal);
+  for (uint64_t lid = 0; lid < part.numMasters; ++lid) {
+    allMasters.set(lid);
+  }
+  uint32_t rounds = 0;
+  for (uint32_t iter = 0; iter < params.maxIterations; ++iter) {
+    cpu0 = support::threadCpuSeconds();
+    comm0 = net.modeledCommSeconds(me);
+    // Scatter contributions along local out-edges.
+    std::fill(accum.begin(), accum.end(), 0.0);
+    DynamicBitset contributed(numLocal);
+    for (uint64_t u = 0; u < numLocal; ++u) {
+      if (degree[u] == 0 || part.graph.outDegree(u) == 0) {
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(degree[u]);
+      for (uint64_t e = part.graph.edgeBegin(u); e < part.graph.edgeEnd(u);
+           ++e) {
+        const uint64_t v = part.graph.edgeDst(e);
+        accum[v] += share;
+        contributed.set(v);
+      }
+    }
+    // Sum partial accumulations into masters.
+    DynamicBitset unusedChanged(numLocal);
+    sync.reduceToMasters<double>(
+        accum, contributed,
+        [](double& acc, double in) {
+          acc += in;
+          return true;
+        },
+        unusedChanged);
+    // Apply and measure residual on masters.
+    double localDelta = 0.0;
+    for (uint64_t lid = 0; lid < part.numMasters; ++lid) {
+      const double updated = (1.0 - params.damping) / n +
+                             params.damping * accum[lid];
+      localDelta = std::max(localDelta, std::abs(updated - rank[lid]));
+      rank[lid] = updated;
+    }
+    // Refresh mirrors with the new ranks.
+    DynamicBitset mirrorUpdated(numLocal);
+    sync.broadcastToMirrors<double>(rank, allMasters, mirrorUpdated);
+    ++rounds;
+    clusterSeconds += net.allReduceMax(
+        me, (support::threadCpuSeconds() - cpu0) +
+                (net.modeledCommSeconds(me) - comm0));
+    const double globalDelta = net.allReduceMax(me, localDelta);
+    if (globalDelta < params.tolerance) {
+      break;
+    }
+  }
+  if (roundsOut != nullptr) {
+    *roundsOut = rounds;
+  }
+  if (modeledSecondsOut != nullptr) {
+    *modeledSecondsOut = clusterSeconds;
+  }
+  return rank;
+}
+
+std::vector<uint64_t> kCoreOnHost(comm::Network& net, comm::HostId me,
+                                  const DistGraph& part, uint64_t k,
+                                  uint32_t* roundsOut,
+                                  double* modeledSecondsOut) {
+  requireCsrOrientation(part);
+  SyncContext sync(net, me, part);
+  const uint64_t numLocal = part.numLocalNodes();
+  double clusterSeconds = 0.0;
+  double cpu0 = support::threadCpuSeconds();
+  double comm0 = net.modeledCommSeconds(me);
+  // Degrees start at the global (symmetric) degree of every proxy.
+  std::vector<uint64_t> degree = globalOutDegrees(net, me, part);
+  clusterSeconds += net.allReduceMax(
+      me, (support::threadCpuSeconds() - cpu0) +
+              (net.modeledCommSeconds(me) - comm0));
+
+  std::vector<uint8_t> alive(numLocal, 1);
+  std::vector<uint64_t> decrement(numLocal, 0);
+  uint32_t rounds = 0;
+  for (;;) {
+    cpu0 = support::threadCpuSeconds();
+    comm0 = net.modeledCommSeconds(me);
+    // Peel: every proxy whose degree view dropped below k dies (master and
+    // mirror views converge because every master change is broadcast) and
+    // decrements its LOCAL out-neighbors — each edge lives on exactly one
+    // host, so each removal is counted exactly once.
+    bool anyDied = false;
+    DynamicBitset touched(numLocal);
+    for (uint64_t lid = 0; lid < numLocal; ++lid) {
+      if (alive[lid] == 0 || degree[lid] >= k) {
+        continue;
+      }
+      alive[lid] = 0;
+      anyDied = true;
+      for (uint64_t e = part.graph.edgeBegin(lid);
+           e < part.graph.edgeEnd(lid); ++e) {
+        const uint64_t v = part.graph.edgeDst(e);
+        ++decrement[v];
+        touched.set(v);
+      }
+    }
+    // Sum decrements into masters, apply, and broadcast changed degrees.
+    DynamicBitset reduced(numLocal);
+    sync.reduceToMasters<uint64_t>(
+        decrement, touched,
+        [](uint64_t& acc, uint64_t in) {
+          acc += in;
+          return true;
+        },
+        reduced);
+    DynamicBitset degreeChanged(numLocal);
+    for (uint64_t lid = 0; lid < part.numMasters; ++lid) {
+      if (decrement[lid] > 0) {
+        degree[lid] =
+            degree[lid] > decrement[lid] ? degree[lid] - decrement[lid] : 0;
+        decrement[lid] = 0;
+        degreeChanged.set(lid);
+      }
+    }
+    // Mirrors' leftover local decrements were shipped; reset them.
+    std::fill(decrement.begin() + static_cast<ptrdiff_t>(part.numMasters),
+              decrement.end(), 0);
+    DynamicBitset mirrorUpdated(numLocal);
+    sync.broadcastToMirrors<uint64_t>(degree, degreeChanged, mirrorUpdated);
+    ++rounds;
+    clusterSeconds += net.allReduceMax(
+        me, (support::threadCpuSeconds() - cpu0) +
+                (net.modeledCommSeconds(me) - comm0));
+    if (!net.allReduceOr(me, anyDied)) {
+      break;
+    }
+  }
+  if (roundsOut != nullptr) {
+    *roundsOut = rounds;
+  }
+  if (modeledSecondsOut != nullptr) {
+    *modeledSecondsOut = clusterSeconds;
+  }
+  std::vector<uint64_t> inCore(numLocal);
+  for (uint64_t lid = 0; lid < numLocal; ++lid) {
+    inCore[lid] = alive[lid];
+  }
+  return inCore;
+}
+
+uint64_t triangleCountOnHost(comm::Network& net, comm::HostId me,
+                             const DistGraph& part,
+                             double* modeledSecondsOut) {
+  requireCsrOrientation(part);
+  SyncContext sync(net, me, part);
+  const uint64_t numLocal = part.numLocalNodes();
+  const double cpu0 = support::threadCpuSeconds();
+  const double comm0 = net.modeledCommSeconds(me);
+
+  // Global degrees define the orientation: edge u->v is "forward" iff
+  // (deg(u), gid(u)) < (deg(v), gid(v)). Both endpoints of every local
+  // edge are local proxies with synced degrees, so orientation is
+  // computable everywhere.
+  const std::vector<uint64_t> degree = globalOutDegrees(net, me, part);
+  auto orderKey = [&](uint64_t lid) {
+    return std::make_pair(degree[lid], part.globalId(lid));
+  };
+
+  // Each host contributes its local share of every vertex's forward
+  // adjacency (as global ids); gather assembles the full lists at masters,
+  // broadcast replicates them to every proxy.
+  std::vector<std::vector<uint64_t>> forward(numLocal);
+  for (uint64_t u = 0; u < numLocal; ++u) {
+    for (uint64_t e = part.graph.edgeBegin(u); e < part.graph.edgeEnd(u);
+         ++e) {
+      const uint64_t v = part.graph.edgeDst(e);
+      if (orderKey(u) < orderKey(v)) {
+        forward[u].push_back(part.globalId(v));
+      }
+    }
+  }
+  sync.gatherListsToMasters(forward);
+  for (uint64_t lid = 0; lid < part.numMasters; ++lid) {
+    std::sort(forward[lid].begin(), forward[lid].end());
+  }
+  sync.broadcastListsToMirrors(forward);
+
+  // Closed-wedge counting over local forward edges: every global directed
+  // edge lives on exactly one host, so the cluster-wide sum counts each
+  // triangle exactly once.
+  uint64_t local = 0;
+  for (uint64_t u = 0; u < numLocal; ++u) {
+    for (uint64_t e = part.graph.edgeBegin(u); e < part.graph.edgeEnd(u);
+         ++e) {
+      const uint64_t v = part.graph.edgeDst(e);
+      if (!(orderKey(u) < orderKey(v))) {
+        continue;
+      }
+      const auto& a = forward[u];
+      const auto& b = forward[v];
+      size_t i = 0;
+      size_t j = 0;
+      while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+          ++i;
+        } else if (a[i] > b[j]) {
+          ++j;
+        } else {
+          ++local;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  const uint64_t total = net.allReduceSum<uint64_t>(me, local);
+  if (modeledSecondsOut != nullptr) {
+    // One "round" algorithm: makespan = slowest host's total.
+    *modeledSecondsOut = net.allReduceMax(
+        me, (support::threadCpuSeconds() - cpu0) +
+                (net.modeledCommSeconds(me) - comm0));
+  }
+  return total;
+}
+
+std::vector<uint64_t> runBfs(std::span<const DistGraph> partitions,
+                             uint64_t sourceGid, RunStats* stats,
+                             const comm::NetworkCostModel& costModel) {
+  return runGathered<uint64_t>(
+      partitions, stats, costModel,
+      [&](comm::Network& net, comm::HostId me, const DistGraph& part,
+          uint32_t* rounds, double* modeled) {
+        return bfsOnHost(net, me, part, sourceGid, rounds, modeled);
+      });
+}
+
+std::vector<uint64_t> runSssp(std::span<const DistGraph> partitions,
+                              uint64_t sourceGid, RunStats* stats,
+                              const comm::NetworkCostModel& costModel) {
+  return runGathered<uint64_t>(
+      partitions, stats, costModel,
+      [&](comm::Network& net, comm::HostId me, const DistGraph& part,
+          uint32_t* rounds, double* modeled) {
+        return ssspOnHost(net, me, part, sourceGid, rounds, modeled);
+      });
+}
+
+std::vector<uint64_t> runCc(std::span<const DistGraph> partitions,
+                            RunStats* stats,
+                            const comm::NetworkCostModel& costModel) {
+  return runGathered<uint64_t>(
+      partitions, stats, costModel,
+      [&](comm::Network& net, comm::HostId me, const DistGraph& part,
+          uint32_t* rounds, double* modeled) {
+        return ccOnHost(net, me, part, rounds, modeled);
+      });
+}
+
+std::vector<double> runPageRank(std::span<const DistGraph> partitions,
+                                const PageRankParams& params,
+                                RunStats* stats,
+                                const comm::NetworkCostModel& costModel) {
+  return runGathered<double>(
+      partitions, stats, costModel,
+      [&](comm::Network& net, comm::HostId me, const DistGraph& part,
+          uint32_t* rounds, double* modeled) {
+        return pageRankOnHost(net, me, part, params, rounds, modeled);
+      });
+}
+
+std::vector<uint64_t> runKCore(std::span<const DistGraph> partitions,
+                               uint64_t k, RunStats* stats,
+                               const comm::NetworkCostModel& costModel) {
+  return runGathered<uint64_t>(
+      partitions, stats, costModel,
+      [&](comm::Network& net, comm::HostId me, const DistGraph& part,
+          uint32_t* rounds, double* modeled) {
+        return kCoreOnHost(net, me, part, k, rounds, modeled);
+      });
+}
+
+uint64_t runTriangleCount(std::span<const DistGraph> partitions,
+                          RunStats* stats,
+                          const comm::NetworkCostModel& costModel) {
+  if (partitions.empty()) {
+    return 0;
+  }
+  const uint32_t numHosts = static_cast<uint32_t>(partitions.size());
+  comm::Network net(numHosts, costModel);
+  std::vector<uint64_t> totals(numHosts, 0);
+  std::vector<double> modeledPerHost(numHosts, 0.0);
+  support::Timer timer;
+  comm::runHosts(net, [&](comm::HostId me) {
+    totals[me] =
+        triangleCountOnHost(net, me, partitions[me], &modeledPerHost[me]);
+  });
+  if (stats != nullptr) {
+    stats->wallSeconds = timer.elapsedSeconds();
+    stats->seconds = *std::max_element(modeledPerHost.begin(),
+                                       modeledPerHost.end());
+    stats->rounds = 1;
+    const auto volume = net.statsSnapshot();
+    stats->syncBytes = volume.bytes[comm::kTagAppReduce] +
+                       volume.bytes[comm::kTagAppBroadcast];
+    stats->syncMessages = volume.messages[comm::kTagAppReduce] +
+                          volume.messages[comm::kTagAppBroadcast];
+  }
+  return totals[0];
+}
+
+uint64_t maxOutDegreeNode(const graph::CsrGraph& graph) {
+  uint64_t best = 0;
+  for (uint64_t v = 1; v < graph.numNodes(); ++v) {
+    if (graph.outDegree(v) > graph.outDegree(best)) {
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace cusp::analytics

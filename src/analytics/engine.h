@@ -1,0 +1,217 @@
+// Master/mirror synchronization engine over CuSP partitions — the
+// D-Galois-style substrate used to evaluate partition quality (paper
+// Section V-C).
+//
+// A vertex program keeps one value per *local* node (masters and mirrors).
+// After a round of local computation, hosts synchronize:
+//
+//   reduce     mirror values flow to their masters and are folded in with a
+//              combine operator (min, plus, ...); the master learns the
+//              canonical value.
+//   broadcast  changed master values flow back to every mirror.
+//
+// Only dirty nodes are shipped, as sparse (position, value) pairs where the
+// position indexes the mirror lists both sides agreed on during
+// partitioning (DistGraph::mirrorsOnHost / myMirrorsByOwner). Communication
+// partners are exactly the hosts that share proxies, so a CVC partition
+// naturally talks only to its row/column partners while a general
+// vertex-cut (HVC/GVC) talks to everyone — the structural property the
+// paper's quality results hinge on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/network.h"
+#include "core/dist_graph.h"
+#include "support/bitset.h"
+#include "support/serialize.h"
+
+namespace cusp::analytics {
+
+class SyncContext {
+ public:
+  SyncContext(comm::Network& net, comm::HostId me, const core::DistGraph& part)
+      : net_(net), me_(me), part_(part) {}
+
+  // Ships dirty mirror values to their masters; combine(master, incoming)
+  // returns true if the master value changed, in which case the master is
+  // marked in `changed`. `dirty` is consumed (mirror flags cleared).
+  template <typename T, typename Combine>
+  void reduceToMasters(std::vector<T>& values, support::DynamicBitset& dirty,
+                       Combine&& combine, support::DynamicBitset& changed) {
+    // Send my dirty mirrors to each owner that has any of my mirrors.
+    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+      if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
+        continue;
+      }
+      support::SendBuffer buf;
+      packDirty(part_.myMirrorsByOwner[h], values, dirty, buf,
+                /*clearDirty=*/true);
+      net_.send(me_, h, comm::kTagAppReduce, std::move(buf));
+    }
+    // Receive contributions for my masters from each host holding mirrors.
+    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+      if (h == me_ || part_.mirrorsOnHost[h].empty()) {
+        continue;
+      }
+      auto msg = net_.recvFrom(me_, h, comm::kTagAppReduce);
+      std::vector<uint32_t> positions;
+      std::vector<T> incoming;
+      support::deserializeAll(msg.payload, positions, incoming);
+      const auto& lids = part_.mirrorsOnHost[h];
+      for (size_t i = 0; i < positions.size(); ++i) {
+        const uint64_t lid = lids[positions[i]];
+        if (combine(values[lid], incoming[i])) {
+          changed.set(lid);
+        }
+      }
+    }
+  }
+
+  // Ships dirty master values to every host holding a mirror; mirrors adopt
+  // the canonical value and are marked in `changed`. `dirty` is NOT
+  // cleared (a master may broadcast to several hosts; the caller resets it
+  // once the round completes).
+  template <typename T>
+  void broadcastToMirrors(std::vector<T>& values,
+                          const support::DynamicBitset& dirty,
+                          support::DynamicBitset& changed) {
+    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+      if (h == me_ || part_.mirrorsOnHost[h].empty()) {
+        continue;
+      }
+      support::SendBuffer buf;
+      packDirty(part_.mirrorsOnHost[h], values, dirty, buf,
+                /*clearDirty=*/false);
+      net_.send(me_, h, comm::kTagAppBroadcast, std::move(buf));
+    }
+    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+      if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
+        continue;
+      }
+      auto msg = net_.recvFrom(me_, h, comm::kTagAppBroadcast);
+      std::vector<uint32_t> positions;
+      std::vector<T> incoming;
+      support::deserializeAll(msg.payload, positions, incoming);
+      const auto& lids = part_.myMirrorsByOwner[h];
+      for (size_t i = 0; i < positions.size(); ++i) {
+        const uint64_t lid = lids[positions[i]];
+        values[lid] = incoming[i];
+        changed.set(lid);
+      }
+    }
+  }
+
+  // Variable-length gather: every host contributes a list per local node;
+  // mirror lists are shipped to their masters and appended (order:
+  // master's own list first, then contributions in sender-host order).
+  // Mirror lists are left untouched.
+  template <typename T>
+  void gatherListsToMasters(std::vector<std::vector<T>>& lists) {
+    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+      if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
+        continue;
+      }
+      std::vector<std::vector<T>> payload;
+      payload.reserve(part_.myMirrorsByOwner[h].size());
+      for (uint64_t lid : part_.myMirrorsByOwner[h]) {
+        payload.push_back(lists[lid]);
+      }
+      support::SendBuffer buf;
+      support::serialize(buf, payload);
+      net_.send(me_, h, comm::kTagAppReduce, std::move(buf));
+    }
+    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+      if (h == me_ || part_.mirrorsOnHost[h].empty()) {
+        continue;
+      }
+      auto msg = net_.recvFrom(me_, h, comm::kTagAppReduce);
+      std::vector<std::vector<T>> payload;
+      support::deserialize(msg.payload, payload);
+      const auto& lids = part_.mirrorsOnHost[h];
+      for (size_t i = 0; i < payload.size(); ++i) {
+        auto& target = lists[lids[i]];
+        target.insert(target.end(), payload[i].begin(), payload[i].end());
+      }
+    }
+  }
+
+  // Variable-length broadcast: every mirror's list is overwritten with its
+  // master's list.
+  template <typename T>
+  void broadcastListsToMirrors(std::vector<std::vector<T>>& lists) {
+    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+      if (h == me_ || part_.mirrorsOnHost[h].empty()) {
+        continue;
+      }
+      std::vector<std::vector<T>> payload;
+      payload.reserve(part_.mirrorsOnHost[h].size());
+      for (uint64_t lid : part_.mirrorsOnHost[h]) {
+        payload.push_back(lists[lid]);
+      }
+      support::SendBuffer buf;
+      support::serialize(buf, payload);
+      net_.send(me_, h, comm::kTagAppBroadcast, std::move(buf));
+    }
+    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+      if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
+        continue;
+      }
+      auto msg = net_.recvFrom(me_, h, comm::kTagAppBroadcast);
+      std::vector<std::vector<T>> payload;
+      support::deserialize(msg.payload, payload);
+      const auto& lids = part_.myMirrorsByOwner[h];
+      for (size_t i = 0; i < payload.size(); ++i) {
+        lists[lids[i]] = std::move(payload[i]);
+      }
+    }
+  }
+
+  comm::Network& net() { return net_; }
+  comm::HostId hostId() const { return me_; }
+
+ private:
+  // Serializes (position, value) pairs for the dirty subset of `lids`.
+  template <typename T>
+  void packDirty(const std::vector<uint64_t>& lids, const std::vector<T>& values,
+                 support::DynamicBitset& dirty, support::SendBuffer& buf,
+                 bool clearDirty) {
+    std::vector<uint32_t> positions;
+    std::vector<T> payload;
+    for (uint32_t pos = 0; pos < lids.size(); ++pos) {
+      const uint64_t lid = lids[pos];
+      if (dirty.test(lid)) {
+        positions.push_back(pos);
+        payload.push_back(values[lid]);
+        if (clearDirty) {
+          dirty.clear(lid);
+        }
+      }
+    }
+    support::serializeAll(buf, positions, payload);
+  }
+
+  // packDirty with a const bitset (broadcast side).
+  template <typename T>
+  void packDirty(const std::vector<uint64_t>& lids, const std::vector<T>& values,
+                 const support::DynamicBitset& dirty, support::SendBuffer& buf,
+                 bool /*clearDirty*/) {
+    std::vector<uint32_t> positions;
+    std::vector<T> payload;
+    for (uint32_t pos = 0; pos < lids.size(); ++pos) {
+      const uint64_t lid = lids[pos];
+      if (dirty.test(lid)) {
+        positions.push_back(pos);
+        payload.push_back(values[lid]);
+      }
+    }
+    support::serializeAll(buf, positions, payload);
+  }
+
+  comm::Network& net_;
+  comm::HostId me_;
+  const core::DistGraph& part_;
+};
+
+}  // namespace cusp::analytics

@@ -1,0 +1,185 @@
+#include "analytics/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace cusp::analytics {
+
+std::vector<uint64_t> bfsReference(const graph::CsrGraph& graph,
+                                   uint64_t source) {
+  if (source >= graph.numNodes()) {
+    throw std::out_of_range("bfsReference: source out of range");
+  }
+  std::vector<uint64_t> dist(graph.numNodes(), kInfinity);
+  std::deque<uint64_t> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const uint64_t u = queue.front();
+    queue.pop_front();
+    for (uint64_t v : graph.outNeighbors(u)) {
+      if (dist[v] == kInfinity) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> ssspReference(const graph::CsrGraph& graph,
+                                    uint64_t source) {
+  if (source >= graph.numNodes()) {
+    throw std::out_of_range("ssspReference: source out of range");
+  }
+  std::vector<uint64_t> dist(graph.numNodes(), kInfinity);
+  using Item = std::pair<uint64_t, uint64_t>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.emplace(0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) {
+      continue;
+    }
+    for (uint64_t e = graph.edgeBegin(u); e < graph.edgeEnd(u); ++e) {
+      const uint64_t v = graph.edgeDst(e);
+      const uint64_t nd = d + graph.edgeData(e);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<uint64_t> ccReference(const graph::CsrGraph& graph) {
+  std::vector<uint64_t> label(graph.numNodes());
+  for (uint64_t v = 0; v < graph.numNodes(); ++v) {
+    label[v] = v;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint64_t u = 0; u < graph.numNodes(); ++u) {
+      for (uint64_t v : graph.outNeighbors(u)) {
+        if (label[u] < label[v]) {
+          label[v] = label[u];
+          changed = true;
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<uint64_t> kCoreReference(const graph::CsrGraph& graph,
+                                     uint64_t k) {
+  const uint64_t numNodes = graph.numNodes();
+  std::vector<uint64_t> degree(numNodes);
+  std::vector<uint64_t> alive(numNodes, 1);
+  std::deque<uint64_t> queue;
+  for (uint64_t v = 0; v < numNodes; ++v) {
+    degree[v] = graph.outDegree(v);
+    if (degree[v] < k) {
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const uint64_t v = queue.front();
+    queue.pop_front();
+    if (alive[v] == 0) {
+      continue;
+    }
+    alive[v] = 0;
+    for (uint64_t n : graph.outNeighbors(v)) {
+      if (degree[n] > 0) {
+        --degree[n];
+      }
+      if (alive[n] != 0 && degree[n] < k) {
+        queue.push_back(n);
+      }
+    }
+  }
+  return alive;
+}
+
+uint64_t triangleCountReference(const graph::CsrGraph& graph) {
+  const uint64_t numNodes = graph.numNodes();
+  auto orderKey = [&](uint64_t v) {
+    return std::make_pair(graph.outDegree(v), v);
+  };
+  // Forward (degree-oriented) adjacency, sorted.
+  std::vector<std::vector<uint64_t>> forward(numNodes);
+  for (uint64_t u = 0; u < numNodes; ++u) {
+    for (uint64_t v : graph.outNeighbors(u)) {
+      if (orderKey(u) < orderKey(v)) {
+        forward[u].push_back(v);
+      }
+    }
+    std::sort(forward[u].begin(), forward[u].end());
+  }
+  uint64_t count = 0;
+  for (uint64_t u = 0; u < numNodes; ++u) {
+    for (uint64_t v : forward[u]) {
+      const auto& a = forward[u];
+      const auto& b = forward[v];
+      size_t i = 0;
+      size_t j = 0;
+      while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+          ++i;
+        } else if (a[i] > b[j]) {
+          ++j;
+        } else {
+          ++count;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<double> pageRankReference(const graph::CsrGraph& graph,
+                                      const PageRankParams& params) {
+  const uint64_t numNodes = graph.numNodes();
+  if (numNodes == 0) {
+    return {};
+  }
+  const double n = static_cast<double>(numNodes);
+  std::vector<double> rank(numNodes, 1.0 / n);
+  std::vector<double> accum(numNodes, 0.0);
+  for (uint32_t iter = 0; iter < params.maxIterations; ++iter) {
+    std::fill(accum.begin(), accum.end(), 0.0);
+    for (uint64_t u = 0; u < numNodes; ++u) {
+      const uint64_t degree = graph.outDegree(u);
+      if (degree == 0) {
+        continue;  // dangling mass dropped, matching the distributed engine
+      }
+      const double share = rank[u] / static_cast<double>(degree);
+      for (uint64_t v : graph.outNeighbors(u)) {
+        accum[v] += share;
+      }
+    }
+    double delta = 0.0;
+    for (uint64_t v = 0; v < numNodes; ++v) {
+      const double updated =
+          (1.0 - params.damping) / n + params.damping * accum[v];
+      delta = std::max(delta, std::abs(updated - rank[v]));
+      rank[v] = updated;
+    }
+    if (delta < params.tolerance) {
+      break;
+    }
+  }
+  return rank;
+}
+
+}  // namespace cusp::analytics

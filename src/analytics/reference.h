@@ -1,0 +1,43 @@
+// Single-image reference implementations of bfs, sssp, cc and pagerank.
+//
+// These run on the whole (unpartitioned) graph and define the ground truth
+// the distributed engine must reproduce for every partitioning policy —
+// the core validation of the test suite. The pagerank reference applies
+// the exact same update rule as the distributed version (topological
+// iterations, dangling mass dropped) so results agree to floating-point
+// tolerance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/algorithms.h"
+#include "graph/csr_graph.h"
+
+namespace cusp::analytics {
+
+std::vector<uint64_t> bfsReference(const graph::CsrGraph& graph,
+                                   uint64_t source);
+
+std::vector<uint64_t> ssspReference(const graph::CsrGraph& graph,
+                                    uint64_t source);
+
+// Label propagation to a fixpoint (weakly connected components when the
+// graph is symmetric; directed min-label fixpoint otherwise — identical
+// semantics to the distributed version either way).
+std::vector<uint64_t> ccReference(const graph::CsrGraph& graph);
+
+std::vector<double> pageRankReference(const graph::CsrGraph& graph,
+                                      const PageRankParams& params = {});
+
+// Sequential peeling with the same multigraph degree semantics as the
+// distributed version (degree = out-degree of the symmetric graph;
+// parallel edges count separately). Returns 1 for k-core members, else 0.
+std::vector<uint64_t> kCoreReference(const graph::CsrGraph& graph,
+                                     uint64_t k);
+
+// Triangle count of a simple symmetric graph via degree-ordered wedge
+// closure (same orientation rule as the distributed version).
+uint64_t triangleCountReference(const graph::CsrGraph& graph);
+
+}  // namespace cusp::analytics

@@ -1,0 +1,214 @@
+#include "comm/network.h"
+
+#include <chrono>
+#include <thread>
+
+namespace cusp::comm {
+
+Network::Network(uint32_t numHosts, NetworkCostModel costModel)
+    : costModel_(costModel) {
+  if (numHosts == 0) {
+    throw std::invalid_argument("Network: numHosts must be > 0");
+  }
+  mailboxes_.reserve(numHosts);
+  modeledCommNanos_.reserve(numHosts);
+  for (uint32_t h = 0; h < numHosts; ++h) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    modeledCommNanos_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+  }
+}
+
+double Network::modeledCommSeconds(HostId host) const {
+  return static_cast<double>(
+             modeledCommNanos_[host]->load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+void Network::send(HostId from, HostId to, Tag tag,
+                   support::SendBuffer&& buffer) {
+  if (from >= numHosts() || to >= numHosts()) {
+    throw std::out_of_range("Network::send: host id out of range");
+  }
+  if (from != to && tag < kFirstReserved) {
+    double micros = costModel_.sendOverheadMicros;
+    if (costModel_.bandwidthMBps > 0.0) {
+      micros += static_cast<double>(buffer.size()) / costModel_.bandwidthMBps;
+    }
+    if (micros > 0.0) {
+      modeledCommNanos_[from]->fetch_add(
+          static_cast<int64_t>(micros * 1000.0), std::memory_order_relaxed);
+    }
+  }
+  accountSend(from, to, tag, buffer.size());
+  Mailbox& box = *mailboxes_[to];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(
+        Message{from, tag, support::RecvBuffer(buffer.release())});
+  }
+  box.arrived.notify_all();
+}
+
+std::optional<Message> Network::tryRecv(HostId me, Tag tag) {
+  Mailbox& box = *mailboxes_[me];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+    if (it->tag == tag) {
+      Message msg = std::move(*it);
+      box.queue.erase(it);
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
+Message Network::recv(HostId me, Tag tag) {
+  Mailbox& box = *mailboxes_[me];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->tag == tag) {
+        Message msg = std::move(*it);
+        box.queue.erase(it);
+        return msg;
+      }
+    }
+    if (aborted_.load(std::memory_order_acquire)) {
+      throw NetworkAborted();
+    }
+    box.arrived.wait(lock);
+  }
+}
+
+Message Network::recvFrom(HostId me, HostId from, Tag tag) {
+  Mailbox& box = *mailboxes_[me];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->tag == tag && it->from == from) {
+        Message msg = std::move(*it);
+        box.queue.erase(it);
+        return msg;
+      }
+    }
+    if (aborted_.load(std::memory_order_acquire)) {
+      throw NetworkAborted();
+    }
+    box.arrived.wait(lock);
+  }
+}
+
+void Network::barrier(HostId me) {
+  // Two-phase flat barrier through host 0 using reserved tags; payloads are
+  // empty so barriers contribute only message counts to collective stats.
+  if (numHosts() == 1) {
+    return;
+  }
+  if (me == 0) {
+    for (HostId src = 1; src < numHosts(); ++src) {
+      recvFrom(0, src, kTagBarrierUp);
+    }
+    for (HostId dst = 1; dst < numHosts(); ++dst) {
+      send(0, dst, kTagBarrierDown, support::SendBuffer());
+    }
+  } else {
+    send(me, 0, kTagBarrierUp, support::SendBuffer());
+    recvFrom(me, 0, kTagBarrierDown);
+  }
+}
+
+void Network::abort() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->arrived.notify_all();
+  }
+}
+
+void Network::accountSend(HostId from, HostId to, Tag tag, size_t bytes) {
+  if (from == to) {
+    return;  // local delivery; nothing crosses the (simulated) wire
+  }
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  if (tag < kTagCount) {
+    stats_.bytes[tag] += bytes;
+    stats_.messages[tag] += 1;
+  } else {
+    stats_.collectiveBytes += bytes;
+    stats_.collectiveMessages += 1;
+  }
+}
+
+VolumeStats Network::statsSnapshot() const {
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  return stats_;
+}
+
+void Network::resetStats() {
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  stats_ = VolumeStats{};
+}
+
+uint64_t Network::bytesSent(Tag tag) const {
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  return tag < kTagCount ? stats_.bytes[tag] : stats_.collectiveBytes;
+}
+
+uint64_t Network::messagesSent(Tag tag) const {
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  return tag < kTagCount ? stats_.messages[tag] : stats_.collectiveMessages;
+}
+
+BufferedSender::BufferedSender(Network& net, HostId me, Tag tag,
+                               size_t threshold)
+    : net_(net), me_(me), tag_(tag), threshold_(threshold),
+      pending_(net.numHosts()) {}
+
+void BufferedSender::flush(HostId dst) {
+  if (pending_[dst].empty()) {
+    return;
+  }
+  support::SendBuffer buffer = std::move(pending_[dst]);
+  pending_[dst] = support::SendBuffer();
+  net_.send(me_, dst, tag_, std::move(buffer));
+}
+
+void BufferedSender::flushAll() {
+  for (HostId dst = 0; dst < net_.numHosts(); ++dst) {
+    flush(dst);
+  }
+}
+
+void runHosts(Network& net, const std::function<void(HostId)>& hostMain) {
+  const uint32_t numHosts = net.numHosts();
+  std::vector<std::thread> threads;
+  threads.reserve(numHosts);
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+  auto guarded = [&](HostId host) {
+    try {
+      hostMain(host);
+    } catch (const NetworkAborted&) {
+      // Sibling of the faulting host; swallow the unwind signal.
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) {
+          firstError = std::current_exception();
+        }
+      }
+      net.abort();
+    }
+  };
+  for (HostId h = 0; h < numHosts; ++h) {
+    threads.emplace_back(guarded, h);
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  if (firstError) {
+    std::rethrow_exception(firstError);
+  }
+}
+
+}  // namespace cusp::comm

@@ -1,0 +1,299 @@
+// Simulated distributed-memory message-passing runtime.
+//
+// The paper runs CuSP over MPI/LCI on a physical cluster; here k logical
+// hosts run as threads inside one process and exchange *serialized byte
+// buffers* through per-host mailboxes. Nothing is shared between hosts
+// except through these messages (and the read-only "disk"), so all of
+// CuSP's communication structure — tagged point-to-point sends, message
+// buffering with a flush threshold (paper Section IV-D3), bulk-synchronous
+// state reductions (IV-D4), and per-phase volume accounting (Table V) — is
+// exercised for real.
+//
+// Model notes:
+//  * Message order is FIFO per (source, destination, tag) channel, like MPI.
+//  * recv* match any source unless recvFrom is used.
+//  * Collectives (barrier, allReduce) are built from point-to-point messages
+//    through host 0, so their traffic is also visible in the statistics.
+//  * abort() wakes all blocked receivers with NetworkAborted, letting the
+//    host runner unwind cleanly when any host throws.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "support/serialize.h"
+
+namespace cusp::comm {
+
+using HostId = uint32_t;
+using Tag = uint32_t;
+
+// Tags used by the CuSP stack. User code may use any tag < kFirstReserved.
+enum PhaseTag : Tag {
+  kTagGeneric = 0,
+  kTagMasterRequest = 1,   // master-assignment: "send me masters of these"
+  kTagMasterAssign = 2,    // master-assignment: (node, partition) pairs
+  kTagMasterList = 3,      // allocation: "you are master of these nodes"
+  kTagEdgeCounts = 4,      // edge assignment: positional out-edge counts
+  kTagMirrorFlags = 5,     // edge assignment: createMirror node ids
+  kTagMirrorToMaster = 6,  // allocation: mirror locations back to masters
+  kTagEdgeBatch = 7,       // construction: buffered (src, dsts...) batches
+  kTagAppReduce = 8,       // analytics: mirror -> master reductions
+  kTagAppBroadcast = 9,    // analytics: master -> mirror broadcasts
+  kTagStateReduce = 10,    // partitioning-state delta reduction
+  kTagCount = 16,          // stats array size for user-visible tags
+  kFirstReserved = 0xFFFF0000u,
+  kTagCollectiveUp = kFirstReserved,
+  kTagCollectiveDown = kFirstReserved + 1,
+  kTagBarrierUp = kFirstReserved + 2,
+  kTagBarrierDown = kFirstReserved + 3,
+};
+
+struct Message {
+  HostId from = 0;
+  Tag tag = 0;
+  support::RecvBuffer payload;
+};
+
+class NetworkAborted : public std::runtime_error {
+ public:
+  NetworkAborted() : std::runtime_error("network aborted") {}
+};
+
+// Volume counters per tag (only tags < kTagCount are tracked individually;
+// reserved collective tags are folded into a separate bucket).
+struct VolumeStats {
+  uint64_t bytes[kTagCount] = {};
+  uint64_t messages[kTagCount] = {};
+  uint64_t collectiveBytes = 0;
+  uint64_t collectiveMessages = 0;
+
+  uint64_t totalBytes() const {
+    uint64_t sum = collectiveBytes;
+    for (uint64_t b : bytes) {
+      sum += b;
+    }
+    return sum;
+  }
+  uint64_t totalMessages() const {
+    uint64_t sum = collectiveMessages;
+    for (uint64_t m : messages) {
+      sum += m;
+    }
+    return sum;
+  }
+};
+
+// Cost model for the simulated interconnect. Real message passing pays a
+// per-message injection overhead (NIC + MPI stack, ~microseconds) and a
+// per-byte serialization/wire cost; both are zero by default (pure
+// functional simulation). Costs are not waited out — they are *accounted*
+// per sending host (modeledCommSeconds) and folded into the simulated
+// cluster makespan by the partitioner and the analytics engine. This is
+// what reproduces the paper's communication-bound effects: message
+// buffering amortizes the per-message overhead (Fig. 7), and
+// communication-structured partitions send fewer messages during
+// application sync (Figs. 5/6). Reserved collective/barrier tags are not
+// charged (identical for every policy; negligible payloads).
+struct NetworkCostModel {
+  double sendOverheadMicros = 0.0;  // fixed cost per cross-host message
+  double bandwidthMBps = 0.0;       // per-byte cost; 0 = infinite bandwidth
+};
+
+class Network {
+ public:
+  explicit Network(uint32_t numHosts,
+                   NetworkCostModel costModel = NetworkCostModel{});
+  ~Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  uint32_t numHosts() const { return static_cast<uint32_t>(mailboxes_.size()); }
+
+  // --- point to point ---
+
+  // Moves `buffer` to host `to`'s mailbox. Self-sends are allowed and
+  // delivered like any other message, but are NOT counted in the volume
+  // statistics (no bytes cross the network).
+  void send(HostId from, HostId to, Tag tag, support::SendBuffer&& buffer);
+
+  // Non-blocking receive of any message with `tag` (any source).
+  std::optional<Message> tryRecv(HostId me, Tag tag);
+
+  // Blocking receive of any message with `tag` (any source).
+  Message recv(HostId me, Tag tag);
+
+  // Blocking receive of the next message from `from` with `tag`.
+  Message recvFrom(HostId me, HostId from, Tag tag);
+
+  // --- collectives (implemented over point-to-point via host 0) ---
+
+  void barrier(HostId me);
+
+  // Element-wise all-reduce; `combine(acc, in)` folds contributions in host
+  // id order (deterministic for non-commutative ops). All hosts must pass
+  // vectors of the same length.
+  template <typename T>
+  void allReduce(HostId me, std::vector<T>& values,
+                 const std::function<void(std::vector<T>&,
+                                          const std::vector<T>&)>& combine);
+
+  template <typename T>
+  void allReduceSum(HostId me, std::vector<T>& values);
+
+  template <typename T>
+  T allReduceSum(HostId me, T value);
+
+  template <typename T>
+  T allReduceMax(HostId me, T value);
+
+  bool allReduceOr(HostId me, bool value);
+
+  // --- control & accounting ---
+
+  // Wakes every blocked receiver with NetworkAborted. Called by the host
+  // runner when a host throws, so sibling hosts unwind instead of hanging.
+  void abort();
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  VolumeStats statsSnapshot() const;
+  void resetStats();
+
+  // Accumulated modeled communication time charged to `host` as a sender
+  // (cost model applied to every cross-host send with a non-reserved tag).
+  double modeledCommSeconds(HostId host) const;
+
+  // Bytes sent with `tag` since the last reset (cross-host only).
+  uint64_t bytesSent(Tag tag) const;
+  uint64_t messagesSent(Tag tag) const;
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable arrived;
+    std::deque<Message> queue;
+  };
+
+  void accountSend(HostId from, HostId to, Tag tag, size_t bytes);
+
+  NetworkCostModel costModel_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<std::atomic<int64_t>>>
+      modeledCommNanos_;  // per sending host
+  std::atomic<bool> aborted_{false};
+
+  mutable std::mutex statsMutex_;
+  VolumeStats stats_;
+};
+
+// Accumulates serialized records per destination and ships each
+// destination's buffer as one message once it exceeds `threshold` bytes
+// (paper Section IV-D3; threshold 0 sends every record immediately, the
+// "0 MB" point of Fig. 7). flushAll() must be called to drain remainders.
+class BufferedSender {
+ public:
+  BufferedSender(Network& net, HostId me, Tag tag, size_t threshold);
+
+  // Serializes `values...` into dst's pending buffer; flushes if full.
+  template <typename... Ts>
+  void append(HostId dst, const Ts&... values) {
+    auto& buffer = pending_[dst];
+    support::serializeAll(buffer, values...);
+    if (buffer.size() >= threshold_ || threshold_ == 0) {
+      flush(dst);
+    }
+  }
+
+  void flush(HostId dst);
+  void flushAll();
+
+ private:
+  Network& net_;
+  HostId me_;
+  Tag tag_;
+  size_t threshold_;
+  std::vector<support::SendBuffer> pending_;
+};
+
+// Spawns one thread per host running hostMain(hostId), joins them all, and
+// rethrows the first exception (after aborting the network so blocked
+// siblings unwind).
+void runHosts(Network& net, const std::function<void(HostId)>& hostMain);
+
+// ---- template implementations ----
+
+template <typename T>
+void Network::allReduce(
+    HostId me, std::vector<T>& values,
+    const std::function<void(std::vector<T>&, const std::vector<T>&)>&
+        combine) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (numHosts() == 1) {
+    return;
+  }
+  if (me == 0) {
+    for (HostId src = 1; src < numHosts(); ++src) {
+      Message msg = recvFrom(0, src, kTagCollectiveUp);
+      std::vector<T> contribution;
+      support::deserialize(msg.payload, contribution);
+      if (contribution.size() != values.size()) {
+        throw std::logic_error("allReduce: mismatched vector lengths");
+      }
+      combine(values, contribution);
+    }
+    for (HostId dst = 1; dst < numHosts(); ++dst) {
+      support::SendBuffer out;
+      support::serialize(out, values);
+      send(0, dst, kTagCollectiveDown, std::move(out));
+    }
+  } else {
+    support::SendBuffer out;
+    support::serialize(out, values);
+    send(me, 0, kTagCollectiveUp, std::move(out));
+    Message msg = recvFrom(me, 0, kTagCollectiveDown);
+    support::deserialize(msg.payload, values);
+  }
+}
+
+template <typename T>
+void Network::allReduceSum(HostId me, std::vector<T>& values) {
+  allReduce<T>(me, values,
+               [](std::vector<T>& acc, const std::vector<T>& in) {
+                 for (size_t i = 0; i < acc.size(); ++i) {
+                   acc[i] += in[i];
+                 }
+               });
+}
+
+template <typename T>
+T Network::allReduceSum(HostId me, T value) {
+  std::vector<T> one{value};
+  allReduceSum(me, one);
+  return one[0];
+}
+
+template <typename T>
+T Network::allReduceMax(HostId me, T value) {
+  std::vector<T> one{value};
+  allReduce<T>(me, one, [](std::vector<T>& acc, const std::vector<T>& in) {
+    if (in[0] > acc[0]) {
+      acc[0] = in[0];
+    }
+  });
+  return one[0];
+}
+
+inline bool Network::allReduceOr(HostId me, bool value) {
+  return allReduceSum<uint32_t>(me, value ? 1u : 0u) != 0;
+}
+
+}  // namespace cusp::comm

@@ -1,0 +1,894 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "support/bitset.h"
+#include "support/prefix_sum.h"
+#include "support/threading.h"
+#include "support/varint.h"
+
+namespace cusp::core {
+
+namespace {
+
+using comm::HostId;
+using graph::ReadRange;
+using support::DynamicBitset;
+using support::RecvBuffer;
+using support::SendBuffer;
+
+// One host's partitioning job; phase methods run in order and share state
+// through the members. All inter-host data moves through `net`.
+class PartitionJob {
+ public:
+  PartitionJob(comm::Network& net, HostId me, const graph::GraphFile& file,
+               const PartitionPolicy& policy, const PartitionerConfig& config,
+               support::PhaseTimes& phaseTimes)
+      : net_(net),
+        me_(me),
+        file_(file),
+        policy_(policy),
+        config_(config),
+        phaseTimes_(phaseTimes),
+        prop_(file, net.numHosts()) {
+    for (const auto& counter : policy.master.stateCounters) {
+      state_.registerCounter(counter);
+    }
+    for (const auto& counter : policy.edge.stateCounters) {
+      state_.registerCounter(counter);
+    }
+    if (policy.master.usesNodeMasks || policy.edge.usesNodeMasks) {
+      state_.enableNodeMasks();
+    }
+    state_.initialize(net.numHosts());
+  }
+
+  DistGraph run() {
+    // Each phase is timed as this host's CPU work plus its modeled
+    // communication charges (plus modeled disk time for reading); the
+    // driver max-combines the per-host tables, and phases are separated by
+    // barriers, so the sum of the maxima is the simulated cluster
+    // makespan. (The construction phase's dedicated receiver thread is not
+    // CPU-accounted: it models the communication hyperthread of paper
+    // IV-D1, which overlaps computation.)
+    timedPhase("Graph Reading", [&] { phaseGraphReading(); });
+    net_.barrier(me_);
+    timedPhase("Master Assignment", [&] { phaseMasterAssignment(); });
+    net_.barrier(me_);
+    timedPhase("Edge Assignment", [&] { phaseEdgeAssignment(); });
+    net_.barrier(me_);
+    timedPhase("Graph Allocation", [&] { phaseGraphAllocation(); });
+    net_.barrier(me_);
+    timedPhase("Graph Construction", [&] { phaseGraphConstruction(); });
+    net_.barrier(me_);
+    return std::move(result_);
+  }
+
+ private:
+  template <typename Fn>
+  void timedPhase(const char* name, Fn&& body) {
+    const double cpu0 = support::threadCpuSeconds();
+    const double comm0 = net_.modeledCommSeconds(me_);
+    const double disk0 = modeledDiskSeconds_;
+    body();
+    phaseTimes_.add(name, (support::threadCpuSeconds() - cpu0) +
+                              (net_.modeledCommSeconds(me_) - comm0) +
+                              (modeledDiskSeconds_ - disk0));
+  }
+
+  uint32_t numHosts() const { return net_.numHosts(); }
+  uint64_t myNumNodes() const { return myRange_.numNodes(); }
+
+  // Whether the pure-master fast path (replicated computation, zero master
+  // communication — paper IV-D5) applies; the config can disable it for
+  // ablation measurements.
+  bool pureMasterPath() const {
+    return policy_.master.isPure() && !config_.disablePureMasterOptimization;
+  }
+
+  // Global node id -> index into this host's read window.
+  uint64_t windowIndex(uint64_t gid) const { return gid - myRange_.nodeBegin; }
+  bool inMyRange(uint64_t gid) const {
+    return gid >= myRange_.nodeBegin && gid < myRange_.nodeEnd;
+  }
+
+  // Out-edges of a read node, as offsets into the window arrays.
+  std::pair<uint64_t, uint64_t> windowEdges(uint64_t gid) const {
+    const uint64_t idx = windowIndex(gid);
+    return {winRowStart_[idx] - myRange_.edgeBegin,
+            winRowStart_[idx + 1] - myRange_.edgeBegin};
+  }
+
+  // ---- phase 1: graph reading -------------------------------------------
+
+  void phaseGraphReading() {
+    const bool defaultSplit =
+        config_.readNodeWeight == 0.0 && config_.readEdgeWeight == 1.0;
+    ranges_ = defaultSplit
+                  ? graph::contiguousEbRanges(file_, numHosts())
+                  : graph::computeReadRanges(file_, numHosts(),
+                                             config_.readNodeWeight,
+                                             config_.readEdgeWeight);
+    myRange_ = ranges_[me_];
+    // Load this host's window from the "disk" into memory (paper IV-B1:
+    // later phases read from memory, not disk).
+    const auto rowStart = file_.rowStarts();
+    const auto dests = file_.destinations();
+    winRowStart_.assign(rowStart.begin() + myRange_.nodeBegin,
+                        rowStart.begin() + myRange_.nodeEnd + 1);
+    winDests_.assign(dests.begin() + myRange_.edgeBegin,
+                     dests.begin() + myRange_.edgeEnd);
+    if (file_.hasEdgeData()) {
+      const auto edgeData = file_.edgeDataArray();
+      winEdgeData_.assign(edgeData.begin() + myRange_.edgeBegin,
+                          edgeData.begin() + myRange_.edgeEnd);
+    }
+    simulateDiskRead(winRowStart_.size() * sizeof(uint64_t) +
+                     winDests_.size() * sizeof(uint64_t) +
+                     winEdgeData_.size() * sizeof(uint32_t));
+  }
+
+  // Disk time is modeled, not slept: it is added to this host's reading
+  // phase account (hosts read their windows concurrently, as on a parallel
+  // filesystem, so per-host time is the right unit).
+  void simulateDiskRead(uint64_t bytes) {
+    if (config_.simulatedDiskBandwidthMBps <= 0.0) {
+      return;
+    }
+    modeledDiskSeconds_ += static_cast<double>(bytes) /
+                           (config_.simulatedDiskBandwidthMBps * 1e6);
+  }
+
+  // ---- phase 2: master assignment ---------------------------------------
+
+  void phaseMasterAssignment() {
+    if (pureMasterPath()) {
+      // Pure rule: replicate computation instead of communicating (paper
+      // IV-D5). masterOf() calls the rule directly; nothing to do here.
+      return;
+    }
+    masterOfMine_ =
+        std::vector<std::atomic<uint32_t>>(myNumNodes());
+    for (auto& m : masterOfMine_) {
+      m.store(kNoMaster, std::memory_order_relaxed);
+    }
+
+    // Pre-request the master assignments this host will need: the
+    // destinations of its read edges (they are both the Fennel scoring
+    // neighbors and the dstMaster inputs of edge assignment). Paper IV-D5:
+    // assignments are only communicated on request.
+    std::vector<std::vector<uint64_t>> requestsTo(numHosts());
+    {
+      DynamicBitset needed(prop_.getNumNodes());
+      for (uint64_t d : winDests_) {
+        if (!inMyRange(d)) {
+          needed.set(d);
+        }
+      }
+      std::vector<uint64_t> neededIds;
+      needed.collectSetBits(neededIds);
+      for (uint64_t gid : neededIds) {
+        requestsTo[graph::readingHostOf(ranges_, gid)].push_back(gid);
+      }
+    }
+    uint64_t totalExpected = 0;
+    for (HostId h = 0; h < numHosts(); ++h) {
+      if (h == me_) {
+        continue;
+      }
+      totalExpected += requestsTo[h].size();
+      SendBuffer buf;
+      support::serialize(buf, requestsTo[h]);
+      net_.send(me_, h, comm::kTagMasterRequest, std::move(buf));
+    }
+    std::vector<std::vector<uint64_t>> requestsFrom(numHosts());
+    for (HostId h = 0; h < numHosts(); ++h) {
+      if (h == me_) {
+        continue;
+      }
+      auto msg = net_.recvFrom(me_, h, comm::kTagMasterRequest);
+      support::deserialize(msg.payload, requestsFrom[h]);
+    }
+
+    // Assign my read vertices in `rounds` chunks; after each chunk, ship
+    // newly available requested assignments, opportunistically drain
+    // incoming ones, and reconcile the partitioning state (paper IV-D4).
+    const uint64_t rounds = std::max<uint32_t>(1, config_.stateSyncRounds);
+    const uint64_t chunk =
+        myNumNodes() == 0 ? 1 : (myNumNodes() + rounds - 1) / rounds;
+    std::vector<size_t> requestCursor(numHosts(), 0);
+    uint64_t totalReceived = 0;
+    MasterLookup lookup = [this](uint64_t gid) -> uint32_t {
+      if (inMyRange(gid)) {
+        return masterOfMine_[windowIndex(gid)].load(std::memory_order_relaxed);
+      }
+      auto it = remoteMasters_.find(gid);
+      return it == remoteMasters_.end() ? kNoMaster : it->second;
+    };
+    for (uint64_t r = 0; r < rounds; ++r) {
+      const uint64_t begin = std::min(myNumNodes(), r * chunk);
+      const uint64_t end = std::min(myNumNodes(), begin + chunk);
+      support::parallelFor(
+          begin, end,
+          [&](uint64_t idx) {
+            const uint64_t gid = myRange_.nodeBegin + idx;
+            const uint32_t part =
+                policy_.master.fn(prop_, gid, state_, lookup);
+            masterOfMine_[idx].store(part, std::memory_order_relaxed);
+          },
+          config_.threadsPerHost);
+      // Ship assignments the other hosts requested for this chunk. Requests
+      // are sorted and chunks advance in node order, so a cursor per host
+      // suffices; each assignment is sent exactly once.
+      for (HostId h = 0; h < numHosts(); ++h) {
+        if (h == me_) {
+          continue;
+        }
+        std::vector<uint64_t> gids;
+        std::vector<uint32_t> parts;
+        auto& cursor = requestCursor[h];
+        const auto& wanted = requestsFrom[h];
+        while (cursor < wanted.size() &&
+               windowIndex(wanted[cursor]) < end) {
+          const uint64_t gid = wanted[cursor];
+          gids.push_back(gid);
+          parts.push_back(masterOfMine_[windowIndex(gid)].load(
+              std::memory_order_relaxed));
+          ++cursor;
+        }
+        if (!gids.empty()) {
+          SendBuffer buf;
+          support::serializeAll(buf, gids, parts);
+          net_.send(me_, h, comm::kTagMasterAssign, std::move(buf));
+        }
+      }
+      // Drain whatever has arrived without blocking (paper IV-D5: no
+      // barrier in master-assignment rounds), then reconcile state
+      // asynchronously (IV-D4 — also without blocking).
+      totalReceived += drainMasterAssignments(false, 0);
+      state_.exchangeAsync(net_, me_);
+    }
+    // Block until every requested assignment and every state delta has
+    // arrived, so nothing leaks into later phases.
+    totalReceived +=
+        drainMasterAssignments(true, totalExpected - totalReceived);
+    state_.finishExchanges(net_, me_);
+  }
+
+  // Receives kTagMasterAssign messages into remoteMasters_. Non-blocking
+  // drains everything currently queued; blocking receives until `pending`
+  // more assignments have arrived. Returns the number of assignments read.
+  uint64_t drainMasterAssignments(bool blocking, uint64_t pending) {
+    uint64_t received = 0;
+    auto absorb = [&](comm::Message& msg) {
+      std::vector<uint64_t> gids;
+      std::vector<uint32_t> parts;
+      support::deserializeAll(msg.payload, gids, parts);
+      for (size_t i = 0; i < gids.size(); ++i) {
+        remoteMasters_[gids[i]] = parts[i];
+      }
+      received += gids.size();
+    };
+    if (blocking) {
+      while (received < pending) {
+        auto msg = net_.recv(me_, comm::kTagMasterAssign);
+        absorb(msg);
+      }
+    } else {
+      while (auto msg = net_.tryRecv(me_, comm::kTagMasterAssign)) {
+        absorb(*msg);
+      }
+    }
+    return received;
+  }
+
+  // Master of any node this host legitimately queries: its own read nodes
+  // and the destinations of its read edges.
+  uint32_t masterOf(uint64_t gid) {
+    if (pureMasterPath()) {
+      static const MasterLookup noLookup;
+      return policy_.master.fn(prop_, gid, state_, noLookup);
+    }
+    if (inMyRange(gid)) {
+      return masterOfMine_[windowIndex(gid)].load(std::memory_order_relaxed);
+    }
+    return remoteMasters_.at(gid);
+  }
+
+  // ---- streaming-window support (ADWISE class, paper II-B2) -------------
+
+  bool windowedMode() const {
+    return config_.windowSize > 1 && policy_.edge.windowScore != nullptr;
+  }
+
+  // Sequentially visits every read edge in windowed priority order: keep a
+  // window of up to windowSize scanned edges, repeatedly assign the one the
+  // rule scores highest (ties: lowest window slot), refill from the
+  // stream. Deterministic per host given the same initial state, so graph
+  // construction replays the exact assignment order.
+  template <typename Visit>
+  void forEachEdgeWindowed(Visit&& visit) {
+    struct Pending {
+      uint64_t srcGid;
+      uint64_t edgeOffset;  // window-relative edge index
+    };
+    std::vector<Pending> window;
+    window.reserve(config_.windowSize);
+    const uint64_t totalEdges = myRange_.numEdges();
+    uint64_t nextEdge = 0;
+    uint64_t srcCursor = 0;  // window-relative node index of nextEdge
+    auto refill = [&] {
+      while (window.size() < config_.windowSize && nextEdge < totalEdges) {
+        while (winRowStart_[srcCursor + 1] - myRange_.edgeBegin <= nextEdge) {
+          ++srcCursor;
+        }
+        window.push_back(Pending{myRange_.nodeBegin + srcCursor, nextEdge});
+        ++nextEdge;
+      }
+    };
+    refill();
+    while (!window.empty()) {
+      size_t bestSlot = 0;
+      double bestScore = -1e300;
+      for (size_t i = 0; i < window.size(); ++i) {
+        const double score = policy_.edge.windowScore(
+            prop_, window[i].srcGid, winDests_[window[i].edgeOffset], state_);
+        if (score > bestScore) {
+          bestScore = score;
+          bestSlot = i;
+        }
+      }
+      const Pending chosen = window[bestSlot];
+      window[bestSlot] = window.back();
+      window.pop_back();
+      visit(chosen.srcGid, chosen.edgeOffset);
+      refill();
+    }
+  }
+
+  // ---- phase 3: edge assignment (paper Algorithm 3) ----------------------
+
+  void phaseEdgeAssignment() {
+    const uint32_t k = numHosts();
+    outCounts_.assign(k, std::vector<uint64_t>(myNumNodes(), 0));
+    std::vector<DynamicBitset> mirrorFlags(k);
+    for (auto& flags : mirrorFlags) {
+      flags.resize(prop_.getNumNodes());
+    }
+    auto recordEdge = [&](uint64_t s, uint64_t e) {
+      const uint32_t sMaster = masterOf(s);
+      const uint64_t d = winDests_[e];
+      const uint32_t dMaster = masterOf(d);
+      const uint32_t owner =
+          policy_.edge.fn(prop_, s, d, sMaster, dMaster, state_);
+      ++outCounts_[owner][windowIndex(s)];
+      if (owner != dMaster) {
+        mirrorFlags[owner].set(d);
+      }
+      if (owner != sMaster) {
+        mirrorFlags[owner].set(s);
+      }
+    };
+    if (windowedMode()) {
+      forEachEdgeWindowed(recordEdge);
+    } else {
+      const unsigned threads =
+          policy_.edge.usesState ? 1 : config_.threadsPerHost;
+      support::parallelFor(
+          0, myNumNodes(),
+          [&](uint64_t idx) {
+            const uint64_t s = myRange_.nodeBegin + idx;
+            const auto [eBegin, eEnd] = windowEdges(s);
+            for (uint64_t e = eBegin; e < eEnd; ++e) {
+              recordEdge(s, e);
+            }
+          },
+          threads);
+    }
+    if (policy_.edge.usesState) {
+      state_.synchronize(net_, me_);
+    }
+
+    // Exchange counts (positional vectors, paper IV-D2) and mirror flags
+    // (paired with master hosts so receivers can place proxies without
+    // knowing the master rule). All-zero vectors are elided to an empty
+    // message (IV-D2's "nothing to send" optimization).
+    for (HostId h = 0; h < k; ++h) {
+      if (h == me_) {
+        continue;
+      }
+      const bool anyEdges = std::any_of(outCounts_[h].begin(),
+                                        outCounts_[h].end(),
+                                        [](uint64_t c) { return c != 0; });
+      SendBuffer countsBuf;
+      support::serialize(countsBuf,
+                         anyEdges ? outCounts_[h] : std::vector<uint64_t>());
+      net_.send(me_, h, comm::kTagEdgeCounts, std::move(countsBuf));
+
+      std::vector<uint64_t> gids;
+      mirrorFlags[h].collectSetBits(gids);
+      std::vector<uint32_t> masters(gids.size());
+      for (size_t i = 0; i < gids.size(); ++i) {
+        masters[i] = masterOf(gids[i]);
+      }
+      SendBuffer mirrorBuf;
+      support::serializeAll(mirrorBuf, gids, masters);
+      net_.send(me_, h, comm::kTagMirrorFlags, std::move(mirrorBuf));
+    }
+    // Local contribution (host == me) is absorbed directly.
+    countsFrom_.assign(k, {});
+    countsFrom_[me_] = outCounts_[me_];
+    {
+      std::vector<uint64_t> gids;
+      mirrorFlags[me_].collectSetBits(gids);
+      for (uint64_t gid : gids) {
+        mirrorMasterHost_[gid] = masterOf(gid);
+      }
+    }
+    for (HostId h = 0; h < k; ++h) {
+      if (h == me_) {
+        continue;
+      }
+      auto countsMsg = net_.recvFrom(me_, h, comm::kTagEdgeCounts);
+      support::deserialize(countsMsg.payload, countsFrom_[h]);
+      auto mirrorMsg = net_.recvFrom(me_, h, comm::kTagMirrorFlags);
+      std::vector<uint64_t> gids;
+      std::vector<uint32_t> masters;
+      support::deserializeAll(mirrorMsg.payload, gids, masters);
+      for (size_t i = 0; i < gids.size(); ++i) {
+        mirrorMasterHost_[gids[i]] = masters[i];
+      }
+    }
+
+    // Master lists: which global nodes is this host the master of? For pure
+    // rules each host replicates the computation over all nodes (IV-D5);
+    // stateful rules exchange the lists computed by the reading hosts.
+    if (pureMasterPath()) {
+      for (uint64_t gid = 0; gid < prop_.getNumNodes(); ++gid) {
+        if (masterOf(gid) == me_) {
+          myMasterNodes_.push_back(gid);
+        }
+      }
+    } else {
+      std::vector<std::vector<uint64_t>> listFor(k);
+      for (uint64_t idx = 0; idx < myNumNodes(); ++idx) {
+        listFor[masterOfMine_[idx].load(std::memory_order_relaxed)].push_back(
+            myRange_.nodeBegin + idx);
+      }
+      for (HostId h = 0; h < k; ++h) {
+        if (h == me_) {
+          continue;
+        }
+        SendBuffer buf;
+        support::serialize(buf, listFor[h]);
+        net_.send(me_, h, comm::kTagMasterList, std::move(buf));
+      }
+      myMasterNodes_ = std::move(listFor[me_]);
+      for (HostId h = 0; h < k; ++h) {
+        if (h == me_) {
+          continue;
+        }
+        auto msg = net_.recvFrom(me_, h, comm::kTagMasterList);
+        std::vector<uint64_t> list;
+        support::deserialize(msg.payload, list);
+        myMasterNodes_.insert(myMasterNodes_.end(), list.begin(), list.end());
+      }
+      std::sort(myMasterNodes_.begin(), myMasterNodes_.end());
+    }
+  }
+
+  // ---- phase 4: graph allocation -----------------------------------------
+
+  void phaseGraphAllocation() {
+    const uint32_t k = numHosts();
+    result_.hostId = me_;
+    result_.numHosts = k;
+    result_.numGlobalNodes = prop_.getNumNodes();
+    result_.numGlobalEdges = prop_.getNumEdges();
+
+    // Local id space: masters (sorted), then mirrors (sorted). A node in
+    // mirrorMasterHost_ whose master is this host is already in the master
+    // list, not a mirror.
+    std::vector<uint64_t> mirrors;
+    mirrors.reserve(mirrorMasterHost_.size());
+    for (const auto& [gid, owner] : mirrorMasterHost_) {
+      if (owner != me_) {
+        mirrors.push_back(gid);
+      }
+    }
+    std::sort(mirrors.begin(), mirrors.end());
+    result_.numMasters = myMasterNodes_.size();
+    result_.localToGlobal = myMasterNodes_;
+    result_.localToGlobal.insert(result_.localToGlobal.end(), mirrors.begin(),
+                                 mirrors.end());
+    result_.globalToLocal.reserve(result_.localToGlobal.size());
+    for (uint64_t lid = 0; lid < result_.localToGlobal.size(); ++lid) {
+      result_.globalToLocal.emplace(result_.localToGlobal[lid], lid);
+    }
+    result_.masterHostOfLocal.assign(result_.localToGlobal.size(), me_);
+    for (uint64_t lid = result_.numMasters;
+         lid < result_.localToGlobal.size(); ++lid) {
+      result_.masterHostOfLocal[lid] =
+          mirrorMasterHost_.at(result_.localToGlobal[lid]);
+    }
+
+    // Per-local-node out-edge counts from the received positional vectors;
+    // prefix sum gives the CSR row offsets, and edges can then be inserted
+    // in parallel as they arrive (paper IV-B4).
+    std::vector<uint64_t> localOutCount(result_.localToGlobal.size(), 0);
+    expectedRemoteEdges_ = 0;
+    for (HostId h = 0; h < k; ++h) {
+      const auto& counts = countsFrom_[h];
+      for (size_t idx = 0; idx < counts.size(); ++idx) {
+        if (counts[idx] == 0) {
+          continue;
+        }
+        const uint64_t gid = ranges_[h].nodeBegin + idx;
+        localOutCount[result_.globalToLocal.at(gid)] += counts[idx];
+        if (h != me_) {
+          expectedRemoteEdges_ += counts[idx];
+        }
+      }
+    }
+    localRowStart_ = support::parallelExclusivePrefixSum(
+        localOutCount, config_.threadsPerHost);
+    localDests_.assign(localRowStart_.back(), 0);
+    if (file_.hasEdgeData()) {
+      localEdgeData_.assign(localRowStart_.back(), 0);
+    }
+    insertCursor_ =
+        std::vector<std::atomic<uint64_t>>(result_.localToGlobal.size());
+    for (size_t lid = 0; lid < localOutCount.size(); ++lid) {
+      insertCursor_[lid].store(localRowStart_[lid],
+                               std::memory_order_relaxed);
+    }
+
+    // Exchange master/mirror synchronization metadata: each host tells the
+    // owner of every mirror it created; owners record the broadcast lists.
+    result_.myMirrorsByOwner.assign(k, {});
+    result_.mirrorsOnHost.assign(k, {});
+    for (uint64_t lid = result_.numMasters;
+         lid < result_.localToGlobal.size(); ++lid) {
+      result_.myMirrorsByOwner[result_.masterHostOfLocal[lid]].push_back(lid);
+    }
+    for (HostId h = 0; h < k; ++h) {
+      if (h == me_) {
+        continue;
+      }
+      std::vector<uint64_t> gids;
+      gids.reserve(result_.myMirrorsByOwner[h].size());
+      for (uint64_t lid : result_.myMirrorsByOwner[h]) {
+        gids.push_back(result_.localToGlobal[lid]);
+      }
+      SendBuffer buf;
+      support::serialize(buf, gids);
+      net_.send(me_, h, comm::kTagMirrorToMaster, std::move(buf));
+    }
+    for (HostId h = 0; h < k; ++h) {
+      if (h == me_) {
+        continue;
+      }
+      auto msg = net_.recvFrom(me_, h, comm::kTagMirrorToMaster);
+      std::vector<uint64_t> gids;
+      support::deserialize(msg.payload, gids);
+      auto& lids = result_.mirrorsOnHost[h];
+      lids.reserve(gids.size());
+      for (uint64_t gid : gids) {
+        lids.push_back(result_.globalToLocal.at(gid));
+      }
+    }
+
+    // Reset partitioning state so construction's getEdgeOwner calls see the
+    // same values edge assignment saw (paper IV-B4).
+    state_.reset();
+  }
+
+  // ---- phase 5: graph construction (paper Algorithm 4) -------------------
+
+  void phaseGraphConstruction() {
+    const bool withData = file_.hasEdgeData();
+
+    // Dedicated receiver (the paper's communication thread, IV-D1): drains
+    // edge batches while the main thread streams and sends.
+    std::exception_ptr receiverError;
+    std::thread receiver([&] {
+      try {
+        uint64_t received = 0;
+        while (received < expectedRemoteEdges_) {
+          auto msg = net_.recv(me_, comm::kTagEdgeBatch);
+          while (!msg.payload.exhausted()) {
+            uint64_t srcGid = 0;
+            std::vector<uint64_t> dsts;
+            std::vector<uint32_t> weights;
+            support::deserialize(msg.payload, srcGid);
+            if (config_.compressEdgeBatches) {
+              const auto block =
+                  support::deserializeVarintBlock(msg.payload);
+              size_t offset = 0;
+              dsts = support::decodeSortedIds(block, offset);
+            } else {
+              support::deserialize(msg.payload, dsts);
+            }
+            if (withData) {
+              support::deserialize(msg.payload, weights);
+            }
+            insertEdges(srcGid, dsts, weights);
+            received += dsts.size();
+          }
+        }
+      } catch (...) {
+        receiverError = std::current_exception();
+      }
+    });
+
+    if (windowedMode()) {
+      // Windowed mode replays the exact priority order of edge assignment
+      // (same initial state, same scores), shipping one edge per record.
+      comm::BufferedSender sender(net_, me_, comm::kTagEdgeBatch,
+                                  config_.messageBufferThreshold);
+      forEachEdgeWindowed([&](uint64_t s, uint64_t e) {
+        const uint64_t d = winDests_[e];
+        const uint32_t owner =
+            policy_.edge.fn(prop_, s, d, masterOf(s), masterOf(d), state_);
+        std::vector<uint64_t> oneDst{d};
+        std::vector<uint32_t> oneWeight =
+            withData ? std::vector<uint32_t>{winEdgeData_[e]}
+                     : std::vector<uint32_t>{};
+        if (owner == me_) {
+          insertEdges(s, oneDst, oneWeight);
+        } else {
+          sendRecord(sender, owner, s, oneDst, oneWeight, withData);
+        }
+      });
+      sender.flushAll();
+      receiver.join();
+      if (receiverError) {
+        std::rethrow_exception(receiverError);
+      }
+      sortRows(withData);
+      graph::CsrGraph localWindowed(std::move(localRowStart_),
+                                    std::move(localDests_),
+                                    std::move(localEdgeData_));
+      if (config_.buildTranspose) {
+        result_.graph = localWindowed.transpose();
+        result_.isTransposed = true;
+      } else {
+        result_.graph = std::move(localWindowed);
+      }
+      return;
+    }
+
+    const unsigned threads =
+        policy_.edge.usesState ? 1 : config_.threadsPerHost;
+    support::parallelForBlocked(
+        0, myNumNodes(),
+        [&](unsigned, uint64_t lo, uint64_t hi) {
+          // Thread-local buffered senders and scratch (paper IV-C3: each
+          // thread serializes into its own buffer).
+          comm::BufferedSender sender(net_, me_, comm::kTagEdgeBatch,
+                                      config_.messageBufferThreshold);
+          std::vector<std::vector<uint64_t>> dstsFor(numHosts());
+          std::vector<std::vector<uint32_t>> weightsFor(numHosts());
+          for (uint64_t idx = lo; idx < hi; ++idx) {
+            const uint64_t s = myRange_.nodeBegin + idx;
+            const uint32_t sMaster = masterOf(s);
+            const auto [eBegin, eEnd] = windowEdges(s);
+            if (eBegin == eEnd) {
+              continue;
+            }
+            for (auto& v : dstsFor) {
+              v.clear();
+            }
+            for (auto& v : weightsFor) {
+              v.clear();
+            }
+            for (uint64_t e = eBegin; e < eEnd; ++e) {
+              const uint64_t d = winDests_[e];
+              const uint32_t owner = policy_.edge.fn(prop_, s, d, sMaster,
+                                                     masterOf(d), state_);
+              dstsFor[owner].push_back(d);
+              if (withData) {
+                weightsFor[owner].push_back(winEdgeData_[e]);
+              }
+            }
+            for (HostId h = 0; h < numHosts(); ++h) {
+              if (dstsFor[h].empty()) {
+                continue;
+              }
+              if (h == me_) {
+                insertEdges(s, dstsFor[h], weightsFor[h]);
+              } else {
+                sendRecord(sender, h, s, dstsFor[h], weightsFor[h],
+                           withData);
+              }
+            }
+          }
+          sender.flushAll();
+        },
+        threads);
+    receiver.join();
+    if (receiverError) {
+      std::rethrow_exception(receiverError);
+    }
+
+    // Canonicalize rows (arrival order is nondeterministic) and finalize.
+    sortRows(withData);
+    graph::CsrGraph local(std::move(localRowStart_), std::move(localDests_),
+                          std::move(localEdgeData_));
+    if (config_.buildTranspose) {
+      result_.graph = local.transpose();
+      result_.isTransposed = true;
+    } else {
+      result_.graph = std::move(local);
+    }
+  }
+
+  void insertEdges(uint64_t srcGid, const std::vector<uint64_t>& dsts,
+                   const std::vector<uint32_t>& weights) {
+    const uint64_t srcLid = result_.globalToLocal.at(srcGid);
+    const uint64_t base = insertCursor_[srcLid].fetch_add(
+        dsts.size(), std::memory_order_relaxed);
+    for (size_t i = 0; i < dsts.size(); ++i) {
+      localDests_[base + i] = result_.globalToLocal.at(dsts[i]);
+      if (!weights.empty()) {
+        localEdgeData_[base + i] = weights[i];
+      }
+    }
+  }
+
+  // Serializes one (src, dsts..., weights...) record into the buffered
+  // sender, optionally delta+varint coding the destinations (sorted
+  // together with their weights; final rows are re-sorted anyway).
+  void sendRecord(comm::BufferedSender& sender, HostId dst, uint64_t srcGid,
+                  std::vector<uint64_t>& dsts, std::vector<uint32_t>& weights,
+                  bool withData) {
+    if (config_.compressEdgeBatches) {
+      if (withData) {
+        std::vector<std::pair<uint64_t, uint32_t>> paired(dsts.size());
+        for (size_t i = 0; i < dsts.size(); ++i) {
+          paired[i] = {dsts[i], weights[i]};
+        }
+        std::sort(paired.begin(), paired.end());
+        for (size_t i = 0; i < paired.size(); ++i) {
+          dsts[i] = paired[i].first;
+          weights[i] = paired[i].second;
+        }
+      } else {
+        std::sort(dsts.begin(), dsts.end());
+      }
+      const std::vector<uint8_t> block = support::encodeSortedIds(dsts);
+      if (withData) {
+        sender.append(dst, srcGid, block, weights);
+      } else {
+        sender.append(dst, srcGid, block);
+      }
+    } else if (withData) {
+      sender.append(dst, srcGid, dsts, weights);
+    } else {
+      sender.append(dst, srcGid, dsts);
+    }
+  }
+
+  void sortRows(bool withData) {
+    support::parallelFor(
+        0, result_.localToGlobal.size(),
+        [&](uint64_t lid) {
+          const uint64_t lo = localRowStart_[lid];
+          const uint64_t hi = localRowStart_[lid + 1];
+          if (withData) {
+            std::vector<std::pair<uint64_t, uint32_t>> row;
+            row.reserve(hi - lo);
+            for (uint64_t e = lo; e < hi; ++e) {
+              row.emplace_back(localDests_[e], localEdgeData_[e]);
+            }
+            std::sort(row.begin(), row.end());
+            for (uint64_t e = lo; e < hi; ++e) {
+              localDests_[e] = row[e - lo].first;
+              localEdgeData_[e] = row[e - lo].second;
+            }
+          } else {
+            std::sort(localDests_.begin() + static_cast<ptrdiff_t>(lo),
+                      localDests_.begin() + static_cast<ptrdiff_t>(hi));
+          }
+        },
+        config_.threadsPerHost);
+  }
+
+  // --- inputs ---
+  comm::Network& net_;
+  const HostId me_;
+  const graph::GraphFile& file_;
+  const PartitionPolicy& policy_;
+  const PartitionerConfig& config_;
+  support::PhaseTimes& phaseTimes_;
+  GraphProperties prop_;
+  double modeledDiskSeconds_ = 0.0;
+
+  // --- reading phase ---
+  std::vector<ReadRange> ranges_;
+  ReadRange myRange_;
+  std::vector<uint64_t> winRowStart_;  // global edge offsets, rebased view
+  std::vector<uint64_t> winDests_;
+  std::vector<uint32_t> winEdgeData_;
+
+  // --- master assignment ---
+  PartitionState state_;
+  std::vector<std::atomic<uint32_t>> masterOfMine_;  // stateful rules only
+  std::unordered_map<uint64_t, uint32_t> remoteMasters_;
+
+  // --- edge assignment / allocation ---
+  std::vector<std::vector<uint64_t>> outCounts_;   // [host][window index]
+  std::vector<std::vector<uint64_t>> countsFrom_;  // [host][their index]
+  std::unordered_map<uint64_t, uint32_t> mirrorMasterHost_;
+  std::vector<uint64_t> myMasterNodes_;
+  uint64_t expectedRemoteEdges_ = 0;
+
+  // --- construction ---
+  std::vector<uint64_t> localRowStart_;
+  std::vector<uint64_t> localDests_;
+  std::vector<uint32_t> localEdgeData_;
+  std::vector<std::atomic<uint64_t>> insertCursor_;
+
+  DistGraph result_;
+};
+
+}  // namespace
+
+DistGraph partitionOnHost(comm::Network& net, comm::HostId me,
+                          const graph::GraphFile& file,
+                          const PartitionPolicy& policy,
+                          const PartitionerConfig& config,
+                          support::PhaseTimes& phaseTimes) {
+  if (net.numHosts() != config.numHosts) {
+    throw std::invalid_argument(
+        "partitionOnHost: network size != config.numHosts");
+  }
+  PartitionJob job(net, me, file, policy, config, phaseTimes);
+  return job.run();
+}
+
+PartitionResult partitionGraph(const graph::GraphFile& file,
+                               const PartitionPolicy& policy,
+                               const PartitionerConfig& config) {
+  if (config.numHosts == 0) {
+    throw std::invalid_argument("partitionGraph: numHosts must be > 0");
+  }
+  comm::Network net(config.numHosts, config.networkCostModel);
+  PartitionResult result;
+  result.partitions.resize(config.numHosts);
+  std::vector<support::PhaseTimes> hostTimes(config.numHosts);
+  support::Timer total;
+  comm::runHosts(net, [&](comm::HostId me) {
+    result.partitions[me] =
+        partitionOnHost(net, me, file, policy, config, hostTimes[me]);
+  });
+  result.wallSeconds = total.elapsedSeconds();
+  for (const auto& times : hostTimes) {
+    result.phaseTimes.maxWith(times);
+  }
+  result.totalSeconds = result.phaseTimes.total();
+  result.volume = net.statsSnapshot();
+  return result;
+}
+
+PartitionResult partitionGraphCsc(const graph::GraphFile& cscFile,
+                                  const PartitionPolicy& policy,
+                                  const PartitionerConfig& config) {
+  PartitionResult result = partitionGraph(cscFile, policy, config);
+  // The streamed file was the transpose of the logical graph, so each
+  // partition's orientation flag flips relative to the logical graph: a
+  // plain run produced in-edge rows (CSC of the logical graph), and a
+  // buildTranspose run produced out-edge rows (CSR of the logical graph).
+  for (DistGraph& part : result.partitions) {
+    part.isTransposed = !part.isTransposed;
+  }
+  return result;
+}
+
+}  // namespace cusp::core

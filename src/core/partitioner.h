@@ -1,0 +1,136 @@
+// The CuSP streaming edge partitioner: five phases over a simulated
+// distributed cluster (paper Section IV-B, Fig. 2):
+//
+//   1. Graph reading      — each host loads a contiguous, edge-balanced
+//                           window of the on-disk CSR into memory.
+//   2. Master assignment  — getMaster over read vertices; masters and
+//                           partitioning state synchronized in periodic
+//                           rounds (skipped entirely for pure rules).
+//   3. Edge assignment    — getEdgeOwner over read edges; per-host outgoing
+//                           edge counts (positional vectors, IV-D2) and
+//                           createMirror flags exchanged.
+//   4. Graph allocation   — local CSR memory allocated up front from the
+//                           received counts; global->local maps built;
+//                           partitioning state reset.
+//   5. Graph construction — edges re-streamed and shipped in large buffered
+//                           messages (IV-D3) to their owners, inserted in
+//                           parallel with atomic per-row cursors while a
+//                           dedicated receiver thread drains the network
+//                           (IV-D1); optional in-memory transpose to CSC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/network.h"
+#include "core/dist_graph.h"
+#include "core/policies.h"
+#include "graph/graph_file.h"
+#include "support/timer.h"
+
+namespace cusp::core {
+
+struct PartitionerConfig {
+  uint32_t numHosts = 4;
+
+  // Message-buffering threshold for graph construction (paper IV-D3;
+  // evaluation default 8 MB, Fig. 7 sweeps it). 0 = send immediately.
+  size_t messageBufferThreshold = 8ull << 20;
+
+  // Number of synchronization rounds in the master-assignment phase for
+  // stateful policies (paper IV-D4/V-D2; evaluation default 100).
+  uint32_t stateSyncRounds = 100;
+
+  // Reading-split importance weights (paper IV-B1: command-line arguments
+  // balancing nodes and/or edges). The default (0, 1) uses the paper's
+  // ContiguousEB-aligned edge-balanced split, which makes EEC
+  // communication-free; any other combination uses a weighted split.
+  double readNodeWeight = 0.0;
+  double readEdgeWeight = 1.0;
+
+  // Produce the partition in CSC orientation (in-memory transpose after
+  // construction; paper IV-B5).
+  bool buildTranspose = false;
+
+  // Intra-host parallelism for the assignment/construction loops.
+  unsigned threadsPerHost = 1;
+
+  // Compress graph-construction edge batches: each record's destinations
+  // are sorted and delta+varint coded (rows are canonically sorted after
+  // construction anyway, so per-record sorting is free). Cuts the
+  // construction-phase volume severalfold on dense id spaces; ablated in
+  // bench_ablation_optimizations.
+  bool compressEdgeBatches = false;
+
+  // Streaming-window mode (the ADWISE class of paper Section II-B2, left
+  // as future work there): when > 1 and the edge rule provides a
+  // windowScore, each host keeps a window of this many scanned edges and
+  // repeatedly assigns the highest-scoring one instead of the next edge in
+  // stream order. 0/1 = plain streaming.
+  uint32_t windowSize = 0;
+
+  // Ablation switch: when true, pure master rules are NOT detected and the
+  // full stateful machinery runs (request/assignment exchanges, master-list
+  // exchange) even though every host could just recompute the assignments.
+  // Results are identical; only cost changes. This isolates the paper's
+  // replicate-computation-instead-of-communication optimization (IV-D5).
+  bool disablePureMasterOptimization = false;
+
+  // Interconnect cost model for the simulated cluster (per-message
+  // overhead and bandwidth); zero-cost by default.
+  comm::NetworkCostModel networkCostModel;
+
+  // Simulated per-host disk bandwidth for the graph-reading phase, in
+  // MB/s; 0 disables throttling. The simulation's "disk" is host memory,
+  // so without this knob reading is a memcpy and the reading-dominated
+  // profile of communication-free policies (paper Fig. 4, EEC) cannot
+  // appear. Hosts read their windows concurrently, as on a parallel
+  // filesystem.
+  double simulatedDiskBandwidthMBps = 0.0;
+};
+
+struct PartitionResult {
+  std::vector<DistGraph> partitions;
+  // Per-phase simulated cluster times: each host accounts its own CPU work
+  // plus modeled communication/disk charges; the table holds the
+  // element-wise max across hosts (phases are barrier-separated).
+  support::PhaseTimes phaseTimes;
+  // Cross-host traffic for the whole run, by tag.
+  comm::VolumeStats volume;
+  // Simulated cluster makespan: sum over phases of the slowest host's time.
+  double totalSeconds = 0.0;
+  // Actual wall-clock of the simulation on this machine (all host threads
+  // time-share the local cores; useful for sanity only).
+  double wallSeconds = 0.0;
+};
+
+// Runs the full pipeline: spins up config.numHosts simulated hosts,
+// partitions `file` under `policy`, and returns all partitions plus timing
+// and communication statistics.
+PartitionResult partitionGraph(const graph::GraphFile& file,
+                               const PartitionPolicy& policy,
+                               const PartitionerConfig& config);
+
+// CSC-reading variant (paper Section III-B: every policy has a CSR and a
+// CSC variant — PowerLyra's HVC/GVC are the CSC ones, whose heuristics see
+// in-degrees/in-edges). `cscFile` must hold the TRANSPOSE of the logical
+// graph on disk (use the converters); the partitioner streams it exactly
+// like a CSR file, so "out" in every rule means "in" of the logical graph.
+// The returned partitions are labeled with the logical orientation:
+// without config.buildTranspose their local rows are in-edges
+// (isTransposed = true); with it, the in-memory transpose restores out-edge
+// rows (isTransposed = false), ready for the analytics engine.
+PartitionResult partitionGraphCsc(const graph::GraphFile& cscFile,
+                                  const PartitionPolicy& policy,
+                                  const PartitionerConfig& config);
+
+// Host-level entry point for callers that already run inside a Network
+// (e.g. an analytics pipeline that partitions and then computes without
+// leaving the simulated cluster). Collective: all hosts must call it.
+DistGraph partitionOnHost(comm::Network& net, comm::HostId me,
+                          const graph::GraphFile& file,
+                          const PartitionPolicy& policy,
+                          const PartitionerConfig& config,
+                          support::PhaseTimes& phaseTimes);
+
+}  // namespace cusp::core

@@ -1,0 +1,51 @@
+// The `prop` handle queried by user-defined partitioning rules.
+//
+// Paper Section III-A: "it is convenient to assume that there is a structure
+// called prop that stores the number of desired partitions and the static
+// properties of the graph such as the number of nodes and edges, the
+// outgoing edges or neighbors of a node, and the out-degree of a node."
+//
+// GraphProperties is backed by the on-disk CSR graph (GraphFile), which all
+// hosts can query — the real system serves these queries from the
+// disk-resident index arrays. It is immutable and shared read-only across
+// host threads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph_file.h"
+
+namespace cusp::core {
+
+class GraphProperties {
+ public:
+  GraphProperties(const graph::GraphFile& file, uint32_t numPartitions)
+      : file_(&file), numPartitions_(numPartitions) {}
+
+  uint64_t getNumNodes() const { return file_->numNodes(); }
+  uint64_t getNumEdges() const { return file_->numEdges(); }
+  uint32_t getNumPartitions() const { return numPartitions_; }
+
+  uint64_t getNodeOutDegree(uint64_t node) const {
+    return file_->outDegree(node);
+  }
+
+  // Global id of the node's k-th outgoing edge (paper's
+  // prop.getNodeOutEdge(nodeId, k); ContiguousEB uses k = 0).
+  uint64_t getNodeOutEdge(uint64_t node, uint64_t k) const {
+    return file_->firstOutEdge(node) + k;
+  }
+
+  std::span<const uint64_t> getNodeOutNeighbors(uint64_t node) const {
+    return file_->outNeighbors(node);
+  }
+
+  const graph::GraphFile& file() const { return *file_; }
+
+ private:
+  const graph::GraphFile* file_;
+  uint32_t numPartitions_;
+};
+
+}  // namespace cusp::core

@@ -1,0 +1,244 @@
+// Partitioning state for history-sensitive policies.
+//
+// Paper Section III-A: "Each partitioning rule can define its own custom
+// type to track the state that can be queried and updated by it. CuSP
+// transparently synchronizes this state across hosts."
+//
+// PartitionState holds two kinds of user state:
+//
+//  * named per-partition int64 counters (FennelEB uses "nodes" and
+//    "edges"): each host keeps a synced global base plus a local atomic
+//    delta; rules read base+delta (the host's current view) and add to the
+//    delta; reconciliation sums deltas across hosts.
+//
+//  * an optional per-node partition bitmask store ("replica sets",
+//    requires numPartitions <= 64): vertex-cut heuristics like HDRF and
+//    PowerGraph's Greedy score an edge by which partitions already hold
+//    replicas of its endpoints; reconciliation OR-merges masks across
+//    hosts.
+//
+// synchronize() reconciles both kinds in one bulk-synchronous step (paper
+// Section IV-D4); exchangeAsync()/finishExchanges() do the same without
+// barriers for master-assignment rounds (IV-D5). reset() restores initial
+// values so that re-running a phase (graph construction replays edge
+// assignment) observes the same state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/network.h"
+
+namespace cusp::core {
+
+class PartitionState {
+ public:
+  using CounterId = uint32_t;
+  static constexpr CounterId kInvalidCounter = UINT32_MAX;
+
+  PartitionState() = default;
+
+  // --- setup (before partitioning starts) ---
+
+  CounterId registerCounter(const std::string& name) {
+    for (CounterId i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) {
+        return i;
+      }
+    }
+    names_.push_back(name);
+    return static_cast<CounterId>(names_.size() - 1);
+  }
+
+  CounterId counterId(const std::string& name) const {
+    for (CounterId i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) {
+        return i;
+      }
+    }
+    return kInvalidCounter;
+  }
+
+  // Opts into the per-node partition-mask store (HDRF/Greedy-style replica
+  // tracking). Must be called before initialize().
+  void enableNodeMasks() { nodeMasksEnabled_ = true; }
+  bool nodeMasksEnabled() const { return nodeMasksEnabled_; }
+
+  // Sizes every counter for `numPartitions` entries, zeroed.
+  void initialize(uint32_t numPartitions) {
+    if (nodeMasksEnabled_ && numPartitions > 64) {
+      throw std::invalid_argument(
+          "PartitionState: node masks support at most 64 partitions");
+    }
+    numPartitions_ = numPartitions;
+    base_.assign(names_.size() * numPartitions, 0);
+    delta_ = std::vector<std::atomic<int64_t>>(names_.size() * numPartitions);
+    masks_.clear();
+    maskDeltas_.clear();
+  }
+
+  bool empty() const { return names_.empty() && !nodeMasksEnabled_; }
+  uint32_t numCounters() const { return static_cast<uint32_t>(names_.size()); }
+  uint32_t numPartitions() const { return numPartitions_; }
+  const std::vector<std::string>& counterNames() const { return names_; }
+
+  // --- rule-facing API (thread-safe) ---
+
+  int64_t read(CounterId counter, uint32_t partition) const {
+    const size_t slot = index(counter, partition);
+    return base_[slot] + delta_[slot].load(std::memory_order_relaxed);
+  }
+
+  void add(CounterId counter, uint32_t partition, int64_t value) {
+    delta_[index(counter, partition)].fetch_add(value,
+                                                std::memory_order_relaxed);
+  }
+
+  // Bitmask of partitions known (to this host's view) to hold a replica of
+  // `node`; bit p set <=> partition p has one. 0 if the node is unseen.
+  uint64_t nodeMask(uint64_t node) const {
+    std::lock_guard<std::mutex> lock(maskMutex_);
+    auto it = masks_.find(node);
+    return it == masks_.end() ? 0 : it->second;
+  }
+
+  // Records that partitions in `bits` now hold replicas of `node`.
+  void orNodeMask(uint64_t node, uint64_t bits) {
+    std::lock_guard<std::mutex> lock(maskMutex_);
+    masks_[node] |= bits;
+    maskDeltas_[node] |= bits;
+  }
+
+  // --- partitioner-facing API ---
+
+  // Bulk-synchronous reconciliation: ships this host's deltas (counter
+  // sums and mask OR-updates) to every other host and blocks until every
+  // host's deltas for every round so far have been absorbed. Collective:
+  // every host must call it the same number of times.
+  void synchronize(comm::Network& net, comm::HostId me) {
+    exchangeAsync(net, me);
+    finishExchanges(net, me);
+  }
+
+  // Asynchronous reconciliation used inside master-assignment rounds (paper
+  // IV-D5: no barriers between rounds). Folds the local deltas into the
+  // base, ships them to every other host (fire-and-forget), and absorbs
+  // whatever deltas have already arrived without blocking.
+  void exchangeAsync(comm::Network& net, comm::HostId me) {
+    if (empty() || net.numHosts() == 1) {
+      return;
+    }
+    std::vector<int64_t> deltas(base_.size());
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      deltas[i] = delta_[i].exchange(0, std::memory_order_relaxed);
+      base_[i] += deltas[i];
+    }
+    std::vector<uint64_t> maskNodes;
+    std::vector<uint64_t> maskBits;
+    if (nodeMasksEnabled_) {
+      std::lock_guard<std::mutex> lock(maskMutex_);
+      maskNodes.reserve(maskDeltas_.size());
+      maskBits.reserve(maskDeltas_.size());
+      for (const auto& [node, bits] : maskDeltas_) {
+        maskNodes.push_back(node);
+        maskBits.push_back(bits);
+      }
+      maskDeltas_.clear();
+    }
+    for (comm::HostId h = 0; h < net.numHosts(); ++h) {
+      if (h == me) {
+        continue;
+      }
+      support::SendBuffer buf;
+      support::serializeAll(buf, deltas, maskNodes, maskBits);
+      net.send(me, h, comm::kTagStateReduce, std::move(buf));
+    }
+    ++roundsSent_;
+    drainPending(net, me);
+  }
+
+  // Absorbs queued delta messages without blocking.
+  void drainPending(comm::Network& net, comm::HostId me) {
+    while (auto msg = net.tryRecv(me, comm::kTagStateReduce)) {
+      absorb(*msg);
+    }
+  }
+
+  // Blocks until every exchange round initiated so far has been absorbed
+  // from every peer (all hosts run the same number of rounds); call after
+  // the last round so no deltas leak into later phases.
+  void finishExchanges(comm::Network& net, comm::HostId me) {
+    if (empty() || net.numHosts() == 1) {
+      return;
+    }
+    const uint64_t expected = roundsSent_ * (net.numHosts() - 1);
+    while (received_ < expected) {
+      auto msg = net.recv(me, comm::kTagStateReduce);
+      absorb(msg);
+    }
+  }
+
+  uint64_t deltaMessagesReceived() const { return received_; }
+
+  // Restores initial (zero/empty) values; paper Section IV-B4.
+  void reset() {
+    std::fill(base_.begin(), base_.end(), 0);
+    for (auto& d : delta_) {
+      d.store(0, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(maskMutex_);
+    masks_.clear();
+    maskDeltas_.clear();
+  }
+
+ private:
+  void absorb(comm::Message& msg) {
+    std::vector<int64_t> deltas;
+    std::vector<uint64_t> maskNodes;
+    std::vector<uint64_t> maskBits;
+    support::deserializeAll(msg.payload, deltas, maskNodes, maskBits);
+    if (deltas.size() != base_.size()) {
+      throw std::logic_error("PartitionState: mismatched delta vector");
+    }
+    for (size_t i = 0; i < base_.size(); ++i) {
+      base_[i] += deltas[i];
+    }
+    if (!maskNodes.empty()) {
+      // Remote masks go into the merged view only, not back into the
+      // outgoing deltas (every host already ships its own updates to
+      // everyone, so re-forwarding would only duplicate traffic).
+      std::lock_guard<std::mutex> lock(maskMutex_);
+      for (size_t i = 0; i < maskNodes.size(); ++i) {
+        masks_[maskNodes[i]] |= maskBits[i];
+      }
+    }
+    ++received_;
+  }
+
+  size_t index(CounterId counter, uint32_t partition) const {
+    if (counter >= names_.size() || partition >= numPartitions_) {
+      throw std::out_of_range("PartitionState: bad counter/partition");
+    }
+    return static_cast<size_t>(counter) * numPartitions_ + partition;
+  }
+
+  std::vector<std::string> names_;
+  uint32_t numPartitions_ = 0;
+  std::vector<int64_t> base_;
+  std::vector<std::atomic<int64_t>> delta_;
+  uint64_t received_ = 0;
+  uint64_t roundsSent_ = 0;
+
+  bool nodeMasksEnabled_ = false;
+  mutable std::mutex maskMutex_;
+  std::unordered_map<uint64_t, uint64_t> masks_;       // merged view
+  std::unordered_map<uint64_t, uint64_t> maskDeltas_;  // unsent local updates
+};
+
+}  // namespace cusp::core

@@ -1,0 +1,31 @@
+// Umbrella header for the CuSP library: include this to get the whole
+// public API (namespace cusp::*).
+//
+//   graph::      CSR graphs, binary/text formats, converters, generators
+//   comm::       simulated message-passing runtime and cost model
+//   core::       the CuSP streaming partitioner, policies, DistGraph
+//   xtrapulp::   the offline label-propagation baseline
+//   analytics::  D-Galois-style BSP engine: bfs / cc / pagerank / sssp
+//   support::    parallel loops, prefix sums, bitsets, serialization, RNG
+#pragma once
+
+#include "analytics/algorithms.h"
+#include "analytics/engine.h"
+#include "analytics/reference.h"
+#include "comm/network.h"
+#include "core/dist_graph.h"
+#include "core/partitioner.h"
+#include "core/policies.h"
+#include "core/properties.h"
+#include "core/state.h"
+#include "graph/csr_graph.h"
+#include "graph/edge_list.h"
+#include "graph/generators.h"
+#include "graph/graph_file.h"
+#include "support/bitset.h"
+#include "support/logging.h"
+#include "support/prefix_sum.h"
+#include "support/random.h"
+#include "support/serialize.h"
+#include "support/threading.h"
+#include "support/timer.h"

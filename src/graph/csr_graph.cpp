@@ -1,0 +1,152 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cusp::graph {
+
+CsrGraph::CsrGraph(std::vector<EdgeId> rowStart, std::vector<NodeId> dests,
+                   std::vector<uint32_t> edgeData)
+    : numNodes_(rowStart.empty() ? 0 : rowStart.size() - 1),
+      rowStart_(std::move(rowStart)),
+      dests_(std::move(dests)),
+      edgeData_(std::move(edgeData)) {
+  if (rowStart_.empty()) {
+    throw std::invalid_argument("CsrGraph: rowStart must have >= 1 entry");
+  }
+  if (rowStart_.front() != 0 || rowStart_.back() != dests_.size()) {
+    throw std::invalid_argument("CsrGraph: rowStart does not frame dests");
+  }
+  if (!std::is_sorted(rowStart_.begin(), rowStart_.end())) {
+    throw std::invalid_argument("CsrGraph: rowStart must be non-decreasing");
+  }
+  if (!edgeData_.empty() && edgeData_.size() != dests_.size()) {
+    throw std::invalid_argument("CsrGraph: edgeData length mismatch");
+  }
+  for (NodeId dst : dests_) {
+    if (dst >= numNodes_) {
+      throw std::invalid_argument("CsrGraph: destination out of range");
+    }
+  }
+}
+
+CsrGraph CsrGraph::fromEdges(NodeId numNodes, std::span<const Edge> edges,
+                             bool withEdgeData) {
+  std::vector<EdgeId> degree(numNodes, 0);
+  for (const Edge& e : edges) {
+    if (e.src >= numNodes || e.dst >= numNodes) {
+      throw std::invalid_argument("CsrGraph::fromEdges: endpoint out of range");
+    }
+    ++degree[e.src];
+  }
+  std::vector<EdgeId> rowStart(numNodes + 1, 0);
+  for (NodeId v = 0; v < numNodes; ++v) {
+    rowStart[v + 1] = rowStart[v] + degree[v];
+  }
+  std::vector<NodeId> dests(edges.size());
+  std::vector<uint32_t> edgeData;
+  if (withEdgeData) {
+    edgeData.resize(edges.size());
+  }
+  std::vector<EdgeId> cursor(rowStart.begin(), rowStart.end() - 1);
+  for (const Edge& e : edges) {
+    const EdgeId slot = cursor[e.src]++;
+    dests[slot] = e.dst;
+    if (withEdgeData) {
+      edgeData[slot] = e.data;
+    }
+  }
+  return CsrGraph(std::move(rowStart), std::move(dests), std::move(edgeData));
+}
+
+CsrGraph CsrGraph::transpose() const {
+  std::vector<EdgeId> inDegree(numNodes_, 0);
+  for (NodeId dst : dests_) {
+    ++inDegree[dst];
+  }
+  std::vector<EdgeId> rowStart(numNodes_ + 1, 0);
+  for (NodeId v = 0; v < numNodes_; ++v) {
+    rowStart[v + 1] = rowStart[v] + inDegree[v];
+  }
+  std::vector<NodeId> dests(dests_.size());
+  std::vector<uint32_t> edgeData;
+  if (!edgeData_.empty()) {
+    edgeData.resize(edgeData_.size());
+  }
+  std::vector<EdgeId> cursor(rowStart.begin(), rowStart.end() - 1);
+  for (NodeId src = 0; src < numNodes_; ++src) {
+    for (EdgeId e = rowStart_[src]; e < rowStart_[src + 1]; ++e) {
+      const EdgeId slot = cursor[dests_[e]]++;
+      dests[slot] = src;
+      if (!edgeData_.empty()) {
+        edgeData[slot] = edgeData_[e];
+      }
+    }
+  }
+  return CsrGraph(std::move(rowStart), std::move(dests), std::move(edgeData));
+}
+
+std::vector<Edge> CsrGraph::toEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(dests_.size());
+  for (NodeId src = 0; src < numNodes_; ++src) {
+    for (EdgeId e = rowStart_[src]; e < rowStart_[src + 1]; ++e) {
+      edges.push_back(Edge{src, dests_[e], edgeData(e)});
+    }
+  }
+  return edges;
+}
+
+CsrGraph CsrGraph::symmetrized() const {
+  std::vector<Edge> edges = toEdges();
+  const size_t forward = edges.size();
+  edges.reserve(forward * 2);
+  for (size_t i = 0; i < forward; ++i) {
+    edges.push_back(Edge{edges[i].dst, edges[i].src, edges[i].data});
+  }
+  return fromEdges(numNodes_, edges, hasEdgeData());
+}
+
+CsrGraph CsrGraph::simpleSymmetrized() const {
+  std::vector<Edge> edges;
+  edges.reserve(dests_.size() * 2);
+  for (NodeId src = 0; src < numNodes_; ++src) {
+    for (EdgeId e = rowStart_[src]; e < rowStart_[src + 1]; ++e) {
+      const NodeId dst = dests_[e];
+      if (src != dst) {
+        edges.push_back(Edge{src, dst, 0});
+        edges.push_back(Edge{dst, src, 0});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return fromEdges(numNodes_, edges);
+}
+
+GraphStats computeStats(const CsrGraph& graph) {
+  GraphStats stats;
+  stats.numNodes = graph.numNodes();
+  stats.numEdges = graph.numEdges();
+  stats.avgOutDegree =
+      stats.numNodes == 0
+          ? 0.0
+          : static_cast<double>(stats.numEdges) / static_cast<double>(stats.numNodes);
+  std::vector<EdgeId> inDegree(graph.numNodes(), 0);
+  for (NodeId v = 0; v < graph.numNodes(); ++v) {
+    const EdgeId out = graph.outDegree(v);
+    stats.maxOutDegree = std::max(stats.maxOutDegree, out);
+    for (NodeId n : graph.outNeighbors(v)) {
+      ++inDegree[n];
+    }
+  }
+  for (NodeId v = 0; v < graph.numNodes(); ++v) {
+    stats.maxInDegree = std::max(stats.maxInDegree, inDegree[v]);
+    if (graph.outDegree(v) == 0 && inDegree[v] == 0) {
+      ++stats.numIsolatedNodes;
+    }
+  }
+  return stats;
+}
+
+}  // namespace cusp::graph

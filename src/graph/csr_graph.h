@@ -1,0 +1,112 @@
+// In-memory graph in Compressed Sparse Row form.
+//
+// This is the substrate format of the whole repository: the on-disk graph
+// format mirrors it, CuSP builds one CsrGraph per host as the partition
+// output, and the analytics engine iterates it. Nodes and edges are 64-bit
+// (the paper partitions graphs with 128B edges); edge data is an optional
+// parallel array of uint32 weights (used by sssp).
+//
+// A CSC graph is represented as the CsrGraph of the transpose: "out-edges in
+// CSC" are "in-edges in CSR" (paper Section III-A).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cusp::graph {
+
+using NodeId = uint64_t;
+using EdgeId = uint64_t;
+
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  uint32_t data = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  // Takes ownership of prebuilt arrays. rowStart must have numNodes+1
+  // entries with rowStart[0] == 0 and rowStart[numNodes] == dests.size();
+  // edgeData must be empty or the same length as dests.
+  CsrGraph(std::vector<EdgeId> rowStart, std::vector<NodeId> dests,
+           std::vector<uint32_t> edgeData = {});
+
+  // Builds from an unsorted edge list via counting sort (stable within a
+  // source: edges keep their relative input order).
+  static CsrGraph fromEdges(NodeId numNodes, std::span<const Edge> edges,
+                            bool withEdgeData = false);
+  static CsrGraph fromEdges(NodeId numNodes, const std::vector<Edge>& edges,
+                            bool withEdgeData = false) {
+    return fromEdges(numNodes, std::span<const Edge>(edges), withEdgeData);
+  }
+
+  NodeId numNodes() const { return numNodes_; }
+  EdgeId numEdges() const { return static_cast<EdgeId>(dests_.size()); }
+  bool hasEdgeData() const { return !edgeData_.empty(); }
+
+  EdgeId edgeBegin(NodeId node) const { return rowStart_[node]; }
+  EdgeId edgeEnd(NodeId node) const { return rowStart_[node + 1]; }
+  EdgeId outDegree(NodeId node) const {
+    return rowStart_[node + 1] - rowStart_[node];
+  }
+  NodeId edgeDst(EdgeId edge) const { return dests_[edge]; }
+  uint32_t edgeData(EdgeId edge) const {
+    return edgeData_.empty() ? 0 : edgeData_[edge];
+  }
+
+  std::span<const NodeId> outNeighbors(NodeId node) const {
+    return std::span<const NodeId>(dests_.data() + rowStart_[node],
+                                   rowStart_[node + 1] - rowStart_[node]);
+  }
+
+  std::span<const EdgeId> rowStarts() const { return rowStart_; }
+  std::span<const NodeId> destinations() const { return dests_; }
+  std::span<const uint32_t> edgeDataArray() const { return edgeData_; }
+
+  // In-memory transpose (paper: CSC is constructed from CSR without
+  // communication). Edge data follows its edge. Within each transpose row,
+  // edges are ordered by original source then original position, which makes
+  // transpose(transpose(g)) == g for graphs whose rows are sorted.
+  CsrGraph transpose() const;
+
+  // Materializes all edges in CSR order.
+  std::vector<Edge> toEdges() const;
+
+  // Undirected view: union of edges of g and transpose(g), duplicates kept.
+  CsrGraph symmetrized() const;
+
+  // Simple undirected view: symmetrized, self loops removed, duplicate
+  // edges collapsed (edge data dropped). The canonical input for triangle
+  // counting.
+  CsrGraph simpleSymmetrized() const;
+
+  // Structural equality (same adjacency arrays and edge data).
+  friend bool operator==(const CsrGraph&, const CsrGraph&) = default;
+
+ private:
+  NodeId numNodes_ = 0;
+  std::vector<EdgeId> rowStart_{0};
+  std::vector<NodeId> dests_;
+  std::vector<uint32_t> edgeData_;
+};
+
+// Degree and shape statistics (paper Table III reports these per input).
+struct GraphStats {
+  NodeId numNodes = 0;
+  EdgeId numEdges = 0;
+  double avgOutDegree = 0.0;
+  EdgeId maxOutDegree = 0;
+  EdgeId maxInDegree = 0;
+  NodeId numIsolatedNodes = 0;
+};
+
+GraphStats computeStats(const CsrGraph& graph);
+
+}  // namespace cusp::graph

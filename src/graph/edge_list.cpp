@@ -1,0 +1,123 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cusp::graph {
+
+namespace {
+
+// Parses one unsigned integer token from [pos, line.size()); advances pos
+// past the token. Returns false if the line is exhausted (only whitespace
+// remains). Throws on a malformed token.
+bool parseToken(const std::string& line, size_t& pos, uint64_t& value,
+                size_t lineNo) {
+  while (pos < line.size() &&
+         (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+    ++pos;
+  }
+  if (pos >= line.size()) {
+    return false;
+  }
+  const char* begin = line.data() + pos;
+  const char* end = line.data() + line.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr == begin) {
+    throw std::runtime_error("edge list: malformed token at line " +
+                             std::to_string(lineNo));
+  }
+  pos = static_cast<size_t>(ptr - line.data());
+  if (pos < line.size() && line[pos] != ' ' && line[pos] != '\t' &&
+      line[pos] != '\r') {
+    throw std::runtime_error("edge list: trailing garbage at line " +
+                             std::to_string(lineNo));
+  }
+  return true;
+}
+
+}  // namespace
+
+EdgeListParseResult parseEdgeList(std::istream& in) {
+  EdgeListParseResult result;
+  std::string line;
+  size_t lineNo = 0;
+  NodeId maxId = 0;
+  bool sawAny = false;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    size_t pos = 0;
+    while (pos < line.size() &&
+           (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+      ++pos;
+    }
+    if (pos >= line.size() || line[pos] == '#' || line[pos] == '%') {
+      continue;
+    }
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    uint64_t weight = 0;
+    if (!parseToken(line, pos, src, lineNo)) {
+      continue;
+    }
+    if (!parseToken(line, pos, dst, lineNo)) {
+      throw std::runtime_error("edge list: missing destination at line " +
+                               std::to_string(lineNo));
+    }
+    Edge edge{src, dst, 0};
+    if (parseToken(line, pos, weight, lineNo)) {
+      edge.data = static_cast<uint32_t>(weight);
+      result.sawWeights = true;
+      uint64_t extra = 0;
+      if (parseToken(line, pos, extra, lineNo)) {
+        throw std::runtime_error("edge list: too many fields at line " +
+                                 std::to_string(lineNo));
+      }
+    }
+    maxId = std::max({maxId, edge.src, edge.dst});
+    sawAny = true;
+    result.edges.push_back(edge);
+  }
+  result.numNodes = sawAny ? maxId + 1 : 0;
+  return result;
+}
+
+EdgeListParseResult parseEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("edge list: cannot open " + path);
+  }
+  return parseEdgeList(in);
+}
+
+void writeEdgeList(std::ostream& out, const CsrGraph& graph) {
+  for (NodeId src = 0; src < graph.numNodes(); ++src) {
+    for (EdgeId e = graph.edgeBegin(src); e < graph.edgeEnd(src); ++e) {
+      out << src << ' ' << graph.edgeDst(e);
+      if (graph.hasEdgeData()) {
+        out << ' ' << graph.edgeData(e);
+      }
+      out << '\n';
+    }
+  }
+}
+
+void writeEdgeListFile(const std::string& path, const CsrGraph& graph) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("edge list: cannot create " + path);
+  }
+  writeEdgeList(out, graph);
+  if (!out) {
+    throw std::runtime_error("edge list: write failed for " + path);
+  }
+}
+
+CsrGraph edgeListToCsr(const EdgeListParseResult& parsed, bool keepWeights) {
+  return CsrGraph::fromEdges(parsed.numNodes, parsed.edges,
+                             keepWeights && parsed.sawWeights);
+}
+
+}  // namespace cusp::graph

@@ -1,0 +1,38 @@
+// Text edge-list input/output and format converters.
+//
+// The paper notes that CuSP "provides converters between these [CSR/CSC] and
+// other graph formats like edge-lists". The text format is one edge per
+// line: "src dst [weight]", '#' or '%' comment lines ignored, whitespace
+// separated. Node ids are zero-based; the node count is 1 + max id unless
+// given explicitly.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace cusp::graph {
+
+struct EdgeListParseResult {
+  std::vector<Edge> edges;
+  NodeId numNodes = 0;   // 1 + max endpoint seen (or explicit override)
+  bool sawWeights = false;
+};
+
+// Parses an edge-list stream. Throws std::runtime_error on malformed lines
+// (non-numeric tokens, missing dst, negative ids).
+EdgeListParseResult parseEdgeList(std::istream& in);
+EdgeListParseResult parseEdgeListFile(const std::string& path);
+
+void writeEdgeList(std::ostream& out, const CsrGraph& graph);
+void writeEdgeListFile(const std::string& path, const CsrGraph& graph);
+
+// Converters ("cusp-convert" in the example tools):
+//   edge list text  -> in-memory CSR (optionally CSC, i.e. transposed)
+CsrGraph edgeListToCsr(const EdgeListParseResult& parsed,
+                       bool keepWeights = true);
+
+}  // namespace cusp::graph

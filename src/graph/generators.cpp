@@ -1,0 +1,327 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "support/random.h"
+
+namespace cusp::graph {
+
+using support::hashU64;
+using support::Rng;
+
+namespace {
+
+// Combines a generator seed with a stream index so each item draws from an
+// independent, reproducible stream.
+Rng rngFor(uint64_t seed, uint64_t index) {
+  return Rng(hashU64(seed * 0x9e3779b97f4a7c15ULL + index + 1));
+}
+
+// Integer Pareto sample in [1, cap]: heavy-tailed out-degrees.
+uint64_t paretoInt(Rng& rng, double alpha, double xmin, uint64_t cap) {
+  const double u = rng.nextDouble();
+  const double x = xmin / std::pow(1.0 - u, 1.0 / alpha);
+  const uint64_t v = static_cast<uint64_t>(x);
+  return std::clamp<uint64_t>(v, 1, cap);
+}
+
+}  // namespace
+
+CsrGraph generateRmat(const RmatParams& params) {
+  const double sum = params.a + params.b + params.c + params.d;
+  if (std::abs(sum - 1.0) > 1e-9) {
+    throw std::invalid_argument("generateRmat: quadrant weights must sum to 1");
+  }
+  if (params.scale == 0 || params.scale > 40) {
+    throw std::invalid_argument("generateRmat: scale out of range");
+  }
+  const uint64_t numNodes = 1ull << params.scale;
+  std::vector<Edge> edges;
+  edges.reserve(params.numEdges);
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  for (uint64_t i = 0; i < params.numEdges; ++i) {
+    Rng rng = rngFor(params.seed, i);
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    for (uint32_t bit = 0; bit < params.scale; ++bit) {
+      const double r = rng.nextDouble();
+      src <<= 1;
+      dst <<= 1;
+      if (r < params.a) {
+        // top-left: neither bit set
+      } else if (r < ab) {
+        dst |= 1;
+      } else if (r < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (params.removeSelfLoops && src == dst) {
+      continue;
+    }
+    edges.push_back(Edge{src, dst, 0});
+  }
+  if (params.dedupe) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+  return CsrGraph::fromEdges(numNodes, edges);
+}
+
+CsrGraph generateWebCrawl(const WebCrawlParams& params) {
+  if (params.numNodes == 0) {
+    return CsrGraph();
+  }
+  if (params.localFraction < 0.0 || params.localFraction > 1.0) {
+    throw std::invalid_argument("generateWebCrawl: localFraction not in [0,1]");
+  }
+  const uint64_t cap = params.maxOutDegree != 0
+                           ? params.maxOutDegree
+                           : std::max<uint64_t>(4, params.numNodes / 4);
+  // Pareto with shape alpha and min xmin has mean alpha*xmin/(alpha-1);
+  // choose xmin so the mean out-degree matches the request.
+  const double xmin =
+      params.avgOutDegree * (params.outDegreeAlpha - 1.0) / params.outDegreeAlpha;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(
+      params.avgOutDegree * static_cast<double>(params.numNodes) * 1.1));
+  for (uint64_t u = 0; u < params.numNodes; ++u) {
+    Rng rng = rngFor(params.seed, u);
+    const uint64_t degree = paretoInt(rng, params.outDegreeAlpha, xmin, cap);
+    for (uint64_t k = 0; k < degree; ++k) {
+      uint64_t dst;
+      if (rng.nextDouble() < params.localFraction) {
+        // Local link: uniform within a window around u (site locality).
+        const uint64_t configured =
+            params.localWindow != 0
+                ? params.localWindow
+                : std::max<uint64_t>(16, params.numNodes / 256);
+        const uint64_t window = std::min(configured, params.numNodes);
+        const uint64_t lo = u >= window / 2 ? u - window / 2 : 0;
+        const uint64_t hi = std::min(params.numNodes, lo + window);
+        dst = lo + rng.nextBounded(hi - lo);
+      } else {
+        // Hub link: strongly skewed toward a small set of popular pages.
+        // dst = floor(N * r^hubSkew) concentrates mass near node 0; a fixed
+        // per-graph permutation would only relabel, so we keep ids direct
+        // and let locality-sensitive policies see crawl-order ids, as they
+        // would in a real crawl.
+        const double r = rng.nextDouble();
+        dst = static_cast<uint64_t>(static_cast<double>(params.numNodes) *
+                                    std::pow(r, params.hubSkew));
+        dst = std::min(dst, params.numNodes - 1);
+      }
+      edges.push_back(Edge{u, dst, 0});
+    }
+  }
+  return CsrGraph::fromEdges(params.numNodes, edges);
+}
+
+CsrGraph generateErdosRenyi(uint64_t numNodes, uint64_t numEdges,
+                            uint64_t seed) {
+  if (numNodes == 0 && numEdges != 0) {
+    throw std::invalid_argument("generateErdosRenyi: edges without nodes");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(numEdges);
+  for (uint64_t i = 0; i < numEdges; ++i) {
+    Rng rng = rngFor(seed, i);
+    edges.push_back(
+        Edge{rng.nextBounded(numNodes), rng.nextBounded(numNodes), 0});
+  }
+  return CsrGraph::fromEdges(numNodes, edges);
+}
+
+CsrGraph generateBarabasiAlbert(uint64_t numNodes, uint64_t edgesPerNode,
+                                uint64_t seed) {
+  if (edgesPerNode == 0) {
+    throw std::invalid_argument(
+        "generateBarabasiAlbert: edgesPerNode must be >= 1");
+  }
+  if (numNodes == 0) {
+    return CsrGraph();
+  }
+  // `endpoints` holds every edge endpoint seen so far; sampling uniformly
+  // from it is sampling proportionally to degree.
+  std::vector<Edge> edges;
+  std::vector<uint64_t> endpoints;
+  endpoints.reserve(numNodes * edgesPerNode * 2);
+  endpoints.push_back(0);  // seed vertex
+  Rng rng(hashU64(seed + 0x9e37));
+  for (uint64_t v = 1; v < numNodes; ++v) {
+    for (uint64_t i = 0; i < edgesPerNode; ++i) {
+      const uint64_t target =
+          endpoints[rng.nextBounded(endpoints.size())];
+      edges.push_back(Edge{v, target, 0});
+      endpoints.push_back(target);
+    }
+    endpoints.push_back(v);
+  }
+  return CsrGraph::fromEdges(numNodes, edges);
+}
+
+CsrGraph generateWattsStrogatz(uint64_t numNodes, uint64_t neighborsEachSide,
+                               double rewireProbability, uint64_t seed) {
+  if (rewireProbability < 0.0 || rewireProbability > 1.0) {
+    throw std::invalid_argument(
+        "generateWattsStrogatz: rewireProbability not in [0,1]");
+  }
+  if (numNodes == 0) {
+    return CsrGraph();
+  }
+  std::vector<Edge> edges;
+  edges.reserve(numNodes * neighborsEachSide);
+  Rng rng(hashU64(seed + 0x51f1));
+  for (uint64_t v = 0; v < numNodes; ++v) {
+    for (uint64_t k = 1; k <= neighborsEachSide; ++k) {
+      uint64_t dst = (v + k) % numNodes;
+      if (rng.nextDouble() < rewireProbability) {
+        dst = rng.nextBounded(numNodes);
+      }
+      edges.push_back(Edge{v, dst, 0});
+    }
+  }
+  return CsrGraph::fromEdges(numNodes, edges);
+}
+
+CsrGraph permuteNodeIds(const CsrGraph& graph, uint64_t seed) {
+  const uint64_t numNodes = graph.numNodes();
+  std::vector<uint64_t> perm(numNodes);
+  for (uint64_t v = 0; v < numNodes; ++v) {
+    perm[v] = v;
+  }
+  // Fisher–Yates with the deterministic generator.
+  Rng rng(hashU64(seed + 0x7e57));
+  for (uint64_t i = numNodes; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.nextBounded(i)]);
+  }
+  std::vector<Edge> edges = graph.toEdges();
+  for (Edge& e : edges) {
+    e.src = perm[e.src];
+    e.dst = perm[e.dst];
+  }
+  return CsrGraph::fromEdges(numNodes, edges, graph.hasEdgeData());
+}
+
+CsrGraph makePath(uint64_t numNodes) {
+  std::vector<Edge> edges;
+  for (uint64_t i = 0; i + 1 < numNodes; ++i) {
+    edges.push_back(Edge{i, i + 1, 0});
+  }
+  return CsrGraph::fromEdges(numNodes, edges);
+}
+
+CsrGraph makeCycle(uint64_t numNodes) {
+  std::vector<Edge> edges;
+  for (uint64_t i = 0; i < numNodes; ++i) {
+    edges.push_back(Edge{i, (i + 1) % numNodes, 0});
+  }
+  return CsrGraph::fromEdges(numNodes, edges);
+}
+
+CsrGraph makeStar(uint64_t numLeaves) {
+  std::vector<Edge> edges;
+  for (uint64_t i = 1; i <= numLeaves; ++i) {
+    edges.push_back(Edge{0, i, 0});
+  }
+  return CsrGraph::fromEdges(numLeaves + 1, edges);
+}
+
+CsrGraph makeComplete(uint64_t numNodes) {
+  std::vector<Edge> edges;
+  for (uint64_t i = 0; i < numNodes; ++i) {
+    for (uint64_t j = 0; j < numNodes; ++j) {
+      if (i != j) {
+        edges.push_back(Edge{i, j, 0});
+      }
+    }
+  }
+  return CsrGraph::fromEdges(numNodes, edges);
+}
+
+CsrGraph makeGrid(uint64_t rows, uint64_t cols) {
+  std::vector<Edge> edges;
+  auto id = [cols](uint64_t r, uint64_t c) { return r * cols + c; };
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.push_back(Edge{id(r, c), id(r, c + 1), 0});
+      }
+      if (r + 1 < rows) {
+        edges.push_back(Edge{id(r, c), id(r + 1, c), 0});
+      }
+    }
+  }
+  return CsrGraph::fromEdges(rows * cols, edges);
+}
+
+CsrGraph withRandomWeights(const CsrGraph& graph, uint32_t maxWeight,
+                           uint64_t seed) {
+  if (maxWeight == 0) {
+    throw std::invalid_argument("withRandomWeights: maxWeight must be >= 1");
+  }
+  std::vector<uint32_t> weights(graph.numEdges());
+  for (EdgeId e = 0; e < graph.numEdges(); ++e) {
+    Rng rng = rngFor(seed, e);
+    weights[e] = 1 + static_cast<uint32_t>(rng.nextBounded(maxWeight));
+  }
+  return CsrGraph(
+      std::vector<EdgeId>(graph.rowStarts().begin(), graph.rowStarts().end()),
+      std::vector<NodeId>(graph.destinations().begin(),
+                          graph.destinations().end()),
+      std::move(weights));
+}
+
+const std::vector<StandInInfo>& standInCatalog() {
+  // |E|/|V| ratios from paper Table III.
+  static const std::vector<StandInInfo> catalog = {
+      {"kron", 16.5}, {"gsh", 34.3}, {"clueweb", 43.5},
+      {"uk", 60.4},   {"wdc", 36.1},
+  };
+  return catalog;
+}
+
+CsrGraph makeStandIn(const std::string& name, uint64_t targetEdges,
+                     uint64_t seed) {
+  const auto& catalog = standInCatalog();
+  const auto it =
+      std::find_if(catalog.begin(), catalog.end(),
+                   [&](const StandInInfo& info) { return info.name == name; });
+  if (it == catalog.end()) {
+    throw std::invalid_argument("makeStandIn: unknown input name " + name);
+  }
+  if (name == "kron") {
+    RmatParams params;
+    const double nodes = static_cast<double>(targetEdges) / it->edgesPerNode;
+    params.scale = static_cast<uint32_t>(
+        std::max(4.0, std::ceil(std::log2(std::max(nodes, 16.0)))));
+    params.numEdges = targetEdges;
+    params.seed = seed;
+    return generateRmat(params);
+  }
+  WebCrawlParams params;
+  params.numNodes = std::max<uint64_t>(
+      16, static_cast<uint64_t>(static_cast<double>(targetEdges) /
+                                it->edgesPerNode));
+  params.avgOutDegree = it->edgesPerNode;
+  params.seed = seed + static_cast<uint64_t>(it - catalog.begin());
+  // Differentiate the crawls slightly, mirroring their Table III character:
+  // uk14 is densest and most local; wdc12 is the largest and least local.
+  if (name == "uk") {
+    params.localFraction = 0.7;
+  } else if (name == "wdc") {
+    params.localFraction = 0.4;
+    params.hubSkew = 5.0;
+  } else if (name == "clueweb") {
+    params.hubSkew = 4.5;
+  }
+  return generateWebCrawl(params);
+}
+
+}  // namespace cusp::graph

@@ -1,0 +1,105 @@
+// Deterministic synthetic graph generators.
+//
+// The paper evaluates on kron30 (Kronecker, graph500 weights) and four large
+// web crawls (gsh15, clueweb12, uk14, wdc12). Neither multi-terabyte crawls
+// nor a cluster are available here, so these generators produce scaled-down
+// stand-ins that preserve the structural properties the partitioning
+// policies react to: heavy-tailed degree distributions, max in-degree far
+// above max out-degree (web crawls), and |E|/|V| ratios from paper Table III.
+//
+// All generators are deterministic functions of their seed: every edge is
+// produced from an Rng seeded by hash(seed, index), so results are identical
+// across thread counts and platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace cusp::graph {
+
+struct RmatParams {
+  uint32_t scale = 10;          // numNodes = 2^scale
+  uint64_t numEdges = 16ull << 10;
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;  // graph500 weights
+  uint64_t seed = 1;
+  bool removeSelfLoops = false;
+  bool dedupe = false;
+};
+
+// RMAT / Kronecker generator (stand-in for kron30).
+CsrGraph generateRmat(const RmatParams& params);
+
+struct WebCrawlParams {
+  uint64_t numNodes = 1 << 14;
+  double avgOutDegree = 16.0;
+  // Pareto shape for out-degrees; smaller alpha = heavier tail.
+  double outDegreeAlpha = 2.0;
+  uint64_t maxOutDegree = 0;     // 0 = numNodes/4 cap
+  // Fraction of edges drawn from a local window (site-locality of crawls);
+  // the rest point at global "hubs" with a skewed distribution, producing
+  // max in-degree orders of magnitude above max out-degree (Table III).
+  double localFraction = 0.5;
+  // Width of the local window; 0 = auto (max(16, numNodes/256)). Real
+  // crawls' site locality spans a tiny fraction of the node range, far
+  // smaller than any per-host block, so the window must scale with the
+  // graph or locality becomes artificially invisible to contiguous
+  // partitioning.
+  uint64_t localWindow = 0;
+  double hubSkew = 4.0;          // larger = more concentrated in-links
+  uint64_t seed = 2;
+};
+
+// Power-law web-crawl-like generator (stand-in for gsh15/clueweb12/uk14/wdc12).
+CsrGraph generateWebCrawl(const WebCrawlParams& params);
+
+// Erdős–Rényi G(n, m): m edges drawn uniformly (with replacement).
+CsrGraph generateErdosRenyi(uint64_t numNodes, uint64_t numEdges,
+                            uint64_t seed);
+
+// Barabási–Albert preferential attachment: each new vertex attaches
+// `edgesPerNode` out-edges to existing vertices with probability
+// proportional to their current degree (implemented with the standard
+// repeated-endpoint trick). Produces the classic power-law degree tail.
+CsrGraph generateBarabasiAlbert(uint64_t numNodes, uint64_t edgesPerNode,
+                                uint64_t seed);
+
+// Watts–Strogatz small world: a ring lattice where each vertex connects to
+// its `neighborsEachSide` successors, with each edge's endpoint rewired
+// uniformly at random with probability `rewireProbability`. High
+// clustering + short paths; a structurally different stress case from the
+// power-law families.
+CsrGraph generateWattsStrogatz(uint64_t numNodes, uint64_t neighborsEachSide,
+                               double rewireProbability, uint64_t seed);
+
+// Relabels vertices with a deterministic pseudorandom permutation of
+// [0, numNodes). Locality-sensitive policies (Contiguous*, the read split)
+// behave very differently on permuted ids; useful for ablations and tests.
+CsrGraph permuteNodeIds(const CsrGraph& graph, uint64_t seed);
+
+// Small structured graphs for tests.
+CsrGraph makePath(uint64_t numNodes);                // i -> i+1
+CsrGraph makeCycle(uint64_t numNodes);               // i -> (i+1) % n
+CsrGraph makeStar(uint64_t numLeaves);               // 0 -> 1..n
+CsrGraph makeComplete(uint64_t numNodes);            // all i -> j, i != j
+CsrGraph makeGrid(uint64_t rows, uint64_t cols);     // right + down edges
+
+// Returns a copy of `graph` with uniformly random edge weights in
+// [1, maxWeight] (deterministic in seed). Used by sssp.
+CsrGraph withRandomWeights(const CsrGraph& graph, uint32_t maxWeight,
+                           uint64_t seed);
+
+// The five evaluation inputs from paper Table III at reduced scale.
+// `name` is one of: kron, gsh, clueweb, uk, wdc. `targetEdges` sets the
+// scaled size; |V| follows the paper's |E|/|V| ratio for that input.
+struct StandInInfo {
+  std::string name;
+  double edgesPerNode;  // Table III |E|/|V|
+};
+const std::vector<StandInInfo>& standInCatalog();
+CsrGraph makeStandIn(const std::string& name, uint64_t targetEdges,
+                     uint64_t seed = 42);
+
+}  // namespace cusp::graph

@@ -1,0 +1,305 @@
+#include "graph/graph_file.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace cusp::graph {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x0000000031524743ULL;  // "CGR1"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+void writeArray(std::FILE* f, const T* data, size_t count,
+                const std::string& path) {
+  if (count == 0) {
+    return;
+  }
+  if (std::fwrite(data, sizeof(T), count, f) != count) {
+    throw std::runtime_error("GraphFile: short write to " + path);
+  }
+}
+
+template <typename T>
+void readArray(std::FILE* f, T* data, size_t count, const std::string& path) {
+  if (count == 0) {
+    return;
+  }
+  if (std::fread(data, sizeof(T), count, f) != count) {
+    throw std::runtime_error("GraphFile: truncated file " + path);
+  }
+}
+
+}  // namespace
+
+GraphFile GraphFile::fromCsr(const CsrGraph& graph) {
+  GraphFile file;
+  file.numNodes_ = graph.numNodes();
+  file.numEdges_ = graph.numEdges();
+  file.rowStart_.assign(graph.rowStarts().begin(), graph.rowStarts().end());
+  file.dests_.assign(graph.destinations().begin(),
+                     graph.destinations().end());
+  file.edgeData_.assign(graph.edgeDataArray().begin(),
+                        graph.edgeDataArray().end());
+  return file;
+}
+
+GraphFile GraphFile::load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    throw std::runtime_error("GraphFile: cannot open " + path);
+  }
+  uint64_t header[4];
+  readArray(f.get(), header, 4, path);
+  if (header[0] != kMagic) {
+    throw std::runtime_error("GraphFile: bad magic in " + path);
+  }
+  const uint64_t sizeofEdgeData = header[1];
+  if (sizeofEdgeData != 0 && sizeofEdgeData != 4) {
+    throw std::runtime_error("GraphFile: unsupported edge data size in " +
+                             path);
+  }
+  GraphFile file;
+  file.numNodes_ = header[2];
+  file.numEdges_ = header[3];
+  file.rowStart_.resize(file.numNodes_ + 1);
+  readArray(f.get(), file.rowStart_.data(), file.rowStart_.size(), path);
+  if (file.rowStart_.front() != 0 || file.rowStart_.back() != file.numEdges_ ||
+      !std::is_sorted(file.rowStart_.begin(), file.rowStart_.end())) {
+    throw std::runtime_error("GraphFile: corrupt row index in " + path);
+  }
+  file.dests_.resize(file.numEdges_);
+  readArray(f.get(), file.dests_.data(), file.dests_.size(), path);
+  for (uint64_t dst : file.dests_) {
+    if (dst >= file.numNodes_) {
+      throw std::runtime_error("GraphFile: destination out of range in " +
+                               path);
+    }
+  }
+  if (sizeofEdgeData == 4) {
+    file.edgeData_.resize(file.numEdges_);
+    readArray(f.get(), file.edgeData_.data(), file.edgeData_.size(), path);
+  }
+  return file;
+}
+
+void GraphFile::save(const std::string& path, const CsrGraph& graph) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) {
+    throw std::runtime_error("GraphFile: cannot create " + path);
+  }
+  const uint64_t header[4] = {kMagic, graph.hasEdgeData() ? 4ull : 0ull,
+                              graph.numNodes(), graph.numEdges()};
+  writeArray(f.get(), header, 4, path);
+  writeArray(f.get(), graph.rowStarts().data(), graph.rowStarts().size(),
+             path);
+  writeArray(f.get(), graph.destinations().data(),
+             graph.destinations().size(), path);
+  if (graph.hasEdgeData()) {
+    writeArray(f.get(), graph.edgeDataArray().data(),
+               graph.edgeDataArray().size(), path);
+  }
+  if (std::fflush(f.get()) != 0) {
+    throw std::runtime_error("GraphFile: flush failed for " + path);
+  }
+}
+
+CsrGraph GraphFile::toCsr() const {
+  return CsrGraph(rowStart_, dests_, edgeData_);
+}
+
+GraphFile GraphFile::loadGalois(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) {
+    throw std::runtime_error("GraphFile: cannot open " + path);
+  }
+  uint64_t header[4];
+  readArray(f.get(), header, 4, path);
+  if (header[0] != 1) {
+    throw std::runtime_error("GraphFile: unsupported .gr version in " + path);
+  }
+  const uint64_t sizeofEdgeData = header[1];
+  if (sizeofEdgeData != 0 && sizeofEdgeData != 4) {
+    throw std::runtime_error("GraphFile: unsupported .gr edge data size in " +
+                             path);
+  }
+  GraphFile file;
+  file.numNodes_ = header[2];
+  file.numEdges_ = header[3];
+  // v1 stores row END offsets; rebuild our rowStart convention.
+  std::vector<uint64_t> outIdx(file.numNodes_);
+  readArray(f.get(), outIdx.data(), outIdx.size(), path);
+  file.rowStart_.assign(file.numNodes_ + 1, 0);
+  for (uint64_t v = 0; v < file.numNodes_; ++v) {
+    file.rowStart_[v + 1] = outIdx[v];
+  }
+  if ((file.numNodes_ > 0 && file.rowStart_.back() != file.numEdges_) ||
+      !std::is_sorted(file.rowStart_.begin(), file.rowStart_.end())) {
+    throw std::runtime_error("GraphFile: corrupt .gr index in " + path);
+  }
+  std::vector<uint32_t> dests32(file.numEdges_);
+  readArray(f.get(), dests32.data(), dests32.size(), path);
+  file.dests_.assign(dests32.begin(), dests32.end());
+  for (uint64_t dst : file.dests_) {
+    if (dst >= file.numNodes_) {
+      throw std::runtime_error("GraphFile: .gr destination out of range in " +
+                               path);
+    }
+  }
+  if (sizeofEdgeData == 4) {
+    if (file.numEdges_ % 2 == 1) {
+      uint32_t padding = 0;
+      readArray(f.get(), &padding, 1, path);
+    }
+    file.edgeData_.resize(file.numEdges_);
+    readArray(f.get(), file.edgeData_.data(), file.edgeData_.size(), path);
+  }
+  return file;
+}
+
+void GraphFile::saveGalois(const std::string& path, const CsrGraph& graph) {
+  if (graph.numNodes() > UINT32_MAX) {
+    throw std::invalid_argument(
+        "GraphFile: .gr v1 cannot hold graphs with 2^32+ nodes");
+  }
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) {
+    throw std::runtime_error("GraphFile: cannot create " + path);
+  }
+  const uint64_t header[4] = {1, graph.hasEdgeData() ? 4ull : 0ull,
+                              graph.numNodes(), graph.numEdges()};
+  writeArray(f.get(), header, 4, path);
+  // Row END offsets.
+  std::vector<uint64_t> outIdx(graph.numNodes());
+  for (uint64_t v = 0; v < graph.numNodes(); ++v) {
+    outIdx[v] = graph.edgeEnd(v);
+  }
+  writeArray(f.get(), outIdx.data(), outIdx.size(), path);
+  std::vector<uint32_t> dests32(graph.destinations().begin(),
+                                graph.destinations().end());
+  writeArray(f.get(), dests32.data(), dests32.size(), path);
+  if (graph.hasEdgeData()) {
+    if (graph.numEdges() % 2 == 1) {
+      const uint32_t padding = 0;
+      writeArray(f.get(), &padding, 1, path);
+    }
+    writeArray(f.get(), graph.edgeDataArray().data(),
+               graph.edgeDataArray().size(), path);
+  }
+  if (std::fflush(f.get()) != 0) {
+    throw std::runtime_error("GraphFile: flush failed for " + path);
+  }
+}
+
+std::vector<ReadRange> computeReadRanges(std::span<const uint64_t> rowStart,
+                                         uint32_t numHosts, double nodeWeight,
+                                         double edgeWeight) {
+  if (numHosts == 0) {
+    throw std::invalid_argument("computeReadRanges: numHosts must be > 0");
+  }
+  if (rowStart.empty()) {
+    throw std::invalid_argument("computeReadRanges: empty row index");
+  }
+  if (nodeWeight < 0 || edgeWeight < 0 || (nodeWeight == 0 && edgeWeight == 0)) {
+    throw std::invalid_argument("computeReadRanges: bad importance weights");
+  }
+  const uint64_t numNodes = rowStart.size() - 1;
+  const uint64_t numEdges = rowStart.back();
+  const double totalUnits = nodeWeight * static_cast<double>(numNodes) +
+                            edgeWeight * static_cast<double>(numEdges);
+  // unitsBefore(v) is monotone in v, so each split point is a binary search.
+  auto unitsBefore = [&](uint64_t v) {
+    return nodeWeight * static_cast<double>(v) +
+           edgeWeight * static_cast<double>(rowStart[v]);
+  };
+  std::vector<ReadRange> ranges(numHosts);
+  uint64_t prev = 0;
+  for (uint32_t h = 0; h < numHosts; ++h) {
+    const double target =
+        totalUnits * static_cast<double>(h + 1) / static_cast<double>(numHosts);
+    uint64_t lo = prev;
+    uint64_t hi = numNodes;
+    // Find the smallest v with unitsBefore(v) >= target.
+    while (lo < hi) {
+      const uint64_t mid = lo + (hi - lo) / 2;
+      if (unitsBefore(mid) < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    const uint64_t cut = (h + 1 == numHosts) ? numNodes : lo;
+    ranges[h] = ReadRange{prev, cut, rowStart[prev], rowStart[cut]};
+    prev = cut;
+  }
+  return ranges;
+}
+
+std::vector<ReadRange> contiguousEbRanges(std::span<const uint64_t> rowStart,
+                                          uint32_t numHosts) {
+  if (numHosts == 0) {
+    throw std::invalid_argument("contiguousEbRanges: numHosts must be > 0");
+  }
+  if (rowStart.empty()) {
+    throw std::invalid_argument("contiguousEbRanges: empty row index");
+  }
+  const uint64_t numNodes = rowStart.size() - 1;
+  const uint64_t numEdges = rowStart.back();
+  const uint64_t blockSize = (numEdges + 1 + numHosts - 1) / numHosts;
+  std::vector<ReadRange> ranges(numHosts);
+  uint64_t prev = 0;
+  for (uint32_t h = 0; h < numHosts; ++h) {
+    // End of host h's range: first v with floor(rowStart[v]/blockSize) > h,
+    // i.e. rowStart[v] >= (h+1)*blockSize. Binary search (rowStart sorted).
+    const uint64_t bound = (h + 1) * blockSize;
+    uint64_t lo = prev;
+    uint64_t hi = numNodes;
+    while (lo < hi) {
+      const uint64_t mid = lo + (hi - lo) / 2;
+      if (rowStart[mid] < bound) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    const uint64_t cut = (h + 1 == numHosts) ? numNodes : lo;
+    ranges[h] = ReadRange{prev, cut, rowStart[prev], rowStart[cut]};
+    prev = cut;
+  }
+  return ranges;
+}
+
+uint32_t readingHostOf(std::span<const ReadRange> ranges, uint64_t node) {
+  // Binary search over nodeBegin; ranges are contiguous and sorted, but some
+  // may be empty, so find the last range whose nodeBegin <= node and then
+  // advance past empties.
+  uint32_t lo = 0;
+  uint32_t hi = static_cast<uint32_t>(ranges.size());
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (ranges[mid].nodeEnd <= node) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= ranges.size() || node < ranges[lo].nodeBegin ||
+      node >= ranges[lo].nodeEnd) {
+    throw std::out_of_range("readingHostOf: node not covered by any range");
+  }
+  return lo;
+}
+
+}  // namespace cusp::graph

@@ -1,0 +1,134 @@
+// On-disk binary CSR graph format and the "disk" abstraction for CuSP.
+//
+// Format (little-endian, file extension .cgr), modelled on the Galois .gr
+// format the paper's implementation consumes:
+//
+//   u64 magic          'C','G','R','1',0,0,0,0
+//   u64 sizeofEdgeData 0 (unweighted) or 4 (uint32 weights)
+//   u64 numNodes
+//   u64 numEdges
+//   u64 rowStart[numNodes + 1]   exclusive prefix sum of out-degrees
+//   u64 dests[numEdges]
+//   u32 edgeData[numEdges]       present iff sizeofEdgeData == 4
+//
+// GraphFile plays the role of the Lustre-resident input in the paper: it is
+// immutable, shared by all simulated hosts, and hosts read *windows* of it
+// (a contiguous node range plus that range's edges) during the
+// graph-reading phase. GraphFile can be backed by a real file on disk or
+// constructed directly from an in-memory CsrGraph (tests and benches use
+// both paths; they are byte-for-byte equivalent).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace cusp::graph {
+
+class GraphFile {
+ public:
+  GraphFile() = default;
+
+  // Wraps an in-memory graph (no disk involved). The graph is copied.
+  static GraphFile fromCsr(const CsrGraph& graph);
+
+  // Reads a .cgr file fully into memory, validating the header.
+  static GraphFile load(const std::string& path);
+
+  // Writes `graph` to `path` in .cgr format.
+  static void save(const std::string& path, const CsrGraph& graph);
+
+  uint64_t numNodes() const { return numNodes_; }
+  uint64_t numEdges() const { return numEdges_; }
+  bool hasEdgeData() const { return !edgeData_.empty(); }
+
+  // Whole-file accessors (the "disk contents").
+  std::span<const uint64_t> rowStarts() const { return rowStart_; }
+  std::span<const uint64_t> destinations() const { return dests_; }
+  std::span<const uint32_t> edgeDataArray() const { return edgeData_; }
+
+  uint64_t outDegree(uint64_t node) const {
+    return rowStart_[node + 1] - rowStart_[node];
+  }
+  uint64_t firstOutEdge(uint64_t node) const { return rowStart_[node]; }
+  std::span<const uint64_t> outNeighbors(uint64_t node) const {
+    return destinations().subspan(rowStart_[node],
+                                  rowStart_[node + 1] - rowStart_[node]);
+  }
+  uint32_t edgeData(uint64_t edge) const {
+    return edgeData_.empty() ? 0 : edgeData_[edge];
+  }
+
+  // Materializes the full graph (used by offline partitioners, which by
+  // definition load the whole graph).
+  CsrGraph toCsr() const;
+
+  // --- Galois .gr (version 1) interop ---
+  //
+  // The format the real CuSP/Galois ecosystem consumes: u64 header
+  // {version=1, sizeofEdgeData, numNodes, numEdges}, u64 outIdxs[numNodes]
+  // (row END offsets), u32 dests[numEdges] padded to 8 bytes, then u32
+  // edge data if sizeofEdgeData == 4. Node ids are 32-bit in v1, so graphs
+  // with 2^32+ nodes are rejected on save.
+  static GraphFile loadGalois(const std::string& path);
+  static void saveGalois(const std::string& path, const CsrGraph& graph);
+
+ private:
+  uint64_t numNodes_ = 0;
+  uint64_t numEdges_ = 0;
+  std::vector<uint64_t> rowStart_{0};
+  std::vector<uint64_t> dests_;
+  std::vector<uint32_t> edgeData_;
+};
+
+// A host's assigned window of the on-disk graph: the contiguous node range
+// [nodeBegin, nodeEnd) and that range's edge range [edgeBegin, edgeEnd).
+struct ReadRange {
+  uint64_t nodeBegin = 0;
+  uint64_t nodeEnd = 0;
+  uint64_t edgeBegin = 0;
+  uint64_t edgeEnd = 0;
+
+  uint64_t numNodes() const { return nodeEnd - nodeBegin; }
+  uint64_t numEdges() const { return edgeEnd - edgeBegin; }
+  friend bool operator==(const ReadRange&, const ReadRange&) = default;
+};
+
+// Splits the node sequence into `numHosts` contiguous ranges balancing the
+// weighted unit count nodeWeight * nodes + edgeWeight * edges per range
+// (paper Section IV-B1: edge-balanced by default, tunable toward node
+// balance). Never splits a node's out-edges across hosts. Ranges cover
+// [0, numNodes) exactly and are non-overlapping.
+std::vector<ReadRange> computeReadRanges(std::span<const uint64_t> rowStart,
+                                         uint32_t numHosts,
+                                         double nodeWeight = 0.0,
+                                         double edgeWeight = 1.0);
+
+inline std::vector<ReadRange> computeReadRanges(const GraphFile& file,
+                                                uint32_t numHosts,
+                                                double nodeWeight = 0.0,
+                                                double edgeWeight = 1.0) {
+  return computeReadRanges(file.rowStarts(), numHosts, nodeWeight, edgeWeight);
+}
+
+// Splits nodes using the paper's ContiguousEB formula:
+//   blockSize = ceil((numEdges + 1) / numHosts)
+//   host(v)   = floor(firstOutEdge(v) / blockSize)
+// This is the partitioner's default reading split so that the ContiguousEB
+// master rule assigns every vertex to the host that read it — which is what
+// makes EEC communication-free (paper Section V-A).
+std::vector<ReadRange> contiguousEbRanges(std::span<const uint64_t> rowStart,
+                                          uint32_t numHosts);
+
+inline std::vector<ReadRange> contiguousEbRanges(const GraphFile& file,
+                                                 uint32_t numHosts) {
+  return contiguousEbRanges(file.rowStarts(), numHosts);
+}
+
+// Returns the host whose read range contains `node` (binary search).
+uint32_t readingHostOf(std::span<const ReadRange> ranges, uint64_t node);
+
+}  // namespace cusp::graph

@@ -1,0 +1,78 @@
+// Minimal thread-safe logging for the CuSP runtime.
+//
+// All output funnels through a single mutex so interleaved host threads do
+// not shred each other's lines. Verbosity is a process-wide setting; the
+// default prints warnings and errors only, which keeps test and benchmark
+// output readable.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cusp::support {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+namespace detail {
+inline std::mutex& logMutex() {
+  static std::mutex m;
+  return m;
+}
+inline LogLevel& logLevelRef() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+}  // namespace detail
+
+inline void setLogLevel(LogLevel level) { detail::logLevelRef() = level; }
+inline LogLevel logLevel() { return detail::logLevelRef(); }
+
+inline void logLine(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) > static_cast<int>(detail::logLevelRef())) {
+    return;
+  }
+  const char* prefix = "";
+  switch (level) {
+    case LogLevel::kError: prefix = "[error] "; break;
+    case LogLevel::kWarn:  prefix = "[warn]  "; break;
+    case LogLevel::kInfo:  prefix = "[info]  "; break;
+    case LogLevel::kDebug: prefix = "[debug] "; break;
+  }
+  std::lock_guard<std::mutex> lock(detail::logMutex());
+  std::fprintf(stderr, "%s%.*s\n", prefix, static_cast<int>(msg.size()),
+               msg.data());
+}
+
+// Stream-style helpers: LOG_INFO() << "x = " << x;
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { logLine(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace cusp::support
+
+#define CUSP_LOG_ERROR() ::cusp::support::LogStream(::cusp::support::LogLevel::kError)
+#define CUSP_LOG_WARN()  ::cusp::support::LogStream(::cusp::support::LogLevel::kWarn)
+#define CUSP_LOG_INFO()  ::cusp::support::LogStream(::cusp::support::LogLevel::kInfo)
+#define CUSP_LOG_DEBUG() ::cusp::support::LogStream(::cusp::support::LogLevel::kDebug)

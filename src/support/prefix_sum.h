@@ -1,0 +1,94 @@
+// Sequential and parallel (two-pass) prefix sums.
+//
+// CuSP uses prefix sums wherever a compacted ordered write is needed without
+// fine-grain synchronization (paper Section IV-C2): building CSR row offsets,
+// assigning write cursors for received edges, compacting sparse vectors. The
+// parallel form is the classic two-pass algorithm: each thread sums a block,
+// an exclusive scan over the block sums gives each thread its write base,
+// then each thread scans its block again.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/threading.h"
+
+namespace cusp::support {
+
+// Exclusive prefix sum: out[i] = sum of in[0..i-1]; out has size
+// in.size() + 1 so out.back() is the grand total.
+template <typename T>
+std::vector<T> exclusivePrefixSum(std::span<const T> in) {
+  std::vector<T> out(in.size() + 1);
+  T running{};
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = running;
+    running += in[i];
+  }
+  out[in.size()] = running;
+  return out;
+}
+
+template <typename T>
+std::vector<T> exclusivePrefixSum(const std::vector<T>& in) {
+  return exclusivePrefixSum(std::span<const T>(in));
+}
+
+// In-place inclusive prefix sum.
+template <typename T>
+void inclusivePrefixSumInPlace(std::vector<T>& values) {
+  T running{};
+  for (auto& value : values) {
+    running += value;
+    value = running;
+  }
+}
+
+// Parallel exclusive prefix sum (two passes). Falls back to the sequential
+// form for small inputs or a single thread.
+template <typename T>
+std::vector<T> parallelExclusivePrefixSum(std::span<const T> in,
+                                          unsigned numThreads) {
+  const size_t n = in.size();
+  if (numThreads <= 1 || n < 4096) {
+    return exclusivePrefixSum(in);
+  }
+  std::vector<T> out(n + 1);
+  std::vector<T> blockSums(numThreads, T{});
+  // Pass 1: per-thread block totals.
+  parallelForBlocked(0, n,
+                     [&](unsigned tid, uint64_t lo, uint64_t hi) {
+                       T sum{};
+                       for (uint64_t i = lo; i < hi; ++i) {
+                         sum += in[i];
+                       }
+                       blockSums[tid] = sum;
+                     },
+                     numThreads);
+  // Exclusive scan of block sums (cheap, sequential).
+  std::vector<T> blockBases(numThreads + 1, T{});
+  for (unsigned t = 0; t < numThreads; ++t) {
+    blockBases[t + 1] = blockBases[t] + blockSums[t];
+  }
+  // Pass 2: per-thread scan starting from its base.
+  parallelForBlocked(0, n,
+                     [&](unsigned tid, uint64_t lo, uint64_t hi) {
+                       T running = blockBases[tid];
+                       for (uint64_t i = lo; i < hi; ++i) {
+                         out[i] = running;
+                         running += in[i];
+                       }
+                     },
+                     numThreads);
+  out[n] = blockBases[numThreads];
+  return out;
+}
+
+template <typename T>
+std::vector<T> parallelExclusivePrefixSum(const std::vector<T>& in,
+                                          unsigned numThreads) {
+  return parallelExclusivePrefixSum(std::span<const T>(in), numThreads);
+}
+
+}  // namespace cusp::support

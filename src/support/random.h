@@ -1,0 +1,86 @@
+// Deterministic, seedable random number generation.
+//
+// Graph generators and tests must be reproducible across runs, platforms and
+// thread counts, so we avoid std::mt19937's unspecified distribution behaviour
+// and implement splitmix64 (state scrambler) and xoshiro256** (bulk
+// generation) directly. Both are public-domain algorithms by Blackman/Vigna.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cusp::support {
+
+// splitmix64: excellent single-step mixer; used to seed xoshiro and to hash
+// integers into well-distributed 64-bit values.
+inline uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless hash of a 64-bit value (splitmix64 finalizer).
+inline uint64_t hashU64(uint64_t x) {
+  uint64_t s = x;
+  return splitmix64(s);
+}
+
+// xoshiro256**: fast, high-quality 64-bit PRNG.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() { return next(); }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  uint64_t nextBounded(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<uint64_t>(product >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace cusp::support

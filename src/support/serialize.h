@@ -1,0 +1,175 @@
+// Byte-buffer serialization for inter-host messages.
+//
+// The simulated network moves opaque byte buffers between hosts, exactly as
+// MPI would, so every piece of partitioning metadata and every edge batch is
+// explicitly serialized. This keeps communication volume measurable (paper
+// Table V) and keeps the message-buffering optimization (paper Section
+// IV-D3, Fig. 7) meaningful: a SendBuffer accumulates serialized records and
+// is shipped as one message when full.
+//
+// Supported types: trivially-copyable values, std::vector<trivially
+// copyable>, std::vector<std::string>, std::string, std::pair, and nested
+// vectors thereof via recursive overloads.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cusp::support {
+
+class SendBuffer {
+ public:
+  SendBuffer() = default;
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  const uint8_t* data() const { return data_.data(); }
+  void clear() { data_.clear(); }
+  void reserve(size_t bytes) { data_.reserve(bytes); }
+
+  void appendBytes(const void* src, size_t len) {
+    const size_t offset = data_.size();
+    data_.resize(offset + len);
+    std::memcpy(data_.data() + offset, src, len);
+  }
+
+  std::vector<uint8_t> release() { return std::move(data_); }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+class RecvBuffer {
+ public:
+  RecvBuffer() = default;
+  explicit RecvBuffer(std::vector<uint8_t> data) : data_(std::move(data)) {}
+
+  size_t size() const { return data_.size(); }
+  size_t remaining() const { return data_.size() - offset_; }
+  bool exhausted() const { return offset_ >= data_.size(); }
+
+  void readBytes(void* dst, size_t len) {
+    if (remaining() < len) {
+      throw std::out_of_range("RecvBuffer: read past end of message");
+    }
+    std::memcpy(dst, data_.data() + offset_, len);
+    offset_ += len;
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+  size_t offset_ = 0;
+};
+
+// --- Scalar (trivially copyable) ---
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void serialize(SendBuffer& buf, const T& value) {
+  buf.appendBytes(&value, sizeof(T));
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void deserialize(RecvBuffer& buf, T& value) {
+  buf.readBytes(&value, sizeof(T));
+}
+
+// --- std::string ---
+
+inline void serialize(SendBuffer& buf, const std::string& value) {
+  const uint64_t len = value.size();
+  buf.appendBytes(&len, sizeof(len));
+  buf.appendBytes(value.data(), value.size());
+}
+
+inline void deserialize(RecvBuffer& buf, std::string& value) {
+  uint64_t len = 0;
+  buf.readBytes(&len, sizeof(len));
+  value.resize(len);
+  if (len > 0) {
+    buf.readBytes(value.data(), len);
+  }
+}
+
+// --- std::pair ---
+
+template <typename A, typename B>
+void serialize(SendBuffer& buf, const std::pair<A, B>& value) {
+  serialize(buf, value.first);
+  serialize(buf, value.second);
+}
+
+template <typename A, typename B>
+void deserialize(RecvBuffer& buf, std::pair<A, B>& value) {
+  deserialize(buf, value.first);
+  deserialize(buf, value.second);
+}
+
+// --- std::vector ---
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void serialize(SendBuffer& buf, const std::vector<T>& values) {
+  const uint64_t count = values.size();
+  buf.appendBytes(&count, sizeof(count));
+  if (count > 0) {
+    buf.appendBytes(values.data(), count * sizeof(T));
+  }
+}
+
+template <typename T>
+  requires(!std::is_trivially_copyable_v<T>)
+void serialize(SendBuffer& buf, const std::vector<T>& values) {
+  const uint64_t count = values.size();
+  buf.appendBytes(&count, sizeof(count));
+  for (const auto& value : values) {
+    serialize(buf, value);
+  }
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void deserialize(RecvBuffer& buf, std::vector<T>& values) {
+  uint64_t count = 0;
+  buf.readBytes(&count, sizeof(count));
+  if (count * sizeof(T) > buf.remaining()) {
+    throw std::out_of_range("RecvBuffer: vector length exceeds message size");
+  }
+  values.resize(count);
+  if (count > 0) {
+    buf.readBytes(values.data(), count * sizeof(T));
+  }
+}
+
+template <typename T>
+  requires(!std::is_trivially_copyable_v<T>)
+void deserialize(RecvBuffer& buf, std::vector<T>& values) {
+  uint64_t count = 0;
+  buf.readBytes(&count, sizeof(count));
+  values.clear();
+  values.reserve(count < (1u << 20) ? count : 0);
+  for (uint64_t i = 0; i < count; ++i) {
+    T value;
+    deserialize(buf, value);
+    values.push_back(std::move(value));
+  }
+}
+
+// Variadic convenience: gSerialize/gDeserialize in Galois style.
+template <typename... Ts>
+void serializeAll(SendBuffer& buf, const Ts&... values) {
+  (serialize(buf, values), ...);
+}
+
+template <typename... Ts>
+void deserializeAll(RecvBuffer& buf, Ts&... values) {
+  (deserialize(buf, values), ...);
+}
+
+}  // namespace cusp::support

@@ -1,0 +1,125 @@
+// Wall-clock timers and named phase accounting.
+//
+// The partitioner reports a per-phase time breakdown (paper Fig. 4), so every
+// phase is bracketed by a PhaseTimer scope that accumulates into a
+// PhaseTimes table. Timers are plain wall-clock; on the simulated cluster all
+// hosts share one machine, so the *maximum* across hosts of a phase time is
+// what the benchmark harness reports (hosts run concurrently).
+#pragma once
+
+#include <ctime>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cusp::support {
+
+// CPU time consumed by the calling thread. This is the basis of the
+// simulated-cluster makespan model: host threads time-share one machine, so
+// wall clocks measure the *sum* of all hosts' work; per-thread CPU time
+// measures each host's own work, excluding time descheduled or blocked in
+// receives. Combined with the Network's modeled communication charges and
+// max-reduced across hosts at synchronization points, this yields the time
+// the phase would take on a real cluster (up to per-core speed).
+inline double threadCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t elapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+// Accumulated seconds per named phase, in insertion order.
+class PhaseTimes {
+ public:
+  void add(const std::string& phase, double seconds) {
+    auto it = index_.find(phase);
+    if (it == index_.end()) {
+      index_.emplace(phase, entries_.size());
+      entries_.emplace_back(phase, seconds);
+    } else {
+      entries_[it->second].second += seconds;
+    }
+  }
+
+  double get(const std::string& phase) const {
+    auto it = index_.find(phase);
+    return it == index_.end() ? 0.0 : entries_[it->second].second;
+  }
+
+  double total() const {
+    double sum = 0.0;
+    for (const auto& [name, secs] : entries_) {
+      sum += secs;
+    }
+    return sum;
+  }
+
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+
+  // Element-wise max against another table; used to combine per-host
+  // breakdowns into the cluster-level breakdown (hosts run concurrently, so
+  // the slowest host determines the phase time).
+  void maxWith(const PhaseTimes& other) {
+    for (const auto& [name, secs] : other.entries_) {
+      auto it = index_.find(name);
+      if (it == index_.end()) {
+        index_.emplace(name, entries_.size());
+        entries_.emplace_back(name, secs);
+      } else if (secs > entries_[it->second].second) {
+        entries_[it->second].second = secs;
+      }
+    }
+  }
+
+  void clear() {
+    index_.clear();
+    entries_.clear();
+  }
+
+ private:
+  std::map<std::string, size_t> index_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+// RAII scope that adds its lifetime to a PhaseTimes entry.
+class PhaseTimer {
+ public:
+  PhaseTimer(PhaseTimes& table, std::string phase)
+      : table_(table), phase_(std::move(phase)) {}
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  ~PhaseTimer() { table_.add(phase_, timer_.elapsedSeconds()); }
+
+ private:
+  PhaseTimes& table_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace cusp::support

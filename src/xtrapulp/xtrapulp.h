@@ -1,0 +1,90 @@
+// XtraPulp-style offline edge-cut partitioner (the paper's baseline).
+//
+// XtraPulp [Slota et al.] is a distributed implementation of PuLP:
+// label-propagation-based partitioning with multiple balance constraints,
+// refined over several whole-graph passes. This reimplementation captures
+// the algorithmic profile the paper compares against:
+//
+//  * offline: it loads the complete graph and makes many passes over it
+//    (initialization, alternating label-propagation and balance phases),
+//    which is why it is slower than a streaming partitioner;
+//  * edge-cut only: every out-edge of a vertex lands with the vertex
+//    (paper Section V-A: "it only produces edge-cut partitions");
+//  * multi-constraint: partitions respect both a vertex-count and an
+//    edge-count balance cap while minimizing cut edges.
+//
+// The output is a vertex -> partition map. To compare quality inside the
+// same analytics machinery, feed the map to CuSP via masterFromMap +
+// edgeSource (see makeXtraPulpPolicy) — the result is exactly the edge-cut
+// this map describes, materialized as DistGraph partitions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/policies.h"
+#include "graph/csr_graph.h"
+
+namespace cusp::xtrapulp {
+
+struct XtraPulpConfig {
+  uint32_t numParts = 4;
+  // Balance caps: a partition may hold at most cap * (total / numParts)
+  // vertices / edges.
+  double vertexBalance = 1.10;
+  double edgeBalance = 1.50;
+  // Iteration structure mirrors PuLP's defaults (3 outer constraint
+  // iterations, ~10 refinement and ~5 balance sweeps each); labels start
+  // from a random assignment as in PuLP, so propagation genuinely has to
+  // work (and the early-exit on a fully converged sweep rarely fires on
+  // the first outer iteration).
+  uint32_t outerIterations = 3;
+  uint32_t propIterations = 10;
+  uint32_t balanceIterations = 5;
+  bool randomInit = true;  // false = contiguous blocked initialization
+  uint64_t seed = 7;
+  // Simulated per-host disk bandwidth (MB/s, 0 = off) applied when the
+  // distributed implementation loads its block — same knob as
+  // core::PartitionerConfig so baseline comparisons charge reading equally.
+  double simulatedDiskBandwidthMBps = 0.0;
+  // Interconnect cost model for the distributed implementation (same knob
+  // as core::PartitionerConfig::networkCostModel).
+  comm::NetworkCostModel networkCostModel;
+};
+
+struct XtraPulpResult {
+  std::vector<uint32_t> partOf;  // vertex -> partition
+  uint64_t cutEdges = 0;         // directed edges crossing partitions
+  uint64_t maxPartVertices = 0;
+  uint64_t maxPartEdges = 0;     // out-edges of vertices in the partition
+  double seconds = 0.0;          // partitioning time (excludes graph load)
+};
+
+// Single-image reference implementation (used to validate the distributed
+// one and for in-process use).
+XtraPulpResult partition(const graph::CsrGraph& graph,
+                         const XtraPulpConfig& config);
+
+// Distributed implementation, matching how XtraPulp actually runs (and how
+// the paper measures it): config.numParts hosts on the simulated cluster,
+// each owning a contiguous block of vertices. Preprocessing exchanges
+// in-edge adjacency (label propagation needs both directions); every
+// propagation/balance sweep then ships the sweep's label moves to all
+// other hosts and reconciles the balance loads — the multi-pass,
+// communication-per-iteration profile that makes offline partitioning slow
+// (paper Section V-B). `seconds` covers reading through refinement.
+XtraPulpResult partitionDistributed(const graph::GraphFile& file,
+                                    const XtraPulpConfig& config);
+
+// Counts directed edges whose endpoints lie in different partitions.
+uint64_t countCutEdges(const graph::CsrGraph& graph,
+                       const std::vector<uint32_t>& partOf);
+
+// Wraps an XtraPulp vertex map as a CuSP policy (masterFromMap + Source),
+// so the offline partitions flow through the same DistGraph construction
+// and analytics as every CuSP policy.
+core::PartitionPolicy makeXtraPulpPolicy(
+    std::shared_ptr<const std::vector<uint32_t>> partOf);
+
+}  // namespace cusp::xtrapulp

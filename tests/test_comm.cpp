@@ -1,0 +1,334 @@
+// Tests of the simulated message-passing network.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "comm/network.h"
+
+namespace cusp::comm {
+namespace {
+
+using support::RecvBuffer;
+using support::SendBuffer;
+
+SendBuffer bufferWith(uint64_t value) {
+  SendBuffer buf;
+  support::serialize(buf, value);
+  return buf;
+}
+
+uint64_t valueOf(Message& msg) {
+  uint64_t value = 0;
+  support::deserialize(msg.payload, value);
+  return value;
+}
+
+TEST(NetworkTest, PointToPointDelivers) {
+  Network net(2);
+  runHosts(net, [&](HostId me) {
+    if (me == 0) {
+      net.send(0, 1, kTagGeneric, bufferWith(1234));
+    } else {
+      auto msg = net.recv(1, kTagGeneric);
+      EXPECT_EQ(msg.from, 0u);
+      EXPECT_EQ(valueOf(msg), 1234u);
+    }
+  });
+}
+
+TEST(NetworkTest, FifoPerChannel) {
+  Network net(2);
+  runHosts(net, [&](HostId me) {
+    if (me == 0) {
+      for (uint64_t i = 0; i < 100; ++i) {
+        net.send(0, 1, kTagGeneric, bufferWith(i));
+      }
+    } else {
+      for (uint64_t i = 0; i < 100; ++i) {
+        auto msg = net.recvFrom(1, 0, kTagGeneric);
+        EXPECT_EQ(valueOf(msg), i);
+      }
+    }
+  });
+}
+
+TEST(NetworkTest, TagsAreIndependentChannels) {
+  Network net(2);
+  runHosts(net, [&](HostId me) {
+    if (me == 0) {
+      net.send(0, 1, /*tag=*/3, bufferWith(33));
+      net.send(0, 1, /*tag=*/5, bufferWith(55));
+    } else {
+      // Receive in the opposite order of sending.
+      auto five = net.recv(1, 5);
+      EXPECT_EQ(valueOf(five), 55u);
+      auto three = net.recv(1, 3);
+      EXPECT_EQ(valueOf(three), 33u);
+    }
+  });
+}
+
+TEST(NetworkTest, TryRecvNonBlocking) {
+  Network net(2);
+  runHosts(net, [&](HostId me) {
+    if (me == 0) {
+      EXPECT_FALSE(net.tryRecv(0, kTagGeneric).has_value());
+      net.send(0, 1, kTagGeneric, bufferWith(7));
+      net.barrier(0);
+    } else {
+      net.barrier(1);
+      auto msg = net.tryRecv(1, kTagGeneric);
+      ASSERT_TRUE(msg.has_value());
+      EXPECT_EQ(valueOf(*msg), 7u);
+    }
+  });
+}
+
+TEST(NetworkTest, SelfSendDeliversButIsNotCounted) {
+  Network net(1);
+  net.send(0, 0, kTagGeneric, bufferWith(9));
+  auto msg = net.recv(0, kTagGeneric);
+  EXPECT_EQ(valueOf(msg), 9u);
+  EXPECT_EQ(net.bytesSent(kTagGeneric), 0u);
+  EXPECT_EQ(net.messagesSent(kTagGeneric), 0u);
+}
+
+TEST(NetworkTest, OutOfRangeHostThrows) {
+  Network net(2);
+  EXPECT_THROW(net.send(0, 5, kTagGeneric, bufferWith(1)),
+               std::out_of_range);
+  EXPECT_THROW(net.send(9, 0, kTagGeneric, bufferWith(1)),
+               std::out_of_range);
+  EXPECT_THROW(Network(0), std::invalid_argument);
+}
+
+TEST(NetworkTest, VolumeAccountingPerTag) {
+  Network net(2);
+  runHosts(net, [&](HostId me) {
+    if (me == 0) {
+      net.send(0, 1, kTagEdgeBatch, bufferWith(1));      // 8 bytes
+      net.send(0, 1, kTagEdgeBatch, bufferWith(2));      // 8 bytes
+      net.send(0, 1, kTagEdgeCounts, bufferWith(3));     // 8 bytes
+    } else {
+      for (int i = 0; i < 2; ++i) {
+        net.recv(1, kTagEdgeBatch);
+      }
+      net.recv(1, kTagEdgeCounts);
+    }
+  });
+  EXPECT_EQ(net.bytesSent(kTagEdgeBatch), 16u);
+  EXPECT_EQ(net.messagesSent(kTagEdgeBatch), 2u);
+  EXPECT_EQ(net.bytesSent(kTagEdgeCounts), 8u);
+  const auto stats = net.statsSnapshot();
+  EXPECT_EQ(stats.totalBytes(), 24u + stats.collectiveBytes);
+  net.resetStats();
+  EXPECT_EQ(net.statsSnapshot().totalBytes(), 0u);
+}
+
+class NetworkHosts : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(NetworkHosts, BarrierSynchronizesPhases) {
+  const uint32_t hosts = GetParam();
+  Network net(hosts);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violation{false};
+  runHosts(net, [&](HostId me) {
+    phase1.fetch_add(1);
+    net.barrier(me);
+    if (phase1.load() != static_cast<int>(hosts)) {
+      violation.store(true);
+    }
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST_P(NetworkHosts, AllReduceSumVector) {
+  const uint32_t hosts = GetParam();
+  Network net(hosts);
+  std::vector<std::vector<uint64_t>> results(hosts);
+  runHosts(net, [&](HostId me) {
+    std::vector<uint64_t> values = {me, 1, 10ull * me};
+    net.allReduceSum(me, values);
+    results[me] = values;
+  });
+  const uint64_t sumIds = hosts * (hosts - 1) / 2;
+  for (const auto& r : results) {
+    EXPECT_EQ(r, (std::vector<uint64_t>{sumIds, hosts, 10 * sumIds}));
+  }
+}
+
+TEST_P(NetworkHosts, AllReduceScalarsAndOr) {
+  const uint32_t hosts = GetParam();
+  Network net(hosts);
+  std::vector<uint64_t> maxes(hosts);
+  std::vector<int> ors(hosts);
+  runHosts(net, [&](HostId me) {
+    maxes[me] = net.allReduceMax<uint64_t>(me, me * 7);
+    ors[me] = net.allReduceOr(me, me == hosts - 1) ? 1 : 0;
+  });
+  for (uint32_t h = 0; h < hosts; ++h) {
+    EXPECT_EQ(maxes[h], 7ull * (hosts - 1));
+    EXPECT_EQ(ors[h], 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hosts, NetworkHosts,
+                         ::testing::Values(1u, 2u, 3u, 8u));
+
+TEST(NetworkTest, AllReduceMismatchedLengthsThrow) {
+  Network net(2);
+  EXPECT_THROW(runHosts(net,
+                        [&](HostId me) {
+                          std::vector<uint64_t> values(me == 0 ? 2 : 3, 1);
+                          net.allReduceSum(me, values);
+                        }),
+               std::logic_error);
+}
+
+TEST(RunHostsTest, PropagatesFirstExceptionAndUnblocksSiblings) {
+  Network net(3);
+  EXPECT_THROW(runHosts(net,
+                        [&](HostId me) {
+                          if (me == 1) {
+                            throw std::runtime_error("host 1 died");
+                          }
+                          // Siblings block forever waiting for a message
+                          // that never comes; abort() must wake them.
+                          net.recv(me, kTagGeneric);
+                        }),
+               std::runtime_error);
+  EXPECT_TRUE(net.aborted());
+}
+
+// ---------------------------------------------------------------------------
+// Interconnect cost model
+// ---------------------------------------------------------------------------
+
+TEST(CostModelTest, ChargesSenderPerMessageAndPerByte) {
+  NetworkCostModel model;
+  model.sendOverheadMicros = 10.0;
+  model.bandwidthMBps = 1.0;  // 1 byte = 1 microsecond
+  Network net(2, model);
+  support::SendBuffer buf;
+  support::serialize(buf, std::vector<uint64_t>(100, 7));  // 808 bytes
+  net.send(0, 1, kTagGeneric, std::move(buf));
+  // 10 us overhead + 808 us wire time, charged to the sender.
+  EXPECT_NEAR(net.modeledCommSeconds(0), 818e-6, 1e-9);
+  EXPECT_DOUBLE_EQ(net.modeledCommSeconds(1), 0.0);
+}
+
+TEST(CostModelTest, SelfSendsAndCollectiveTagsAreFree) {
+  NetworkCostModel model;
+  model.sendOverheadMicros = 100.0;
+  Network net(2, model);
+  net.send(0, 0, kTagGeneric, support::SendBuffer());  // self
+  EXPECT_DOUBLE_EQ(net.modeledCommSeconds(0), 0.0);
+  net.send(0, 1, kTagBarrierUp, support::SendBuffer());  // reserved tag
+  EXPECT_DOUBLE_EQ(net.modeledCommSeconds(0), 0.0);
+  net.send(0, 1, kTagGeneric, support::SendBuffer());  // charged
+  EXPECT_NEAR(net.modeledCommSeconds(0), 100e-6, 1e-12);
+}
+
+TEST(CostModelTest, ZeroModelChargesNothing) {
+  Network net(3);
+  support::SendBuffer buf;
+  support::serialize(buf, uint64_t{1});
+  net.send(0, 1, kTagGeneric, std::move(buf));
+  for (HostId h = 0; h < 3; ++h) {
+    EXPECT_DOUBLE_EQ(net.modeledCommSeconds(h), 0.0);
+  }
+}
+
+TEST(CostModelTest, ChargesAccumulateAcrossSends) {
+  NetworkCostModel model;
+  model.sendOverheadMicros = 1.0;
+  Network net(2, model);
+  for (int i = 0; i < 1000; ++i) {
+    net.send(0, 1, kTagGeneric, support::SendBuffer());
+  }
+  EXPECT_NEAR(net.modeledCommSeconds(0), 1e-3, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// BufferedSender
+// ---------------------------------------------------------------------------
+
+TEST(BufferedSenderTest, BuffersUntilThreshold) {
+  Network net(2);
+  runHosts(net, [&](HostId me) {
+    if (me == 0) {
+      BufferedSender sender(net, 0, kTagEdgeBatch, /*threshold=*/64);
+      for (uint64_t i = 0; i < 7; ++i) {  // 56 bytes: still buffered
+        sender.append(1, i);
+      }
+      EXPECT_EQ(net.messagesSent(kTagEdgeBatch), 0u);
+      sender.append(1, uint64_t{7});  // 64 bytes: flushes
+      EXPECT_EQ(net.messagesSent(kTagEdgeBatch), 1u);
+      sender.append(1, uint64_t{8});
+      sender.flushAll();  // remainder
+      net.barrier(0);
+    } else {
+      net.barrier(1);
+      auto first = net.recv(1, kTagEdgeBatch);
+      EXPECT_EQ(first.payload.size(), 64u);
+      auto second = net.recv(1, kTagEdgeBatch);
+      EXPECT_EQ(second.payload.size(), 8u);
+    }
+  });
+}
+
+TEST(BufferedSenderTest, ZeroThresholdSendsEveryRecord) {
+  Network net(2);
+  runHosts(net, [&](HostId me) {
+    if (me == 0) {
+      BufferedSender sender(net, 0, kTagEdgeBatch, 0);
+      for (uint64_t i = 0; i < 5; ++i) {
+        sender.append(1, i);
+      }
+      sender.flushAll();
+      net.barrier(0);
+    } else {
+      net.barrier(1);
+      for (int i = 0; i < 5; ++i) {
+        EXPECT_TRUE(net.tryRecv(1, kTagEdgeBatch).has_value());
+      }
+      EXPECT_FALSE(net.tryRecv(1, kTagEdgeBatch).has_value());
+    }
+  });
+  EXPECT_EQ(net.messagesSent(kTagEdgeBatch), 5u);
+}
+
+TEST(BufferedSenderTest, FlushAllOnEmptySendsNothing) {
+  Network net(2);
+  BufferedSender sender(net, 0, kTagEdgeBatch, 1024);
+  sender.flushAll();
+  EXPECT_EQ(net.messagesSent(kTagEdgeBatch), 0u);
+}
+
+TEST(BufferedSenderTest, RecordsSurviveConcatenation) {
+  // Several records packed into one message deserialize in order.
+  Network net(2);
+  runHosts(net, [&](HostId me) {
+    if (me == 0) {
+      BufferedSender sender(net, 0, kTagEdgeBatch, 1 << 20);
+      for (uint64_t i = 0; i < 10; ++i) {
+        sender.append(1, i, std::vector<uint64_t>{i, i + 1});
+      }
+      sender.flushAll();
+    } else {
+      auto msg = net.recv(1, kTagEdgeBatch);
+      for (uint64_t i = 0; i < 10; ++i) {
+        uint64_t header = 0;
+        std::vector<uint64_t> body;
+        support::deserializeAll(msg.payload, header, body);
+        EXPECT_EQ(header, i);
+        EXPECT_EQ(body, (std::vector<uint64_t>{i, i + 1}));
+      }
+      EXPECT_TRUE(msg.payload.exhausted());
+    }
+  });
+}
+
+}  // namespace
+}  // namespace cusp::comm

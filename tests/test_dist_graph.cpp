@@ -1,0 +1,229 @@
+// Tests of the DistGraph partition object, quality metrics and the
+// validator itself (including that the validator actually catches broken
+// partition sets — failure injection).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "core/dist_graph.h"
+#include "core/partitioner.h"
+#include "core/policies.h"
+#include "graph/generators.h"
+#include "graph/graph_file.h"
+
+namespace cusp::core {
+namespace {
+
+std::vector<DistGraph> makeParts(const graph::CsrGraph& g,
+                                 const std::string& policy, uint32_t hosts) {
+  const auto file = graph::GraphFile::fromCsr(g);
+  PartitionerConfig config;
+  config.numHosts = hosts;
+  return partitionGraph(file, makePolicy(policy), config).partitions;
+}
+
+TEST(DistGraphTest, LocalGlobalMapping) {
+  const auto g = graph::generateErdosRenyi(100, 600, 31);
+  const auto parts = makeParts(g, "CVC", 4);
+  for (const auto& part : parts) {
+    for (uint64_t lid = 0; lid < part.numLocalNodes(); ++lid) {
+      const auto back = part.localIdOf(part.globalId(lid));
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, lid);
+    }
+    EXPECT_FALSE(part.localIdOf(g.numNodes() + 5).has_value());
+    EXPECT_EQ(part.numLocalNodes(), part.numMasters + part.numMirrors());
+  }
+}
+
+TEST(DistGraphTest, EdgesWithGlobalIdsMatchesInput) {
+  const auto g = graph::generateErdosRenyi(150, 900, 37);
+  const auto parts = makeParts(g, "HVC", 3);
+  auto expected = g.toEdges();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(gatherAllEdges(parts), expected);
+}
+
+TEST(QualityTest, SingleHostIsReplicationFreeAndBalanced) {
+  const auto g = graph::generateErdosRenyi(100, 500, 41);
+  const auto parts = makeParts(g, "EEC", 1);
+  const auto q = computeQuality(parts);
+  EXPECT_DOUBLE_EQ(q.avgReplicationFactor, 1.0);
+  EXPECT_DOUBLE_EQ(q.nodeImbalance, 1.0);
+  EXPECT_DOUBLE_EQ(q.edgeImbalance, 1.0);
+  EXPECT_EQ(q.totalMasters, g.numNodes());
+}
+
+TEST(QualityTest, VertexCutReplicatesMoreThanItsEdgeCutSibling) {
+  // HVC redirects hub edges to destination masters, creating mirrors; EEC
+  // on the same graph replicates only destinations.
+  const auto g = graph::generateWebCrawl(
+      {.numNodes = 2000, .avgOutDegree = 10.0, .seed = 43});
+  const auto eec = computeQuality(makeParts(g, "EEC", 4));
+  EXPECT_GE(eec.avgReplicationFactor, 1.0);
+  EXPECT_LE(eec.avgReplicationFactor, 4.0);
+  const auto hvc = computeQuality(makeParts(g, "HVC", 4));
+  EXPECT_GE(hvc.avgReplicationFactor, 1.0);
+}
+
+TEST(QualityTest, EmptyPartitionsListYieldsZeros) {
+  const auto q = computeQuality(std::span<const DistGraph>{});
+  EXPECT_EQ(q.totalProxies, 0u);
+  EXPECT_DOUBLE_EQ(q.avgReplicationFactor, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Partition serialization (.cdg).
+// ---------------------------------------------------------------------------
+
+class DistGraphFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cusp_cdg_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(DistGraphFiles, SaveLoadRoundTripsEntirePartitionSet) {
+  graph::CsrGraph g = graph::generateWebCrawl(
+      {.numNodes = 400, .avgOutDegree = 6.0, .seed = 71});
+  g = graph::withRandomWeights(g, 9, 5);
+  const auto parts = makeParts(g, "CVC", 4);
+  std::vector<DistGraph> reloaded;
+  for (const auto& part : parts) {
+    const std::string file = path("p" + std::to_string(part.hostId) + ".cdg");
+    saveDistGraph(file, part);
+    reloaded.push_back(loadDistGraph(file));
+  }
+  // The reloaded set must satisfy every structural invariant, including
+  // the cross-host mirror pairing and the full edge multiset.
+  EXPECT_NO_THROW(validatePartitions(g, reloaded));
+  for (uint32_t h = 0; h < 4; ++h) {
+    EXPECT_EQ(reloaded[h].graph, parts[h].graph);
+    EXPECT_EQ(reloaded[h].localToGlobal, parts[h].localToGlobal);
+    EXPECT_EQ(reloaded[h].mirrorsOnHost, parts[h].mirrorsOnHost);
+    EXPECT_EQ(reloaded[h].isTransposed, parts[h].isTransposed);
+  }
+}
+
+TEST_F(DistGraphFiles, TransposedPartitionRoundTrips) {
+  const auto g = graph::generateErdosRenyi(100, 500, 73);
+  const auto file = graph::GraphFile::fromCsr(g);
+  PartitionerConfig config;
+  config.numHosts = 2;
+  config.buildTranspose = true;
+  const auto parts =
+      partitionGraph(file, makePolicy("EEC"), config).partitions;
+  saveDistGraph(path("t.cdg"), parts[0]);
+  const auto reloaded = loadDistGraph(path("t.cdg"));
+  EXPECT_TRUE(reloaded.isTransposed);
+  EXPECT_EQ(reloaded.graph, parts[0].graph);
+}
+
+TEST_F(DistGraphFiles, RejectsMissingCorruptAndTruncatedFiles) {
+  EXPECT_THROW(loadDistGraph(path("missing.cdg")), std::runtime_error);
+  {
+    std::ofstream bad(path("bad.cdg"), std::ios::binary);
+    bad << "garbage garbage garbage garbage garbage garbage";
+  }
+  EXPECT_THROW(loadDistGraph(path("bad.cdg")), std::runtime_error);
+  const auto g = graph::makePath(10);
+  const auto parts = makeParts(g, "EEC", 2);
+  saveDistGraph(path("ok.cdg"), parts[0]);
+  const auto full = std::filesystem::file_size(path("ok.cdg"));
+  std::filesystem::resize_file(path("ok.cdg"), full - 7);
+  EXPECT_THROW(loadDistGraph(path("ok.cdg")), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection: the validator must catch corrupted partition sets.
+// ---------------------------------------------------------------------------
+
+class ValidatorInjection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = graph::generateErdosRenyi(80, 400, 47);
+    parts_ = makeParts(graph_, "CVC", 4);
+    ASSERT_NO_THROW(validatePartitions(graph_, parts_));
+  }
+
+  graph::CsrGraph graph_;
+  std::vector<DistGraph> parts_;
+};
+
+TEST_F(ValidatorInjection, DetectsDuplicateMaster) {
+  // Promote one of host 1's mirrors to "master" by lying about its owner.
+  auto& part = parts_[1];
+  ASSERT_GT(part.numMirrors(), 0u);
+  ++part.numMasters;  // absorbs the first mirror into the master segment
+  part.masterHostOfLocal[part.numMasters - 1] = part.hostId;
+  EXPECT_THROW(validatePartitions(graph_, parts_), std::logic_error);
+}
+
+TEST_F(ValidatorInjection, DetectsMissingEdge) {
+  auto& part = parts_[0];
+  ASSERT_GT(part.numLocalEdges(), 0u);
+  // Rebuild host 0's local graph with one edge dropped.
+  auto edges = part.graph.toEdges();
+  edges.pop_back();
+  part.graph = graph::CsrGraph::fromEdges(part.graph.numNodes(), edges);
+  EXPECT_THROW(validatePartitions(graph_, parts_), std::logic_error);
+}
+
+TEST_F(ValidatorInjection, DetectsWrongMasterHostOnMirror) {
+  for (auto& part : parts_) {
+    if (part.numMirrors() > 0) {
+      auto& owner = part.masterHostOfLocal[part.numMasters];
+      owner = (owner + 1) % part.numHosts;
+      if (owner == part.hostId) {
+        owner = (owner + 1) % part.numHosts;
+      }
+      break;
+    }
+  }
+  EXPECT_THROW(validatePartitions(graph_, parts_), std::logic_error);
+}
+
+TEST_F(ValidatorInjection, DetectsBrokenSyncMetadata) {
+  for (auto& part : parts_) {
+    for (auto& list : part.mirrorsOnHost) {
+      if (!list.empty()) {
+        list.pop_back();
+        EXPECT_THROW(validatePartitions(graph_, parts_), std::logic_error);
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "no mirrors to corrupt";
+}
+
+TEST_F(ValidatorInjection, DetectsHostIdMismatch) {
+  std::swap(parts_[0].hostId, parts_[1].hostId);
+  EXPECT_THROW(validatePartitions(graph_, parts_), std::logic_error);
+}
+
+TEST_F(ValidatorInjection, EdgeCheckCanBeSkipped) {
+  auto& part = parts_[0];
+  auto edges = part.graph.toEdges();
+  if (edges.empty()) {
+    GTEST_SKIP();
+  }
+  edges.pop_back();
+  part.graph = graph::CsrGraph::fromEdges(part.graph.numNodes(), edges);
+  EXPECT_NO_THROW(
+      validatePartitions(graph_, parts_, /*checkEdgeMultiset=*/false));
+}
+
+}  // namespace
+}  // namespace cusp::core

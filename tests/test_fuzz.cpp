@@ -1,0 +1,160 @@
+// Randomized property tests: for seeded-random graphs, configurations and
+// policies, the partitioner must always produce structurally valid
+// partitions and the analytics engine must always match the single-image
+// reference. Each seed drives every random choice, so failures replay
+// exactly.
+#include <gtest/gtest.h>
+
+#include "analytics/algorithms.h"
+#include "analytics/reference.h"
+#include "core/partitioner.h"
+#include "core/policies.h"
+#include "graph/generators.h"
+#include "graph/graph_file.h"
+#include "support/random.h"
+
+namespace cusp {
+namespace {
+
+struct FuzzCase {
+  graph::CsrGraph graph;
+  std::string policy;
+  core::PartitionerConfig config;
+};
+
+FuzzCase makeCase(uint64_t seed) {
+  support::Rng rng(seed * 2654435761u + 17);
+  FuzzCase fuzz;
+  // Random graph family and shape.
+  const uint64_t family = rng.nextBounded(4);
+  const uint64_t nodes = 20 + rng.nextBounded(600);
+  const uint64_t edges = rng.nextBounded(8 * nodes + 1);
+  switch (family) {
+    case 0:
+      fuzz.graph = graph::generateErdosRenyi(nodes, edges, seed);
+      break;
+    case 1: {
+      graph::WebCrawlParams params;
+      params.numNodes = nodes;
+      params.avgOutDegree = 1.0 + static_cast<double>(rng.nextBounded(12));
+      params.seed = seed;
+      fuzz.graph = graph::generateWebCrawl(params);
+      break;
+    }
+    case 2: {
+      graph::RmatParams params;
+      params.scale = 5 + static_cast<uint32_t>(rng.nextBounded(5));
+      params.numEdges = edges;
+      params.seed = seed;
+      fuzz.graph = graph::generateRmat(params);
+      break;
+    }
+    default:
+      fuzz.graph = graph::makeGrid(2 + rng.nextBounded(20),
+                                   2 + rng.nextBounded(20));
+  }
+  if (rng.nextBounded(2) == 1) {
+    fuzz.graph = graph::withRandomWeights(fuzz.graph, 16, seed + 1);
+  }
+  const auto& catalog = core::extendedPolicyCatalog();
+  fuzz.policy = catalog[rng.nextBounded(catalog.size())];
+  fuzz.config.numHosts = 1 + static_cast<uint32_t>(rng.nextBounded(9));
+  fuzz.config.stateSyncRounds = 1 + static_cast<uint32_t>(rng.nextBounded(40));
+  fuzz.config.messageBufferThreshold = rng.nextBounded(64 << 10);
+  fuzz.config.threadsPerHost = 1 + static_cast<unsigned>(rng.nextBounded(2));
+  fuzz.config.disablePureMasterOptimization = rng.nextBounded(4) == 0;
+  fuzz.config.compressEdgeBatches = rng.nextBounded(2) == 1;
+  fuzz.config.windowSize = static_cast<uint32_t>(rng.nextBounded(48));
+  return fuzz;
+}
+
+class PartitionerFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionerFuzz, RandomCaseIsValidAndAnalyticsCorrect) {
+  const FuzzCase fuzz = makeCase(GetParam());
+  SCOPED_TRACE("policy=" + fuzz.policy +
+               " hosts=" + std::to_string(fuzz.config.numHosts) +
+               " nodes=" + std::to_string(fuzz.graph.numNodes()) +
+               " edges=" + std::to_string(fuzz.graph.numEdges()));
+  const graph::GraphFile file = graph::GraphFile::fromCsr(fuzz.graph);
+  core::PartitionPolicy policy = core::makePolicy(fuzz.policy);
+  if (policy.edge.usesNodeMasks && fuzz.config.windowSize > 1) {
+    policy.edge = core::withWindowScore(policy.edge);  // exercise windowing
+  }
+  const auto result = core::partitionGraph(file, policy, fuzz.config);
+  ASSERT_NO_THROW(core::validatePartitions(fuzz.graph, result.partitions));
+  if (fuzz.graph.numNodes() == 0) {
+    return;
+  }
+  const uint64_t source = analytics::maxOutDegreeNode(fuzz.graph);
+  EXPECT_EQ(analytics::runBfs(result.partitions, source),
+            analytics::bfsReference(fuzz.graph, source));
+  EXPECT_EQ(analytics::runSssp(result.partitions, source),
+            analytics::ssspReference(fuzz.graph, source));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionerFuzz,
+                         ::testing::Range<uint64_t>(0, 48));
+
+// Random traffic storm over the network: every host fires seeded-random
+// tagged messages at random destinations, then all hosts drain exactly
+// what was sent (announced via a final count exchange). Verifies payload
+// integrity, per-channel FIFO and the absence of loss under load.
+class NetworkFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NetworkFuzz, RandomStormDeliversEverythingIntact) {
+  const uint64_t seed = GetParam();
+  support::Rng shapeRng(seed + 99);
+  const uint32_t hosts = 2 + static_cast<uint32_t>(shapeRng.nextBounded(7));
+  const uint32_t messagesPerHost =
+      1 + static_cast<uint32_t>(shapeRng.nextBounded(200));
+  comm::Network net(hosts);
+  std::atomic<uint64_t> receivedChecksum{0};
+  std::atomic<uint64_t> sentChecksum{0};
+  comm::runHosts(net, [&](comm::HostId me) {
+    support::Rng rng(seed * 31 + me);
+    std::vector<uint64_t> sentTo(hosts, 0);
+    for (uint32_t i = 0; i < messagesPerHost; ++i) {
+      const auto dst =
+          static_cast<comm::HostId>(rng.nextBounded(hosts));
+      const uint64_t value = rng.next();
+      support::SendBuffer buf;
+      support::serialize(buf, value);
+      sentChecksum.fetch_add(value);
+      net.send(me, dst, comm::kTagGeneric, std::move(buf));
+      ++sentTo[dst];
+    }
+    // Announce counts, then drain exactly the announced total.
+    for (comm::HostId h = 0; h < hosts; ++h) {
+      if (h != me) {
+        support::SendBuffer buf;
+        support::serialize(buf, sentTo[h]);
+        net.send(me, h, comm::kTagGeneric + 1, std::move(buf));
+      }
+    }
+    uint64_t expected = sentTo[me];
+    for (comm::HostId h = 0; h < hosts; ++h) {
+      if (h != me) {
+        auto msg = net.recvFrom(me, h, comm::kTagGeneric + 1);
+        uint64_t count = 0;
+        support::deserialize(msg.payload, count);
+        expected += count;
+      }
+    }
+    for (uint64_t i = 0; i < expected; ++i) {
+      auto msg = net.recv(me, comm::kTagGeneric);
+      uint64_t value = 0;
+      support::deserialize(msg.payload, value);
+      receivedChecksum.fetch_add(value);
+    }
+    // Nothing left over.
+    EXPECT_FALSE(net.tryRecv(me, comm::kTagGeneric).has_value());
+  });
+  EXPECT_EQ(receivedChecksum.load(), sentChecksum.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFuzz,
+                         ::testing::Range<uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace cusp

@@ -1,0 +1,337 @@
+// Unit tests for the in-memory CSR graph substrate and generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "graph/csr_graph.h"
+#include "graph/generators.h"
+#include "testutil.h"
+
+namespace cusp::graph {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CsrGraph construction and accessors
+// ---------------------------------------------------------------------------
+
+TEST(CsrGraphTest, FromEdgesBuildsCorrectAdjacency) {
+  std::vector<Edge> edges = {{1, 0, 0}, {0, 2, 0}, {0, 1, 0}, {2, 1, 0}};
+  const auto g = CsrGraph::fromEdges(3, edges);
+  EXPECT_EQ(g.numNodes(), 3u);
+  EXPECT_EQ(g.numEdges(), 4u);
+  EXPECT_EQ(g.outDegree(0), 2u);
+  EXPECT_EQ(g.outDegree(1), 1u);
+  EXPECT_EQ(g.outDegree(2), 1u);
+  // Stable within a source: 0->2 appears before 0->1 (input order).
+  const auto n0 = g.outNeighbors(0);
+  EXPECT_EQ(n0[0], 2u);
+  EXPECT_EQ(n0[1], 1u);
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  const auto g = CsrGraph::fromEdges(0, std::vector<Edge>{});
+  EXPECT_EQ(g.numNodes(), 0u);
+  EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(CsrGraphTest, NodesWithoutEdges) {
+  const auto g = CsrGraph::fromEdges(5, std::vector<Edge>{{1, 3, 0}});
+  EXPECT_EQ(g.numNodes(), 5u);
+  EXPECT_EQ(g.outDegree(0), 0u);
+  EXPECT_EQ(g.outDegree(4), 0u);
+  EXPECT_TRUE(g.outNeighbors(0).empty());
+}
+
+TEST(CsrGraphTest, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(CsrGraph::fromEdges(2, std::vector<Edge>{{0, 2, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(CsrGraph::fromEdges(2, std::vector<Edge>{{5, 0, 0}}),
+               std::invalid_argument);
+}
+
+TEST(CsrGraphTest, RejectsMalformedRawArrays) {
+  EXPECT_THROW(CsrGraph({}, {}), std::invalid_argument);
+  EXPECT_THROW(CsrGraph({0, 2}, {0}), std::invalid_argument);       // frame
+  EXPECT_THROW(CsrGraph({0, 2, 1}, {0, 0}), std::invalid_argument); // sorted
+  EXPECT_THROW(CsrGraph({0, 1}, {5}), std::invalid_argument);       // range
+  EXPECT_THROW(CsrGraph({0, 1}, {0}, {1, 2}), std::invalid_argument);
+}
+
+TEST(CsrGraphTest, EdgeDataKeptWhenRequested) {
+  std::vector<Edge> edges = {{0, 1, 7}, {1, 0, 9}};
+  const auto with = CsrGraph::fromEdges(2, edges, true);
+  EXPECT_TRUE(with.hasEdgeData());
+  EXPECT_EQ(with.edgeData(with.edgeBegin(0)), 7u);
+  const auto without = CsrGraph::fromEdges(2, edges, false);
+  EXPECT_FALSE(without.hasEdgeData());
+  EXPECT_EQ(without.edgeData(0), 0u);
+}
+
+TEST(CsrGraphTest, ToEdgesRoundTrips) {
+  const auto g = generateErdosRenyi(50, 200, 1);
+  const auto edges = g.toEdges();
+  const auto rebuilt = CsrGraph::fromEdges(50, edges);
+  EXPECT_EQ(g, rebuilt);
+}
+
+// ---------------------------------------------------------------------------
+// Transpose
+// ---------------------------------------------------------------------------
+
+TEST(TransposeTest, ReversesEdges) {
+  const auto g = makePath(4);  // 0->1->2->3
+  const auto t = g.transpose();
+  EXPECT_EQ(t.outDegree(0), 0u);
+  EXPECT_EQ(t.outDegree(1), 1u);
+  EXPECT_EQ(t.outNeighbors(1)[0], 0u);
+  EXPECT_EQ(t.outNeighbors(3)[0], 2u);
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentityOnSortedRows) {
+  // fromEdges with sorted input yields sorted rows, for which transpose is
+  // an involution.
+  auto edges = generateErdosRenyi(80, 400, 3).toEdges();
+  std::sort(edges.begin(), edges.end());
+  const auto g = CsrGraph::fromEdges(80, edges);
+  EXPECT_EQ(g.transpose().transpose(), g);
+}
+
+TEST(TransposeTest, PreservesEdgeData) {
+  std::vector<Edge> edges = {{0, 1, 11}, {2, 1, 22}};
+  const auto g = CsrGraph::fromEdges(3, edges, true);
+  const auto t = g.transpose();
+  ASSERT_EQ(t.outDegree(1), 2u);
+  EXPECT_EQ(t.edgeData(t.edgeBegin(1)), 11u);
+  EXPECT_EQ(t.edgeData(t.edgeBegin(1) + 1), 22u);
+}
+
+TEST(TransposeTest, EdgeCountConserved) {
+  const auto g = generateWebCrawl({.numNodes = 300, .avgOutDegree = 6.0, .seed = 2});
+  EXPECT_EQ(g.transpose().numEdges(), g.numEdges());
+}
+
+// ---------------------------------------------------------------------------
+// Symmetrize & stats
+// ---------------------------------------------------------------------------
+
+TEST(SimpleSymmetrizeTest, DropsSelfLoopsAndDuplicates) {
+  const auto g = testutil::awkwardGraph();  // has a self loop and a dup edge
+  const auto s = g.simpleSymmetrized();
+  auto edges = s.toEdges();
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(std::adjacent_find(edges.begin(), edges.end()), edges.end());
+  for (const Edge& e : edges) {
+    EXPECT_NE(e.src, e.dst);
+    // Every edge has its reverse.
+    EXPECT_TRUE(std::binary_search(edges.begin(), edges.end(),
+                                   Edge{e.dst, e.src, 0}));
+  }
+}
+
+TEST(SymmetrizeTest, DoublesEdgesAndContainsBothDirections) {
+  const auto g = makePath(3);
+  const auto s = g.symmetrized();
+  EXPECT_EQ(s.numEdges(), 2 * g.numEdges());
+  auto edges = s.toEdges();
+  std::sort(edges.begin(), edges.end());
+  EXPECT_NE(std::find(edges.begin(), edges.end(), Edge{1, 0, 0}),
+            edges.end());
+  EXPECT_NE(std::find(edges.begin(), edges.end(), Edge{0, 1, 0}),
+            edges.end());
+}
+
+TEST(StatsTest, CountsDegreesAndIsolatedNodes) {
+  const auto g = testutil::awkwardGraph();
+  const auto stats = computeStats(g);
+  EXPECT_EQ(stats.numNodes, 8u);
+  EXPECT_EQ(stats.numEdges, 9u);
+  EXPECT_EQ(stats.numIsolatedNodes, 3u);  // 3, 4, 7
+  EXPECT_EQ(stats.maxOutDegree, 3u);  // node 0: 0->1, 0->2, 0->1 (dup)
+  EXPECT_EQ(stats.maxInDegree, 2u);
+}
+
+TEST(StatsTest, StarDegrees) {
+  const auto stats = computeStats(makeStar(10));
+  EXPECT_EQ(stats.maxOutDegree, 10u);
+  EXPECT_EQ(stats.maxInDegree, 1u);
+  EXPECT_EQ(stats.numIsolatedNodes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorsTest, StructuredShapes) {
+  EXPECT_EQ(makePath(10).numEdges(), 9u);
+  EXPECT_EQ(makeCycle(10).numEdges(), 10u);
+  EXPECT_EQ(makeStar(10).numEdges(), 10u);
+  EXPECT_EQ(makeComplete(5).numEdges(), 20u);
+  EXPECT_EQ(makeGrid(3, 4).numEdges(), 3 * 3 + 2 * 4);
+  EXPECT_EQ(makeGrid(3, 4).numNodes(), 12u);
+}
+
+TEST(GeneratorsTest, RmatDeterministicAndSized) {
+  RmatParams params;
+  params.scale = 9;
+  params.numEdges = 4000;
+  params.seed = 5;
+  const auto a = generateRmat(params);
+  const auto b = generateRmat(params);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.numNodes(), 1u << 9);
+  EXPECT_EQ(a.numEdges(), 4000u);
+  params.seed = 6;
+  EXPECT_NE(generateRmat(params), a);
+}
+
+TEST(GeneratorsTest, RmatIsSkewed) {
+  RmatParams params;
+  params.scale = 10;
+  params.numEdges = 16'000;
+  const auto stats = computeStats(generateRmat(params));
+  // graph500 weights concentrate mass heavily; max degree far above mean.
+  EXPECT_GT(static_cast<double>(stats.maxOutDegree),
+            5.0 * stats.avgOutDegree);
+}
+
+TEST(GeneratorsTest, RmatOptionsRespected) {
+  RmatParams params;
+  params.scale = 6;
+  params.numEdges = 2000;
+  params.removeSelfLoops = true;
+  const auto g = generateRmat(params);
+  for (const Edge& e : g.toEdges()) {
+    EXPECT_NE(e.src, e.dst);
+  }
+  params.dedupe = true;
+  const auto d = generateRmat(params);
+  auto edges = d.toEdges();
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(std::adjacent_find(edges.begin(), edges.end()), edges.end());
+}
+
+TEST(GeneratorsTest, RmatValidatesParameters) {
+  RmatParams params;
+  params.a = 0.9;  // weights no longer sum to 1
+  EXPECT_THROW(generateRmat(params), std::invalid_argument);
+  RmatParams params2;
+  params2.scale = 0;
+  EXPECT_THROW(generateRmat(params2), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, WebCrawlHasWebLikeShape) {
+  WebCrawlParams params;
+  params.numNodes = 5000;
+  params.avgOutDegree = 20.0;
+  params.seed = 10;
+  const auto g = generateWebCrawl(params);
+  const auto stats = computeStats(g);
+  EXPECT_EQ(stats.numNodes, 5000u);
+  // Mean out-degree near request.
+  EXPECT_NEAR(stats.avgOutDegree, 20.0, 8.0);
+  // Web-crawl signature (paper Table III): max in-degree far above max
+  // out-degree.
+  EXPECT_GT(stats.maxInDegree, 4 * stats.maxOutDegree);
+}
+
+TEST(GeneratorsTest, WebCrawlDeterministic) {
+  WebCrawlParams params;
+  params.numNodes = 500;
+  params.seed = 3;
+  EXPECT_EQ(generateWebCrawl(params), generateWebCrawl(params));
+}
+
+TEST(GeneratorsTest, WebCrawlValidatesParameters) {
+  WebCrawlParams params;
+  params.localFraction = 1.5;
+  EXPECT_THROW(generateWebCrawl(params), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, ErdosRenyiSizedAndDeterministic) {
+  const auto g = generateErdosRenyi(100, 700, 9);
+  EXPECT_EQ(g.numNodes(), 100u);
+  EXPECT_EQ(g.numEdges(), 700u);
+  EXPECT_EQ(g, generateErdosRenyi(100, 700, 9));
+  EXPECT_THROW(generateErdosRenyi(0, 5, 1), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, RandomWeightsInRange) {
+  const auto g = withRandomWeights(makeCycle(50), 7, 13);
+  EXPECT_TRUE(g.hasEdgeData());
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    EXPECT_GE(g.edgeData(e), 1u);
+    EXPECT_LE(g.edgeData(e), 7u);
+  }
+  EXPECT_THROW(withRandomWeights(makeCycle(3), 0, 1), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertShapeAndSkew) {
+  const auto g = graph::generateBarabasiAlbert(3000, 3, 7);
+  EXPECT_EQ(g.numNodes(), 3000u);
+  EXPECT_EQ(g.numEdges(), (3000u - 1) * 3);
+  const auto stats = computeStats(g);
+  // Preferential attachment: early vertices accumulate in-degree far above
+  // the mean (power-law tail).
+  EXPECT_GT(stats.maxInDegree, 20 * 3u);
+  EXPECT_EQ(g, graph::generateBarabasiAlbert(3000, 3, 7)) << "deterministic";
+  EXPECT_THROW(graph::generateBarabasiAlbert(10, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(GeneratorsTest, WattsStrogatzLatticeAndRewiring) {
+  // p = 0: the pure ring lattice, fully regular.
+  const auto lattice = graph::generateWattsStrogatz(100, 2, 0.0, 3);
+  EXPECT_EQ(lattice.numEdges(), 200u);
+  for (uint64_t v = 0; v < 100; ++v) {
+    EXPECT_EQ(lattice.outDegree(v), 2u);
+    EXPECT_EQ(lattice.outNeighbors(v)[0], (v + 1) % 100);
+    EXPECT_EQ(lattice.outNeighbors(v)[1], (v + 2) % 100);
+  }
+  // p = 1: everything rewired; degrees stay regular but targets scatter.
+  const auto random = graph::generateWattsStrogatz(100, 2, 1.0, 3);
+  EXPECT_EQ(random.numEdges(), 200u);
+  EXPECT_NE(random, lattice);
+  EXPECT_THROW(graph::generateWattsStrogatz(10, 1, 1.5, 1),
+               std::invalid_argument);
+}
+
+TEST(GeneratorsTest, PermuteNodeIdsPreservesStructure) {
+  const auto g = withRandomWeights(generateErdosRenyi(200, 1000, 9), 7, 2);
+  const auto p = graph::permuteNodeIds(g, 5);
+  EXPECT_EQ(p.numNodes(), g.numNodes());
+  EXPECT_EQ(p.numEdges(), g.numEdges());
+  EXPECT_NE(p, g);
+  // Degree multiset is invariant under relabeling.
+  std::vector<uint64_t> degG, degP;
+  for (uint64_t v = 0; v < g.numNodes(); ++v) {
+    degG.push_back(g.outDegree(v));
+    degP.push_back(p.outDegree(v));
+  }
+  std::sort(degG.begin(), degG.end());
+  std::sort(degP.begin(), degP.end());
+  EXPECT_EQ(degG, degP);
+  // Deterministic in the seed.
+  EXPECT_EQ(p, graph::permuteNodeIds(g, 5));
+}
+
+TEST(GeneratorsTest, StandInCatalogMatchesPaperInputs) {
+  const auto& catalog = standInCatalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  EXPECT_EQ(catalog[0].name, "kron");
+  EXPECT_EQ(catalog[4].name, "wdc");
+  for (const auto& info : catalog) {
+    const auto g = makeStandIn(info.name, 20'000);
+    EXPECT_GT(g.numEdges(), 10'000u) << info.name;
+    // |E|/|V| tracks the Table III ratio loosely (generators are random).
+    const double ratio = static_cast<double>(g.numEdges()) /
+                         static_cast<double>(g.numNodes());
+    EXPECT_GT(ratio, info.edgesPerNode * 0.4) << info.name;
+    EXPECT_LT(ratio, info.edgesPerNode * 2.5) << info.name;
+  }
+  EXPECT_THROW(makeStandIn("nosuch", 1000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cusp::graph

@@ -1,0 +1,338 @@
+// Tests for on-disk graph formats, converters, and read-range splitting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/edge_list.h"
+#include "graph/generators.h"
+#include "graph/graph_file.h"
+#include "testutil.h"
+
+namespace cusp::graph {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cusp_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Binary graph file (.cgr)
+// ---------------------------------------------------------------------------
+
+using GraphFileTest = TempDir;
+
+TEST_F(GraphFileTest, SaveLoadRoundTrip) {
+  const auto g = generateErdosRenyi(200, 1500, 4);
+  GraphFile::save(path("g.cgr"), g);
+  const auto file = GraphFile::load(path("g.cgr"));
+  EXPECT_EQ(file.numNodes(), g.numNodes());
+  EXPECT_EQ(file.numEdges(), g.numEdges());
+  EXPECT_EQ(file.toCsr(), g);
+}
+
+TEST_F(GraphFileTest, SaveLoadRoundTripWithWeights) {
+  const auto g = withRandomWeights(generateErdosRenyi(100, 600, 5), 9, 6);
+  GraphFile::save(path("w.cgr"), g);
+  const auto file = GraphFile::load(path("w.cgr"));
+  EXPECT_TRUE(file.hasEdgeData());
+  EXPECT_EQ(file.toCsr(), g);
+}
+
+TEST_F(GraphFileTest, FromCsrMatchesDiskPath) {
+  const auto g = generateWebCrawl({.numNodes = 300, .avgOutDegree = 5.0, .seed = 8});
+  GraphFile::save(path("g.cgr"), g);
+  const auto fromDisk = GraphFile::load(path("g.cgr"));
+  const auto fromMem = GraphFile::fromCsr(g);
+  EXPECT_EQ(fromDisk.toCsr(), fromMem.toCsr());
+  EXPECT_EQ(fromDisk.numEdges(), fromMem.numEdges());
+}
+
+TEST_F(GraphFileTest, AccessorsMatchGraph) {
+  const auto g = makeStar(6);
+  const auto file = GraphFile::fromCsr(g);
+  EXPECT_EQ(file.outDegree(0), 6u);
+  EXPECT_EQ(file.outDegree(3), 0u);
+  EXPECT_EQ(file.firstOutEdge(0), 0u);
+  EXPECT_EQ(file.firstOutEdge(1), 6u);
+  EXPECT_EQ(file.outNeighbors(0).size(), 6u);
+}
+
+TEST_F(GraphFileTest, MissingFileThrows) {
+  EXPECT_THROW(GraphFile::load(path("nope.cgr")), std::runtime_error);
+}
+
+TEST_F(GraphFileTest, BadMagicThrows) {
+  std::ofstream out(path("bad.cgr"), std::ios::binary);
+  out << "this is not a graph file at all, definitely not";
+  out.close();
+  EXPECT_THROW(GraphFile::load(path("bad.cgr")), std::runtime_error);
+}
+
+TEST_F(GraphFileTest, TruncatedFileThrows) {
+  const auto g = generateErdosRenyi(100, 800, 3);
+  GraphFile::save(path("t.cgr"), g);
+  const auto fullSize = std::filesystem::file_size(path("t.cgr"));
+  std::filesystem::resize_file(path("t.cgr"), fullSize / 2);
+  EXPECT_THROW(GraphFile::load(path("t.cgr")), std::runtime_error);
+}
+
+TEST_F(GraphFileTest, CorruptIndexThrows) {
+  const auto g = makePath(4);
+  GraphFile::save(path("c.cgr"), g);
+  // Flip a row-start entry to break monotonicity.
+  std::fstream f(path("c.cgr"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(4 * sizeof(uint64_t) + 1 * sizeof(uint64_t));
+  const uint64_t garbage = 1ull << 60;
+  f.write(reinterpret_cast<const char*>(&garbage), sizeof(garbage));
+  f.close();
+  EXPECT_THROW(GraphFile::load(path("c.cgr")), std::runtime_error);
+}
+
+TEST_F(GraphFileTest, EmptyGraphRoundTrips) {
+  const auto g = CsrGraph::fromEdges(0, std::vector<Edge>{});
+  GraphFile::save(path("e.cgr"), g);
+  const auto file = GraphFile::load(path("e.cgr"));
+  EXPECT_EQ(file.numNodes(), 0u);
+  EXPECT_EQ(file.numEdges(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Galois .gr v1 interop
+// ---------------------------------------------------------------------------
+
+using GaloisGrTest = TempDir;
+
+TEST_F(GaloisGrTest, RoundTripsUnweighted) {
+  const auto g = generateErdosRenyi(300, 2000, 14);
+  GraphFile::saveGalois(path("g.gr"), g);
+  EXPECT_EQ(GraphFile::loadGalois(path("g.gr")).toCsr(), g);
+}
+
+TEST_F(GaloisGrTest, RoundTripsWeightedWithOddEdgePadding) {
+  // 9 edges (odd) exercises the 4-byte alignment padding before edge data.
+  std::vector<Edge> edges;
+  for (uint64_t i = 0; i < 9; ++i) {
+    edges.push_back({i % 5, (i * 3) % 5, static_cast<uint32_t>(i + 1)});
+  }
+  const auto g = CsrGraph::fromEdges(5, edges, true);
+  ASSERT_EQ(g.numEdges() % 2, 1u);
+  GraphFile::saveGalois(path("odd.gr"), g);
+  EXPECT_EQ(GraphFile::loadGalois(path("odd.gr")).toCsr(), g);
+  // Even count too.
+  const auto even = withRandomWeights(generateErdosRenyi(50, 200, 15), 9, 1);
+  GraphFile::saveGalois(path("even.gr"), even);
+  EXPECT_EQ(GraphFile::loadGalois(path("even.gr")).toCsr(), even);
+}
+
+TEST_F(GaloisGrTest, RejectsWrongVersionAndCorruption) {
+  // Our .cgr file is not a .gr file.
+  GraphFile::save(path("x.cgr"), makePath(4));
+  EXPECT_THROW(GraphFile::loadGalois(path("x.cgr")), std::runtime_error);
+  // Truncation.
+  GraphFile::saveGalois(path("t.gr"), generateErdosRenyi(100, 700, 16));
+  std::filesystem::resize_file(
+      path("t.gr"), std::filesystem::file_size(path("t.gr")) / 2);
+  EXPECT_THROW(GraphFile::loadGalois(path("t.gr")), std::runtime_error);
+}
+
+TEST_F(GaloisGrTest, InteropThroughConverterAndPartitioner) {
+  // A .gr file can feed the whole pipeline.
+  const auto g = generateWebCrawl({.numNodes = 300, .avgOutDegree = 5.0, .seed = 17});
+  GraphFile::saveGalois(path("w.gr"), g);
+  const auto file = GraphFile::loadGalois(path("w.gr"));
+  EXPECT_EQ(file.numEdges(), g.numEdges());
+  EXPECT_EQ(file.toCsr(), g);
+}
+
+// ---------------------------------------------------------------------------
+// Edge-list text format
+// ---------------------------------------------------------------------------
+
+TEST(EdgeListTest, ParsesPlainEdges) {
+  std::istringstream in("0 1\n1 2\n\n2 0\n");
+  const auto parsed = parseEdgeList(in);
+  EXPECT_EQ(parsed.numNodes, 3u);
+  EXPECT_EQ(parsed.edges.size(), 3u);
+  EXPECT_FALSE(parsed.sawWeights);
+  EXPECT_EQ(parsed.edges[0], (Edge{0, 1, 0}));
+}
+
+TEST(EdgeListTest, ParsesWeightsAndComments) {
+  std::istringstream in("# comment\n% also comment\n0 1 5\n2 0 7\n");
+  const auto parsed = parseEdgeList(in);
+  EXPECT_TRUE(parsed.sawWeights);
+  EXPECT_EQ(parsed.edges[0].data, 5u);
+  EXPECT_EQ(parsed.edges[1].data, 7u);
+}
+
+TEST(EdgeListTest, TabsAndPaddingAccepted) {
+  std::istringstream in("  0\t1 \n\t3   4\t\n");
+  const auto parsed = parseEdgeList(in);
+  EXPECT_EQ(parsed.edges.size(), 2u);
+  EXPECT_EQ(parsed.numNodes, 5u);
+}
+
+TEST(EdgeListTest, MalformedLinesThrow) {
+  {
+    std::istringstream in("0 x\n");
+    EXPECT_THROW(parseEdgeList(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("0\n");  // missing destination
+    EXPECT_THROW(parseEdgeList(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("0 1 2 3\n");  // too many fields
+    EXPECT_THROW(parseEdgeList(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("1.5 2\n");  // non-integer id
+    EXPECT_THROW(parseEdgeList(in), std::runtime_error);
+  }
+}
+
+TEST(EdgeListTest, EmptyInputYieldsEmptyGraph) {
+  std::istringstream in("# nothing here\n");
+  const auto parsed = parseEdgeList(in);
+  EXPECT_EQ(parsed.numNodes, 0u);
+  EXPECT_TRUE(parsed.edges.empty());
+}
+
+TEST(EdgeListTest, WriteParseRoundTrip) {
+  const auto g = withRandomWeights(generateErdosRenyi(60, 300, 2), 5, 3);
+  std::ostringstream out;
+  writeEdgeList(out, g);
+  std::istringstream in(out.str());
+  const auto parsed = parseEdgeList(in);
+  const auto rebuilt = edgeListToCsr(parsed);
+  EXPECT_EQ(rebuilt, g);
+}
+
+using EdgeListFileTest = TempDir;
+
+TEST_F(EdgeListFileTest, FileRoundTripAndConverterChain) {
+  // edge list -> CSR -> .cgr -> CSR -> edge list: the full converter chain.
+  const auto g = generateWebCrawl({.numNodes = 120, .avgOutDegree = 4.0, .seed = 4});
+  writeEdgeListFile(path("g.el"), g);
+  const auto parsed = parseEdgeListFile(path("g.el"));
+  auto csr = edgeListToCsr(parsed);
+  // Edge lists drop trailing isolated nodes (ids not mentioned); pad back.
+  EXPECT_LE(csr.numNodes(), g.numNodes());
+  GraphFile::save(path("g.cgr"), csr);
+  EXPECT_EQ(GraphFile::load(path("g.cgr")).toCsr(), csr);
+  EXPECT_THROW(parseEdgeListFile(path("missing.el")), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Read-range computation
+// ---------------------------------------------------------------------------
+
+void expectCoverage(const std::vector<ReadRange>& ranges, uint64_t numNodes,
+                    uint64_t numEdges) {
+  ASSERT_FALSE(ranges.empty());
+  EXPECT_EQ(ranges.front().nodeBegin, 0u);
+  EXPECT_EQ(ranges.back().nodeEnd, numNodes);
+  EXPECT_EQ(ranges.back().edgeEnd, numEdges);
+  for (size_t i = 0; i + 1 < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].nodeEnd, ranges[i + 1].nodeBegin);
+    EXPECT_EQ(ranges[i].edgeEnd, ranges[i + 1].edgeBegin);
+  }
+}
+
+class ReadRangeHosts : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ReadRangeHosts, EdgeBalancedCoversAndBalances) {
+  const uint32_t hosts = GetParam();
+  const auto g = generateWebCrawl({.numNodes = 4000, .avgOutDegree = 10.0, .seed = 21});
+  const auto file = GraphFile::fromCsr(g);
+  const auto ranges = computeReadRanges(file, hosts);
+  expectCoverage(ranges, g.numNodes(), g.numEdges());
+  // No range wildly above the average edge share (max-degree granularity
+  // aside).
+  const auto stats = computeStats(g);
+  const uint64_t avg = g.numEdges() / hosts;
+  for (const auto& r : ranges) {
+    EXPECT_LE(r.numEdges(), avg + stats.maxOutDegree + 1);
+  }
+}
+
+TEST_P(ReadRangeHosts, ContiguousEbCoversAndMatchesFormula) {
+  const uint32_t hosts = GetParam();
+  const auto g = generateWebCrawl({.numNodes = 3000, .avgOutDegree = 8.0, .seed = 23});
+  const auto file = GraphFile::fromCsr(g);
+  const auto ranges = contiguousEbRanges(file, hosts);
+  expectCoverage(ranges, g.numNodes(), g.numEdges());
+  // Paper formula: host(v) = floor(firstOutEdge(v) / ceil((E+1)/k)).
+  const uint64_t blockSize = (g.numEdges() + 1 + hosts - 1) / hosts;
+  for (uint64_t v = 0; v < g.numNodes(); ++v) {
+    const uint32_t byFormula = static_cast<uint32_t>(
+        std::min<uint64_t>(file.firstOutEdge(v) / blockSize, hosts - 1));
+    EXPECT_EQ(readingHostOf(ranges, v), byFormula) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Hosts, ReadRangeHosts,
+                         ::testing::Values(1u, 2u, 3u, 8u, 16u));
+
+TEST(ReadRangeTest, NodeWeightedSplitBalancesNodes) {
+  const auto g = makeStar(999);  // extreme skew: node 0 has all edges
+  const auto file = GraphFile::fromCsr(g);
+  const auto ranges = computeReadRanges(file, 4, 1.0, 0.0);
+  for (const auto& r : ranges) {
+    EXPECT_EQ(r.numNodes(), 250u);
+  }
+}
+
+TEST(ReadRangeTest, EdgeWeightedSplitPutsHubAlone) {
+  const auto g = makeStar(999);
+  const auto file = GraphFile::fromCsr(g);
+  const auto ranges = computeReadRanges(file, 4, 0.0, 1.0);
+  // All edges belong to node 0; it cannot be split, so host 0 gets it and
+  // the rest get only leaves.
+  EXPECT_GE(ranges[0].numEdges(), g.numEdges());
+}
+
+TEST(ReadRangeTest, InvalidArgumentsThrow) {
+  const auto file = GraphFile::fromCsr(makePath(4));
+  EXPECT_THROW(computeReadRanges(file, 0), std::invalid_argument);
+  EXPECT_THROW(computeReadRanges(file, 2, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(computeReadRanges(file, 2, -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(contiguousEbRanges(file, 0), std::invalid_argument);
+}
+
+TEST(ReadRangeTest, ReadingHostOfThrowsOutsideRanges) {
+  const auto file = GraphFile::fromCsr(makePath(10));
+  const auto ranges = contiguousEbRanges(file, 2);
+  EXPECT_THROW(readingHostOf(ranges, 10), std::out_of_range);
+}
+
+TEST(ReadRangeTest, MoreHostsThanNodesLeavesEmptyRanges) {
+  const auto file = GraphFile::fromCsr(makePath(3));
+  const auto ranges = contiguousEbRanges(file, 8);
+  expectCoverage(ranges, 3, 2);
+  uint64_t covered = 0;
+  for (const auto& r : ranges) {
+    covered += r.numNodes();
+  }
+  EXPECT_EQ(covered, 3u);
+}
+
+}  // namespace
+}  // namespace cusp::graph

@@ -1,0 +1,55 @@
+// Shared helpers for the CuSP test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/generators.h"
+
+namespace cusp::testutil {
+
+struct NamedGraph {
+  std::string name;
+  graph::CsrGraph graph;
+};
+
+// A spread of small graphs exercising structurally different cases:
+// skewed degrees, hubs, locality, regular structure, isolated vertices.
+inline std::vector<NamedGraph> testGraphCatalog() {
+  std::vector<NamedGraph> graphs;
+  graphs.push_back({"path16", graph::makePath(16)});
+  graphs.push_back({"cycle9", graph::makeCycle(9)});
+  graphs.push_back({"star33", graph::makeStar(32)});
+  graphs.push_back({"grid6x5", graph::makeGrid(6, 5)});
+  graphs.push_back({"complete8", graph::makeComplete(8)});
+  {
+    graph::RmatParams params;
+    params.scale = 8;
+    params.numEdges = 2048;
+    params.seed = 11;
+    graphs.push_back({"rmat8", graph::generateRmat(params)});
+  }
+  {
+    graph::WebCrawlParams params;
+    params.numNodes = 400;
+    params.avgOutDegree = 8.0;
+    params.seed = 13;
+    graphs.push_back({"web400", graph::generateWebCrawl(params)});
+  }
+  graphs.push_back({"er300", graph::generateErdosRenyi(300, 1200, 17)});
+  return graphs;
+}
+
+// A graph with isolated vertices and a self loop mixed in.
+inline graph::CsrGraph awkwardGraph() {
+  std::vector<graph::Edge> edges = {
+      {0, 1, 0}, {0, 2, 0}, {2, 2, 0},  // self loop
+      {5, 0, 0}, {5, 6, 0}, {6, 5, 0},  // nodes 3, 4, 7 isolated
+      {1, 5, 0}, {2, 6, 0}, {0, 1, 0},  // duplicate edge 0->1
+  };
+  return graph::CsrGraph::fromEdges(8, edges);
+}
+
+}  // namespace cusp::testutil
