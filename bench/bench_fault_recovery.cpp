@@ -1,0 +1,131 @@
+// Fault-recovery bench: cost of the resilience machinery.
+//
+//  (a) Checkpoint overhead — fault-free partitioning time with per-phase
+//      checkpointing off vs on. Expected: a few percent (<10%): each
+//      checkpoint serializes small per-host metadata except the phase-5
+//      one, which writes the local partition.
+//  (b) Recovery makespan vs crash phase — one host crashes at the entry of
+//      phase P; partitionGraphResilient resumes from the phase-(P-1)
+//      checkpoints. Makespan is modeled as the simulated time spent before
+//      the crash (the baseline's phase prefix) plus the simulated time of
+//      the resumed re-run. Expected: grows with P (later crashes waste
+//      more pre-crash work), while the re-run itself shrinks as the resume
+//      point advances; without checkpoints every crash pays a full re-run.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "comm/fault.h"
+#include "core/checkpoint.h"
+
+namespace {
+
+const char* const kPhaseNames[5] = {"Graph Reading", "Master Assignment",
+                                    "Edge Assignment", "Graph Allocation",
+                                    "Graph Construction"};
+
+std::string makeCheckpointDir() {
+  char tmpl[] = "/tmp/cusp_bench_ckpt_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  return dir;
+}
+
+void cleanupCheckpointDir(const std::string& dir, uint32_t hosts) {
+  for (uint32_t h = 0; h < hosts; ++h) {
+    cusp::core::removeCheckpoints(dir, h, 5);
+  }
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace cusp;
+  const uint64_t edges = 250'000;
+  const uint32_t hosts = 8;
+  const std::string input = "kron";
+  const auto& g = bench::standIn(input, edges);
+  const graph::GraphFile file = graph::GraphFile::fromCsr(g);
+
+  bench::printHeader("(a) Checkpoint overhead, fault-free, " + input +
+                     ", 8 hosts");
+  std::printf("%-8s %14s %16s %12s\n", "policy", "plain (s)",
+              "checkpointed (s)", "overhead");
+  for (const std::string policyName : {"EEC", "HVC", "CVC"}) {
+    const auto policy = bench::benchPolicy(policyName);
+    core::PartitionerConfig config = bench::benchConfig();
+    config.numHosts = hosts;
+    const double plain =
+        core::partitionGraph(file, policy, config).totalSeconds;
+
+    const std::string dir = makeCheckpointDir();
+    config.resilience.checkpointDir = dir;
+    config.resilience.enableCheckpoints = true;
+    const double checkpointed =
+        core::partitionGraph(file, policy, config).totalSeconds;
+    cleanupCheckpointDir(dir, hosts);
+
+    std::printf("%-8s %14.4f %16.4f %11.1f%%\n", policyName.c_str(), plain,
+                checkpointed, 100.0 * (checkpointed - plain) / plain);
+  }
+
+  bench::printHeader("(b) Recovery makespan vs crash phase, " + input +
+                     ", CVC, 8 hosts");
+  {
+    const auto policy = bench::benchPolicy("CVC");
+    core::PartitionerConfig config = bench::benchConfig();
+    config.numHosts = hosts;
+    const auto baseline = core::partitionGraph(file, policy, config);
+
+    // Simulated time spent before a crash at the entry of phase P: the
+    // baseline's phases 1..P-1.
+    double prefix[6] = {0.0};
+    for (uint32_t p = 1; p <= 5; ++p) {
+      prefix[p] = prefix[p - 1] + baseline.phaseTimes.get(kPhaseNames[p - 1]);
+    }
+    std::printf("fault-free total: %.4f s\n\n", baseline.totalSeconds);
+    std::printf("%-12s %10s %12s %12s %14s\n", "crash", "resume", "rerun (s)",
+                "makespan (s)", "vs fault-free");
+    for (const bool checkpoints : {true, false}) {
+      for (uint32_t crashPhase = 1; crashPhase <= 5; ++crashPhase) {
+        auto plan = std::make_shared<comm::FaultPlan>();
+        plan->crashes.push_back({/*host=*/1, crashPhase, /*opsIntoPhase=*/0});
+
+        core::PartitionerConfig run = config;
+        run.resilience.faultPlan = plan;
+        run.resilience.recvTimeoutSeconds = 30.0;
+        std::string dir;
+        if (checkpoints) {
+          dir = makeCheckpointDir();
+          run.resilience.checkpointDir = dir;
+          run.resilience.enableCheckpoints = true;
+        }
+
+        core::RecoveryReport report;
+        const auto recovered =
+            core::partitionGraphResilient(file, policy, run, &report);
+        if (checkpoints) {
+          cleanupCheckpointDir(dir, hosts);
+        }
+
+        // Wasted pre-crash work (the crash fires at the entry of phase P,
+        // so phases 1..P-1 ran) plus the resumed attempt.
+        const double makespan =
+            prefix[crashPhase - 1] + recovered.totalSeconds;
+        std::printf("phase %u %-4s %9up %12.4f %12.4f %13.2fx\n", crashPhase,
+                    checkpoints ? "ckpt" : "cold", report.resumedFromPhase,
+                    recovered.totalSeconds, makespan,
+                    makespan / baseline.totalSeconds);
+      }
+    }
+  }
+  return 0;
+}

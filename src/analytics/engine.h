@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "comm/network.h"
@@ -28,6 +30,29 @@
 #include "support/serialize.h"
 
 namespace cusp::analytics {
+
+// Structured failure of one synchronization operation: wraps the
+// underlying network fault (send retries exhausted, or a receive that
+// timed out) with the operation name and the engine's round counter, so an
+// application can degrade gracefully — report which round died and on
+// which host — instead of surfacing a bare transport error. Injected host
+// crashes (comm::HostFailure) propagate unchanged; they are the recovery
+// driver's business, not the application's.
+class SyncRoundFailed : public std::runtime_error {
+ public:
+  SyncRoundFailed(std::string op, uint64_t round, comm::HostId host,
+                  const std::string& cause)
+      : std::runtime_error("analytics sync '" + op + "' failed in round " +
+                           std::to_string(round) + " on host " +
+                           std::to_string(host) + ": " + cause),
+        op(std::move(op)),
+        round(round),
+        host(host) {}
+
+  std::string op;
+  uint64_t round;  // 1-based count of sync operations this context ran
+  comm::HostId host;
+};
 
 class SyncContext {
  public:
@@ -40,33 +65,36 @@ class SyncContext {
   template <typename T, typename Combine>
   void reduceToMasters(std::vector<T>& values, support::DynamicBitset& dirty,
                        Combine&& combine, support::DynamicBitset& changed) {
-    // Send my dirty mirrors to each owner that has any of my mirrors.
-    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-      if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
-        continue;
+    guarded("reduceToMasters", [&] {
+      // Send my dirty mirrors to each owner that has any of my mirrors.
+      for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+        if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
+          continue;
+        }
+        support::SendBuffer buf;
+        packDirty(part_.myMirrorsByOwner[h], values, dirty, buf,
+                  /*clearDirty=*/true);
+        net_.sendReliable(me_, h, comm::kTagAppReduce, std::move(buf));
       }
-      support::SendBuffer buf;
-      packDirty(part_.myMirrorsByOwner[h], values, dirty, buf,
-                /*clearDirty=*/true);
-      net_.send(me_, h, comm::kTagAppReduce, std::move(buf));
-    }
-    // Receive contributions for my masters from each host holding mirrors.
-    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-      if (h == me_ || part_.mirrorsOnHost[h].empty()) {
-        continue;
-      }
-      auto msg = net_.recvFrom(me_, h, comm::kTagAppReduce);
-      std::vector<uint32_t> positions;
-      std::vector<T> incoming;
-      support::deserializeAll(msg.payload, positions, incoming);
-      const auto& lids = part_.mirrorsOnHost[h];
-      for (size_t i = 0; i < positions.size(); ++i) {
-        const uint64_t lid = lids[positions[i]];
-        if (combine(values[lid], incoming[i])) {
-          changed.set(lid);
+      // Receive contributions for my masters from each host holding
+      // mirrors.
+      for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+        if (h == me_ || part_.mirrorsOnHost[h].empty()) {
+          continue;
+        }
+        auto msg = net_.recvFrom(me_, h, comm::kTagAppReduce);
+        std::vector<uint32_t> positions;
+        std::vector<T> incoming;
+        support::deserializeAll(msg.payload, positions, incoming);
+        const auto& lids = part_.mirrorsOnHost[h];
+        for (size_t i = 0; i < positions.size(); ++i) {
+          const uint64_t lid = lids[positions[i]];
+          if (combine(values[lid], incoming[i])) {
+            changed.set(lid);
+          }
         }
       }
-    }
+    });
   }
 
   // Ships dirty master values to every host holding a mirror; mirrors adopt
@@ -77,30 +105,32 @@ class SyncContext {
   void broadcastToMirrors(std::vector<T>& values,
                           const support::DynamicBitset& dirty,
                           support::DynamicBitset& changed) {
-    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-      if (h == me_ || part_.mirrorsOnHost[h].empty()) {
-        continue;
+    guarded("broadcastToMirrors", [&] {
+      for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+        if (h == me_ || part_.mirrorsOnHost[h].empty()) {
+          continue;
+        }
+        support::SendBuffer buf;
+        packDirty(part_.mirrorsOnHost[h], values, dirty, buf,
+                  /*clearDirty=*/false);
+        net_.sendReliable(me_, h, comm::kTagAppBroadcast, std::move(buf));
       }
-      support::SendBuffer buf;
-      packDirty(part_.mirrorsOnHost[h], values, dirty, buf,
-                /*clearDirty=*/false);
-      net_.send(me_, h, comm::kTagAppBroadcast, std::move(buf));
-    }
-    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-      if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
-        continue;
+      for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+        if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
+          continue;
+        }
+        auto msg = net_.recvFrom(me_, h, comm::kTagAppBroadcast);
+        std::vector<uint32_t> positions;
+        std::vector<T> incoming;
+        support::deserializeAll(msg.payload, positions, incoming);
+        const auto& lids = part_.myMirrorsByOwner[h];
+        for (size_t i = 0; i < positions.size(); ++i) {
+          const uint64_t lid = lids[positions[i]];
+          values[lid] = incoming[i];
+          changed.set(lid);
+        }
       }
-      auto msg = net_.recvFrom(me_, h, comm::kTagAppBroadcast);
-      std::vector<uint32_t> positions;
-      std::vector<T> incoming;
-      support::deserializeAll(msg.payload, positions, incoming);
-      const auto& lids = part_.myMirrorsByOwner[h];
-      for (size_t i = 0; i < positions.size(); ++i) {
-        const uint64_t lid = lids[positions[i]];
-        values[lid] = incoming[i];
-        changed.set(lid);
-      }
-    }
+    });
   }
 
   // Variable-length gather: every host contributes a list per local node;
@@ -109,69 +139,91 @@ class SyncContext {
   // Mirror lists are left untouched.
   template <typename T>
   void gatherListsToMasters(std::vector<std::vector<T>>& lists) {
-    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-      if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
-        continue;
+    guarded("gatherListsToMasters", [&] {
+      for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+        if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
+          continue;
+        }
+        std::vector<std::vector<T>> payload;
+        payload.reserve(part_.myMirrorsByOwner[h].size());
+        for (uint64_t lid : part_.myMirrorsByOwner[h]) {
+          payload.push_back(lists[lid]);
+        }
+        support::SendBuffer buf;
+        support::serialize(buf, payload);
+        net_.sendReliable(me_, h, comm::kTagAppReduce, std::move(buf));
       }
-      std::vector<std::vector<T>> payload;
-      payload.reserve(part_.myMirrorsByOwner[h].size());
-      for (uint64_t lid : part_.myMirrorsByOwner[h]) {
-        payload.push_back(lists[lid]);
+      for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+        if (h == me_ || part_.mirrorsOnHost[h].empty()) {
+          continue;
+        }
+        auto msg = net_.recvFrom(me_, h, comm::kTagAppReduce);
+        std::vector<std::vector<T>> payload;
+        support::deserialize(msg.payload, payload);
+        const auto& lids = part_.mirrorsOnHost[h];
+        for (size_t i = 0; i < payload.size(); ++i) {
+          auto& target = lists[lids[i]];
+          target.insert(target.end(), payload[i].begin(), payload[i].end());
+        }
       }
-      support::SendBuffer buf;
-      support::serialize(buf, payload);
-      net_.send(me_, h, comm::kTagAppReduce, std::move(buf));
-    }
-    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-      if (h == me_ || part_.mirrorsOnHost[h].empty()) {
-        continue;
-      }
-      auto msg = net_.recvFrom(me_, h, comm::kTagAppReduce);
-      std::vector<std::vector<T>> payload;
-      support::deserialize(msg.payload, payload);
-      const auto& lids = part_.mirrorsOnHost[h];
-      for (size_t i = 0; i < payload.size(); ++i) {
-        auto& target = lists[lids[i]];
-        target.insert(target.end(), payload[i].begin(), payload[i].end());
-      }
-    }
+    });
   }
 
   // Variable-length broadcast: every mirror's list is overwritten with its
   // master's list.
   template <typename T>
   void broadcastListsToMirrors(std::vector<std::vector<T>>& lists) {
-    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-      if (h == me_ || part_.mirrorsOnHost[h].empty()) {
-        continue;
+    guarded("broadcastListsToMirrors", [&] {
+      for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+        if (h == me_ || part_.mirrorsOnHost[h].empty()) {
+          continue;
+        }
+        std::vector<std::vector<T>> payload;
+        payload.reserve(part_.mirrorsOnHost[h].size());
+        for (uint64_t lid : part_.mirrorsOnHost[h]) {
+          payload.push_back(lists[lid]);
+        }
+        support::SendBuffer buf;
+        support::serialize(buf, payload);
+        net_.sendReliable(me_, h, comm::kTagAppBroadcast, std::move(buf));
       }
-      std::vector<std::vector<T>> payload;
-      payload.reserve(part_.mirrorsOnHost[h].size());
-      for (uint64_t lid : part_.mirrorsOnHost[h]) {
-        payload.push_back(lists[lid]);
+      for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
+        if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
+          continue;
+        }
+        auto msg = net_.recvFrom(me_, h, comm::kTagAppBroadcast);
+        std::vector<std::vector<T>> payload;
+        support::deserialize(msg.payload, payload);
+        const auto& lids = part_.myMirrorsByOwner[h];
+        for (size_t i = 0; i < payload.size(); ++i) {
+          lists[lids[i]] = std::move(payload[i]);
+        }
       }
-      support::SendBuffer buf;
-      support::serialize(buf, payload);
-      net_.send(me_, h, comm::kTagAppBroadcast, std::move(buf));
-    }
-    for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-      if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
-        continue;
-      }
-      auto msg = net_.recvFrom(me_, h, comm::kTagAppBroadcast);
-      std::vector<std::vector<T>> payload;
-      support::deserialize(msg.payload, payload);
-      const auto& lids = part_.myMirrorsByOwner[h];
-      for (size_t i = 0; i < payload.size(); ++i) {
-        lists[lids[i]] = std::move(payload[i]);
-      }
-    }
+    });
   }
+
+  // Number of sync operations this context has started (for logging).
+  uint64_t syncRounds() const { return rounds_; }
 
   comm::Network& net() { return net_; }
   comm::HostId hostId() const { return me_; }
 
  private:
+  // Runs one sync operation, translating recoverable transport faults into
+  // SyncRoundFailed so the application sees which round died. HostFailure
+  // (an injected crash) and NetworkAborted pass through untouched.
+  template <typename Fn>
+  void guarded(const char* op, Fn&& body) {
+    const uint64_t round = ++rounds_;
+    try {
+      body();
+    } catch (const comm::SendRetriesExhausted& e) {
+      throw SyncRoundFailed(op, round, me_, e.what());
+    } catch (const comm::NetworkStalled& e) {
+      throw SyncRoundFailed(op, round, me_, e.what());
+    }
+  }
+
   // Serializes (position, value) pairs for the dirty subset of `lids`.
   template <typename T>
   void packDirty(const std::vector<uint64_t>& lids, const std::vector<T>& values,
@@ -212,6 +264,7 @@ class SyncContext {
   comm::Network& net_;
   comm::HostId me_;
   const core::DistGraph& part_;
+  uint64_t rounds_ = 0;
 };
 
 }  // namespace cusp::analytics

@@ -1,0 +1,151 @@
+#include "comm/fault.h"
+
+#include "comm/network.h"
+#include "support/random.h"
+
+namespace cusp::comm {
+
+SendRetriesExhausted::SendRetriesExhausted(HostId from, HostId to, Tag tag,
+                                           uint32_t attempts)
+    : std::runtime_error("message " + std::to_string(from) + " -> " +
+                         std::to_string(to) + " on " + tagName(tag) +
+                         " dropped " + std::to_string(attempts) +
+                         " times; retries exhausted"),
+      from(from),
+      to(to),
+      tag(tag),
+      attempts(attempts) {}
+
+std::string tagName(Tag tag) {
+  switch (tag) {
+    case kTagGeneric: return "kTagGeneric";
+    case kTagMasterRequest: return "kTagMasterRequest";
+    case kTagMasterAssign: return "kTagMasterAssign";
+    case kTagMasterList: return "kTagMasterList";
+    case kTagEdgeCounts: return "kTagEdgeCounts";
+    case kTagMirrorFlags: return "kTagMirrorFlags";
+    case kTagMirrorToMaster: return "kTagMirrorToMaster";
+    case kTagEdgeBatch: return "kTagEdgeBatch";
+    case kTagAppReduce: return "kTagAppReduce";
+    case kTagAppBroadcast: return "kTagAppBroadcast";
+    case kTagStateReduce: return "kTagStateReduce";
+    case kTagCollectiveUp: return "kTagCollectiveUp";
+    case kTagCollectiveDown: return "kTagCollectiveDown";
+    case kTagBarrierUp: return "kTagBarrierUp";
+    case kTagBarrierDown: return "kTagBarrierDown";
+    case kAnyTag: return "kAnyTag";
+    default: return "tag " + std::to_string(tag);
+  }
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)),
+      faultMatches_(plan_.messageFaults.size(), 0),
+      crashFired_(plan_.crashes.size(), false) {}
+
+std::optional<FaultInjector::SendDecision> FaultInjector::onSend(HostId from,
+                                                                 HostId to,
+                                                                 Tag tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<SendDecision> decision;
+  for (size_t i = 0; i < plan_.messageFaults.size(); ++i) {
+    const MessageFault& fault = plan_.messageFaults[i];
+    if ((fault.src != kAnyHost && fault.src != from) ||
+        (fault.dst != kAnyHost && fault.dst != to) ||
+        (fault.tag != kAnyTag && fault.tag != tag)) {
+      continue;
+    }
+    const uint64_t seen = faultMatches_[i]++;
+    if (decision || seen < fault.occurrence ||
+        seen >= fault.occurrence + fault.repeat) {
+      continue;  // counter still advances for non-firing matches
+    }
+    decision = SendDecision{fault.action, fault.delayScans};
+    switch (fault.action) {
+      case FaultAction::kDrop: ++stats_.dropped; break;
+      case FaultAction::kDuplicate: ++stats_.duplicated; break;
+      case FaultAction::kDelay: ++stats_.delayed; break;
+    }
+  }
+  return decision;
+}
+
+void FaultInjector::onCrossing(HostId host) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const uint64_t op = hostOps_[host]++;
+  const uint32_t phase = hostPhase_[host];  // 0 until enterPhase
+  for (size_t i = 0; i < plan_.crashes.size(); ++i) {
+    const HostCrash& crash = plan_.crashes[i];
+    if (crashFired_[i] || crash.host != host || crash.phase != phase ||
+        op < crash.opsIntoPhase) {
+      continue;
+    }
+    crashFired_[i] = true;
+    ++stats_.crashesFired;
+    lock.unlock();
+    throw HostFailure(host, phase);
+  }
+}
+
+void FaultInjector::enterPhase(HostId host, uint32_t phase) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hostPhase_[host] = phase;
+  hostOps_[host] = 0;
+}
+
+void FaultInjector::countRetry() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.retries;
+}
+
+void FaultInjector::countDuplicateSuppressed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.duplicatesSuppressed;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+FaultPlan randomFaultPlan(uint64_t seed, uint32_t numHosts,
+                          uint32_t maxMessageFaults, uint32_t maxCrashes) {
+  support::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  FaultPlan plan;
+  static constexpr Tag kFuzzTags[] = {
+      kTagMasterRequest, kTagMasterAssign, kTagMasterList, kTagEdgeCounts,
+      kTagMirrorFlags,   kTagMirrorToMaster, kTagEdgeBatch, kTagStateReduce,
+      kTagCollectiveUp,  kTagCollectiveDown, kTagBarrierUp, kTagBarrierDown,
+      kAnyTag};
+  const uint64_t numMessageFaults = rng.nextBounded(maxMessageFaults + 1);
+  for (uint64_t i = 0; i < numMessageFaults; ++i) {
+    MessageFault fault;
+    fault.src = rng.nextBounded(2) == 0
+                    ? kAnyHost
+                    : static_cast<HostId>(rng.nextBounded(numHosts));
+    fault.dst = rng.nextBounded(2) == 0
+                    ? kAnyHost
+                    : static_cast<HostId>(rng.nextBounded(numHosts));
+    fault.tag = kFuzzTags[rng.nextBounded(std::size(kFuzzTags))];
+    fault.occurrence = rng.nextBounded(24);
+    fault.repeat = 1 + static_cast<uint32_t>(rng.nextBounded(6));
+    switch (rng.nextBounded(3)) {
+      case 0: fault.action = FaultAction::kDrop; break;
+      case 1: fault.action = FaultAction::kDuplicate; break;
+      default: fault.action = FaultAction::kDelay; break;
+    }
+    fault.delayScans = 1 + static_cast<uint32_t>(rng.nextBounded(4));
+    plan.messageFaults.push_back(fault);
+  }
+  const uint64_t numCrashes = rng.nextBounded(maxCrashes + 1);
+  for (uint64_t i = 0; i < numCrashes; ++i) {
+    HostCrash crash;
+    crash.host = static_cast<HostId>(rng.nextBounded(numHosts));
+    crash.phase = static_cast<uint32_t>(rng.nextBounded(6));  // 0..5
+    crash.opsIntoPhase = rng.nextBounded(40);
+    plan.crashes.push_back(crash);
+  }
+  return plan;
+}
+
+}  // namespace cusp::comm

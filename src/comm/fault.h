@@ -1,0 +1,171 @@
+// Deterministic fault injection for the simulated network.
+//
+// A FaultPlan describes, ahead of a run, which messages the (simulated)
+// interconnect will drop, duplicate or delay and which hosts will crash at
+// which point of the partitioning pipeline. Faults match by
+// (src, dst, tag, occurrence) predicates over the cross-host send sequence,
+// and crashes by (host, phase, crossings-into-phase), so a given plan
+// replays identically for a given program — the property the recovery tests
+// and the fault fuzzer rely on.
+//
+// The FaultInjector is the runtime counterpart: it lives across recovery
+// attempts (a crash fires once — the "rebooted" host does not re-crash on
+// replay) and is shared by every Network the resilient driver creates.
+//
+// Failure taxonomy (all structured, never a bare hang):
+//   HostFailure          — an injected crash; the resilient partitioner
+//                          catches it and restarts from checkpoints.
+//   NetworkStalled       — a bounded-wait receive expired; the message names
+//                          every host currently blocked and on which tag.
+//   SendRetriesExhausted — a message was dropped more times than the retry
+//                          policy allows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cusp::comm {
+
+using HostId = uint32_t;
+using Tag = uint32_t;
+
+inline constexpr HostId kAnyHost = UINT32_MAX;
+inline constexpr Tag kAnyTag = UINT32_MAX;
+
+enum class FaultAction : uint8_t {
+  kDrop,       // message never delivered; the sender observes the loss
+  kDuplicate,  // a second copy is delivered; receivers must deduplicate
+  kDelay,      // delivery deferred by `delayScans` receiver scan cycles
+};
+
+// Matches the `occurrence`-th (0-based) cross-host send seen with this
+// (src, dst, tag) shape, and the following `repeat - 1` matches of the same
+// shape (repeat > 1 defeats bounded retry: each retry is a new occurrence).
+struct MessageFault {
+  HostId src = kAnyHost;
+  HostId dst = kAnyHost;
+  Tag tag = kAnyTag;
+  uint64_t occurrence = 0;
+  uint32_t repeat = 1;
+  FaultAction action = FaultAction::kDrop;
+  uint32_t delayScans = 2;  // kDelay only
+};
+
+// Crashes `host` at its `opsIntoPhase`-th network crossing (send, receive,
+// barrier or explicit fault point) after it announces partitioner phase
+// `phase` (1-5; 0 = before/outside the phased pipeline). Fires at most once
+// for the lifetime of the injector, across recovery attempts.
+struct HostCrash {
+  HostId host = 0;
+  uint32_t phase = 0;
+  uint64_t opsIntoPhase = 0;
+};
+
+struct FaultPlan {
+  std::vector<MessageFault> messageFaults;
+  std::vector<HostCrash> crashes;
+
+  bool empty() const { return messageFaults.empty() && crashes.empty(); }
+};
+
+// Bounded retry with (modeled) exponential backoff for sender-visible
+// message loss; used by Network::sendReliable. maxAttempts == 1 disables
+// retry. The backoff is charged to the sender's modeled communication time,
+// not slept.
+struct RetryPolicy {
+  uint32_t maxAttempts = 4;
+  double backoffMicros = 100.0;
+};
+
+// Injection counters (separate from VolumeStats so that fault-free volume
+// accounting stays byte-identical).
+struct FaultStats {
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t duplicatesSuppressed = 0;
+  uint64_t delayed = 0;
+  uint64_t retries = 0;
+  uint64_t crashesFired = 0;
+};
+
+class HostFailure : public std::runtime_error {
+ public:
+  HostFailure(HostId host, uint32_t phase)
+      : std::runtime_error("injected crash of host " + std::to_string(host) +
+                           " in phase " + std::to_string(phase)),
+        host(host),
+        phase(phase) {}
+
+  HostId host;
+  uint32_t phase;
+};
+
+class NetworkStalled : public std::runtime_error {
+ public:
+  explicit NetworkStalled(std::string report)
+      : std::runtime_error(std::move(report)) {}
+};
+
+class SendRetriesExhausted : public std::runtime_error {
+ public:
+  SendRetriesExhausted(HostId from, HostId to, Tag tag, uint32_t attempts);
+
+  HostId from;
+  HostId to;
+  Tag tag;
+  uint32_t attempts;
+};
+
+// Human-readable name of a message tag (for stall reports and errors).
+std::string tagName(Tag tag);
+
+// Runtime fault state. Thread-safe; shared (via shared_ptr) by every
+// Network of a resilient run so that occurrence counters and fired-crash
+// flags persist across recovery attempts.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Consulted for every cross-host send. Returns the action to apply (or
+  // nullopt for clean delivery) and advances the occurrence counters.
+  struct SendDecision {
+    FaultAction action;
+    uint32_t delayScans = 0;
+  };
+  std::optional<SendDecision> onSend(HostId from, HostId to, Tag tag);
+
+  // A network crossing by `host` (send/recv/barrier entry or an explicit
+  // fault point). Throws HostFailure if a scheduled crash is due.
+  void onCrossing(HostId host);
+
+  // Partitioner phase announcements; resets the host's crossing counter.
+  void enterPhase(HostId host, uint32_t phase);
+
+  void countRetry();
+  void countDuplicateSuppressed();
+
+  FaultStats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  std::vector<uint64_t> faultMatches_;  // per message fault: matches so far
+  std::vector<bool> crashFired_;
+  std::map<HostId, uint32_t> hostPhase_;
+  std::map<HostId, uint64_t> hostOps_;
+  FaultStats stats_;
+};
+
+// Seeded random fault plan for the fuzzer: a handful of drop/duplicate/
+// delay faults over the partitioner's tags plus at most `maxCrashes`
+// scheduled host crashes.
+FaultPlan randomFaultPlan(uint64_t seed, uint32_t numHosts,
+                          uint32_t maxMessageFaults = 6,
+                          uint32_t maxCrashes = 1);
+
+}  // namespace cusp::comm

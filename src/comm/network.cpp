@@ -1,9 +1,24 @@
 #include "comm/network.h"
 
+#include <algorithm>
 #include <chrono>
+#include <sstream>
 #include <thread>
 
 namespace cusp::comm {
+
+namespace {
+
+// Stall-registry packing: active(1) | from(31) | tag(32).
+constexpr uint64_t kBlockedActiveBit = 1ULL << 63;
+
+uint64_t packBlocked(HostId from, Tag tag) {
+  return kBlockedActiveBit |
+         (static_cast<uint64_t>(from & 0x7FFFFFFFu) << 32) |
+         static_cast<uint64_t>(tag);
+}
+
+}  // namespace
 
 Network::Network(uint32_t numHosts, NetworkCostModel costModel)
     : costModel_(costModel) {
@@ -12,9 +27,11 @@ Network::Network(uint32_t numHosts, NetworkCostModel costModel)
   }
   mailboxes_.reserve(numHosts);
   modeledCommNanos_.reserve(numHosts);
+  blockedOn_.reserve(numHosts);
   for (uint32_t h = 0; h < numHosts; ++h) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
     modeledCommNanos_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+    blockedOn_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
   }
 }
 
@@ -24,10 +41,13 @@ double Network::modeledCommSeconds(HostId host) const {
          1e-9;
 }
 
-void Network::send(HostId from, HostId to, Tag tag,
+bool Network::send(HostId from, HostId to, Tag tag,
                    support::SendBuffer&& buffer) {
   if (from >= numHosts() || to >= numHosts()) {
     throw std::out_of_range("Network::send: host id out of range");
+  }
+  if (injector_) {
+    injector_->onCrossing(from);  // may throw HostFailure
   }
   if (from != to && tag < kFirstReserved) {
     double micros = costModel_.sendOverheadMicros;
@@ -39,68 +59,248 @@ void Network::send(HostId from, HostId to, Tag tag,
           static_cast<int64_t>(micros * 1000.0), std::memory_order_relaxed);
     }
   }
+  std::optional<FaultInjector::SendDecision> decision;
+  if (injector_ && from != to) {
+    decision = injector_->onSend(from, to, tag);
+  }
+  if (decision && decision->action == FaultAction::kDrop) {
+    return false;  // sender-visible loss; no volume accounted
+  }
   accountSend(from, to, tag, buffer.size());
   Mailbox& box = *mailboxes_[to];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
-    box.queue.push_back(
-        Message{from, tag, support::RecvBuffer(buffer.release())});
+    Queued entry;
+    entry.msg = Message{from, tag, support::RecvBuffer(buffer.release())};
+    if (injector_) {
+      entry.seq = ++box.nextSeq[{from, tag}];
+      if (decision && decision->action == FaultAction::kDelay) {
+        entry.delayScans = std::max(1u, decision->delayScans);
+      }
+    }
+    if (decision && decision->action == FaultAction::kDuplicate) {
+      box.queue.push_back(entry);  // same seq: the filter suppresses one copy
+    }
+    box.queue.push_back(std::move(entry));
   }
   box.arrived.notify_all();
+  return true;
+}
+
+void Network::sendReliable(HostId from, HostId to, Tag tag,
+                           support::SendBuffer&& buffer) {
+  if (!injector_) {
+    send(from, to, tag, std::move(buffer));
+    return;
+  }
+  const uint32_t attempts = std::max(1u, retryPolicy_.maxAttempts);
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    const bool last = attempt + 1 == attempts;
+    support::SendBuffer offer;
+    if (last) {
+      offer = std::move(buffer);
+    } else {
+      offer.appendBytes(buffer.data(), buffer.size());
+    }
+    if (send(from, to, tag, std::move(offer))) {
+      return;
+    }
+    if (!last) {
+      injector_->countRetry();
+      const double backoffMicros =
+          retryPolicy_.backoffMicros * static_cast<double>(1u << attempt);
+      if (backoffMicros > 0.0 && from != to && tag < kFirstReserved) {
+        modeledCommNanos_[from]->fetch_add(
+            static_cast<int64_t>(backoffMicros * 1000.0),
+            std::memory_order_relaxed);
+      }
+    }
+  }
+  throw SendRetriesExhausted(from, to, tag, attempts);
+}
+
+std::optional<Message> Network::scanLocked(Mailbox& box, Tag tag,
+                                           HostId from) {
+  // Channels with an earlier still-delayed message this scan; later
+  // messages of the same channel are ineligible so per-channel FIFO holds.
+  std::vector<ChannelKey> held;
+  for (auto it = box.queue.begin(); it != box.queue.end();) {
+    const ChannelKey channel{it->msg.from, it->msg.tag};
+    if (injector_ && it->seq != 0) {
+      const auto last = box.lastDelivered.find(channel);
+      if (last != box.lastDelivered.end() && it->seq <= last->second) {
+        injector_->countDuplicateSuppressed();
+        it = box.queue.erase(it);
+        continue;
+      }
+      if (it->delayScans > 0) {
+        held.push_back(channel);
+        ++it;
+        continue;
+      }
+      if (std::find(held.begin(), held.end(), channel) != held.end()) {
+        ++it;
+        continue;
+      }
+    }
+    if (it->msg.tag == tag && (from == kAnyHost || it->msg.from == from)) {
+      if (injector_ && it->seq != 0) {
+        box.lastDelivered[channel] = it->seq;
+      }
+      Message msg = std::move(it->msg);
+      box.queue.erase(it);
+      return msg;
+    }
+    ++it;
+  }
+  return std::nullopt;
+}
+
+void Network::ageDelayedLocked(Mailbox& box) {
+  for (Queued& entry : box.queue) {
+    if (entry.delayScans > 0) {
+      --entry.delayScans;
+    }
+  }
+}
+
+void Network::throwStalled(HostId me, Tag tag, HostId from,
+                           double waitedSeconds) {
+  std::ostringstream report;
+  report << "recv timeout: host " << me << " waited " << waitedSeconds
+         << "s for " << tagName(tag);
+  if (from != kAnyHost) {
+    report << " from host " << from;
+  }
+  report << "; blocked hosts:";
+  bool any = false;
+  for (HostId h = 0; h < numHosts(); ++h) {
+    const uint64_t packed = blockedOn_[h]->load(std::memory_order_acquire);
+    if ((packed & kBlockedActiveBit) == 0) {
+      continue;
+    }
+    const HostId blockedFrom =
+        static_cast<HostId>((packed >> 32) & 0x7FFFFFFFu);
+    const Tag blockedTag = static_cast<Tag>(packed & 0xFFFFFFFFu);
+    report << " [host " << h << " on " << tagName(blockedTag);
+    if (blockedFrom != (kAnyHost & 0x7FFFFFFFu)) {
+      report << " from host " << blockedFrom;
+    }
+    report << "]";
+    any = true;
+  }
+  if (!any) {
+    report << " none";
+  }
+  throw NetworkStalled(report.str());
+}
+
+Message Network::recvImpl(HostId me, Tag tag, HostId from) {
+  if (injector_) {
+    injector_->onCrossing(me);
+  }
+  Mailbox& box = *mailboxes_[me];
+  const int64_t timeoutNanos = recvTimeoutNanos_.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::nanoseconds(timeoutNanos);
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    if (auto msg = scanLocked(box, tag, from)) {
+      return std::move(*msg);
+    }
+    if (aborted_.load(std::memory_order_acquire)) {
+      throw NetworkAborted();
+    }
+    if (injector_) {
+      // A failed scan ages delayed messages; one may have matured.
+      ageDelayedLocked(box);
+      if (auto msg = scanLocked(box, tag, from)) {
+        return std::move(*msg);
+      }
+    }
+    // A delayed message only ages when this receiver re-scans, so while any
+    // is queued we poll instead of sleeping unboundedly on the condvar.
+    bool anyDelayed = false;
+    if (injector_) {
+      for (const Queued& entry : box.queue) {
+        if (entry.delayScans > 0) {
+          anyDelayed = true;
+          break;
+        }
+      }
+    }
+    blockedOn_[me]->store(packBlocked(from, tag), std::memory_order_release);
+    bool timedOut = false;
+    if (anyDelayed) {
+      auto pollDeadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+      if (timeoutNanos > 0 && deadline < pollDeadline) {
+        pollDeadline = deadline;
+      }
+      if (box.arrived.wait_until(lock, pollDeadline) ==
+          std::cv_status::timeout) {
+        timedOut = timeoutNanos > 0 &&
+                   std::chrono::steady_clock::now() >= deadline;
+      }
+    } else if (timeoutNanos > 0) {
+      timedOut = box.arrived.wait_until(lock, deadline) ==
+                 std::cv_status::timeout;
+    } else {
+      box.arrived.wait(lock);
+    }
+    blockedOn_[me]->store(0, std::memory_order_release);
+    if (timedOut) {
+      if (injector_) {
+        ageDelayedLocked(box);
+      }
+      if (auto msg = scanLocked(box, tag, from)) {
+        return std::move(*msg);
+      }
+      if (aborted_.load(std::memory_order_acquire)) {
+        throw NetworkAborted();
+      }
+      // Re-register as blocked so sibling stall reports still name us while
+      // this exception propagates toward abort().
+      blockedOn_[me]->store(packBlocked(from, tag), std::memory_order_release);
+      const double waited = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+      throwStalled(me, tag, from, waited);
+    }
+  }
 }
 
 std::optional<Message> Network::tryRecv(HostId me, Tag tag) {
+  if (injector_) {
+    injector_->onCrossing(me);
+  }
   Mailbox& box = *mailboxes_[me];
   std::lock_guard<std::mutex> lock(box.mutex);
-  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-    if (it->tag == tag) {
-      Message msg = std::move(*it);
-      box.queue.erase(it);
+  if (auto msg = scanLocked(box, tag, kAnyHost)) {
+    return msg;
+  }
+  if (aborted_.load(std::memory_order_acquire)) {
+    throw NetworkAborted();
+  }
+  if (injector_) {
+    ageDelayedLocked(box);
+    if (auto msg = scanLocked(box, tag, kAnyHost)) {
       return msg;
     }
   }
   return std::nullopt;
 }
 
-Message Network::recv(HostId me, Tag tag) {
-  Mailbox& box = *mailboxes_[me];
-  std::unique_lock<std::mutex> lock(box.mutex);
-  for (;;) {
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if (it->tag == tag) {
-        Message msg = std::move(*it);
-        box.queue.erase(it);
-        return msg;
-      }
-    }
-    if (aborted_.load(std::memory_order_acquire)) {
-      throw NetworkAborted();
-    }
-    box.arrived.wait(lock);
-  }
-}
+Message Network::recv(HostId me, Tag tag) { return recvImpl(me, tag, kAnyHost); }
 
 Message Network::recvFrom(HostId me, HostId from, Tag tag) {
-  Mailbox& box = *mailboxes_[me];
-  std::unique_lock<std::mutex> lock(box.mutex);
-  for (;;) {
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if (it->tag == tag && it->from == from) {
-        Message msg = std::move(*it);
-        box.queue.erase(it);
-        return msg;
-      }
-    }
-    if (aborted_.load(std::memory_order_acquire)) {
-      throw NetworkAborted();
-    }
-    box.arrived.wait(lock);
-  }
+  return recvImpl(me, tag, from);
 }
 
 void Network::barrier(HostId me) {
   // Two-phase flat barrier through host 0 using reserved tags; payloads are
   // empty so barriers contribute only message counts to collective stats.
+  faultPoint(me);
   if (numHosts() == 1) {
     return;
   }
@@ -109,10 +309,10 @@ void Network::barrier(HostId me) {
       recvFrom(0, src, kTagBarrierUp);
     }
     for (HostId dst = 1; dst < numHosts(); ++dst) {
-      send(0, dst, kTagBarrierDown, support::SendBuffer());
+      sendReliable(0, dst, kTagBarrierDown, support::SendBuffer());
     }
   } else {
-    send(me, 0, kTagBarrierUp, support::SendBuffer());
+    sendReliable(me, 0, kTagBarrierUp, support::SendBuffer());
     recvFrom(me, 0, kTagBarrierDown);
   }
 }
@@ -170,7 +370,7 @@ void BufferedSender::flush(HostId dst) {
   }
   support::SendBuffer buffer = std::move(pending_[dst]);
   pending_[dst] = support::SendBuffer();
-  net_.send(me_, dst, tag_, std::move(buffer));
+  net_.sendReliable(me_, dst, tag_, std::move(buffer));
 }
 
 void BufferedSender::flushAll() {

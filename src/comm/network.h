@@ -16,6 +16,19 @@
 //    through host 0, so their traffic is also visible in the statistics.
 //  * abort() wakes all blocked receivers with NetworkAborted, letting the
 //    host runner unwind cleanly when any host throws.
+//
+// Fault tolerance (comm/fault.h; everything off by default):
+//  * An attached FaultInjector turns the interconnect lossy: sends can be
+//    dropped (sender-visible, like a NACK), duplicated (suppressed by a
+//    receiver-side per-channel sequence filter) or delayed (held back for a
+//    few receiver scan cycles, preserving per-channel FIFO), and hosts can
+//    crash (HostFailure thrown at a send/recv/barrier crossing).
+//  * sendReliable() retries dropped messages under the network RetryPolicy
+//    with modeled exponential backoff; exhaustion raises
+//    SendRetriesExhausted. All CuSP protocol sends go through it.
+//  * setRecvTimeout() bounds every blocking receive; expiry raises
+//    NetworkStalled with a report naming each blocked host and its tag
+//    instead of hanging forever.
 #pragma once
 
 #include <atomic>
@@ -23,18 +36,17 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "comm/fault.h"
 #include "support/serialize.h"
 
 namespace cusp::comm {
-
-using HostId = uint32_t;
-using Tag = uint32_t;
 
 // Tags used by the CuSP stack. User code may use any tag < kFirstReserved.
 enum PhaseTag : Tag {
@@ -123,10 +135,21 @@ class Network {
 
   // Moves `buffer` to host `to`'s mailbox. Self-sends are allowed and
   // delivered like any other message, but are NOT counted in the volume
-  // statistics (no bytes cross the network).
-  void send(HostId from, HostId to, Tag tag, support::SendBuffer&& buffer);
+  // statistics (no bytes cross the network). Returns false iff the attached
+  // fault injector dropped the message (sender-visible loss); always true
+  // on a fault-free network.
+  bool send(HostId from, HostId to, Tag tag, support::SendBuffer&& buffer);
 
-  // Non-blocking receive of any message with `tag` (any source).
+  // send() with bounded retry under the network RetryPolicy: a dropped
+  // message is re-offered with modeled exponential backoff charged to the
+  // sender; throws SendRetriesExhausted once the attempts are spent. All
+  // partitioner/engine protocol sends use this.
+  void sendReliable(HostId from, HostId to, Tag tag,
+                    support::SendBuffer&& buffer);
+
+  // Non-blocking receive of any message with `tag` (any source). Throws
+  // NetworkAborted once the network is aborted, so polling loops unwind
+  // like the blocking receives instead of spinning forever.
   std::optional<Message> tryRecv(HostId me, Tag tag);
 
   // Blocking receive of any message with `tag` (any source).
@@ -156,7 +179,48 @@ class Network {
   template <typename T>
   T allReduceMax(HostId me, T value);
 
+  template <typename T>
+  T allReduceMin(HostId me, T value);
+
   bool allReduceOr(HostId me, bool value);
+
+  // --- fault tolerance ---
+
+  // Attaches a (shared) fault injector; the same injector survives across
+  // the Networks of successive recovery attempts so crash fired-flags and
+  // occurrence counters persist. nullptr detaches (the default state).
+  void setFaultInjector(std::shared_ptr<FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
+  const std::shared_ptr<FaultInjector>& faultInjector() const {
+    return injector_;
+  }
+
+  // Bounds every blocking receive; <= 0 restores unbounded waits.
+  void setRecvTimeout(double seconds) {
+    recvTimeoutNanos_.store(
+        seconds > 0 ? static_cast<int64_t>(seconds * 1e9) : 0,
+        std::memory_order_relaxed);
+  }
+
+  void setRetryPolicy(const RetryPolicy& policy) { retryPolicy_ = policy; }
+  const RetryPolicy& retryPolicy() const { return retryPolicy_; }
+
+  // Partitioner phase announcements for phase-scheduled crashes; no-ops
+  // without an injector.
+  void enterPhase(HostId me, uint32_t phase) {
+    if (injector_) {
+      injector_->enterPhase(me, phase);
+    }
+  }
+
+  // Explicit crash crossing for communication-free stretches of code (e.g.
+  // phase entry in the partitioner); throws HostFailure if a crash is due.
+  void faultPoint(HostId me) {
+    if (injector_) {
+      injector_->onCrossing(me);
+    }
+  }
 
   // --- control & accounting ---
 
@@ -177,12 +241,31 @@ class Network {
   uint64_t messagesSent(Tag tag) const;
 
  private:
+  using ChannelKey = std::pair<HostId, Tag>;
+
+  // A queued message plus its fault-mode bookkeeping: `delayScans` holds
+  // the message invisible for that many failed receiver scans, and `seq`
+  // is the per-(from, tag) channel sequence number the duplicate filter
+  // keys on (0 = sent without an injector, never filtered).
+  struct Queued {
+    Message msg;
+    uint32_t delayScans = 0;
+    uint64_t seq = 0;
+  };
+
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable arrived;
-    std::deque<Message> queue;
+    std::deque<Queued> queue;
+    std::map<ChannelKey, uint64_t> nextSeq;        // assigned at send
+    std::map<ChannelKey, uint64_t> lastDelivered;  // duplicate filter
   };
 
+  Message recvImpl(HostId me, Tag tag, HostId from);
+  std::optional<Message> scanLocked(Mailbox& box, Tag tag, HostId from);
+  void ageDelayedLocked(Mailbox& box);
+  [[noreturn]] void throwStalled(HostId me, Tag tag, HostId from,
+                                 double waitedSeconds);
   void accountSend(HostId from, HostId to, Tag tag, size_t bytes);
 
   NetworkCostModel costModel_;
@@ -190,6 +273,14 @@ class Network {
   std::vector<std::unique_ptr<std::atomic<int64_t>>>
       modeledCommNanos_;  // per sending host
   std::atomic<bool> aborted_{false};
+
+  std::shared_ptr<FaultInjector> injector_;
+  RetryPolicy retryPolicy_;
+  std::atomic<int64_t> recvTimeoutNanos_{0};
+  // Stall registry: what each host is currently blocked on, packed as
+  // active(1) | from(31) | tag(32) so the stall reporter can read it
+  // without taking mailbox locks.
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> blockedOn_;
 
   mutable std::mutex statsMutex_;
   VolumeStats stats_;
@@ -199,6 +290,7 @@ class Network {
 // destination's buffer as one message once it exceeds `threshold` bytes
 // (paper Section IV-D3; threshold 0 sends every record immediately, the
 // "0 MB" point of Fig. 7). flushAll() must be called to drain remainders.
+// Flushes go through sendReliable, so injected drops are retried.
 class BufferedSender {
  public:
   BufferedSender(Network& net, HostId me, Tag tag, size_t threshold);
@@ -238,6 +330,7 @@ void Network::allReduce(
         combine) {
   static_assert(std::is_trivially_copyable_v<T>);
   if (numHosts() == 1) {
+    faultPoint(me);
     return;
   }
   if (me == 0) {
@@ -253,12 +346,12 @@ void Network::allReduce(
     for (HostId dst = 1; dst < numHosts(); ++dst) {
       support::SendBuffer out;
       support::serialize(out, values);
-      send(0, dst, kTagCollectiveDown, std::move(out));
+      sendReliable(0, dst, kTagCollectiveDown, std::move(out));
     }
   } else {
     support::SendBuffer out;
     support::serialize(out, values);
-    send(me, 0, kTagCollectiveUp, std::move(out));
+    sendReliable(me, 0, kTagCollectiveUp, std::move(out));
     Message msg = recvFrom(me, 0, kTagCollectiveDown);
     support::deserialize(msg.payload, values);
   }
@@ -286,6 +379,17 @@ T Network::allReduceMax(HostId me, T value) {
   std::vector<T> one{value};
   allReduce<T>(me, one, [](std::vector<T>& acc, const std::vector<T>& in) {
     if (in[0] > acc[0]) {
+      acc[0] = in[0];
+    }
+  });
+  return one[0];
+}
+
+template <typename T>
+T Network::allReduceMin(HostId me, T value) {
+  std::vector<T> one{value};
+  allReduce<T>(me, one, [](std::vector<T>& acc, const std::vector<T>& in) {
+    if (in[0] < acc[0]) {
       acc[0] = in[0];
     }
   });

@@ -1,0 +1,128 @@
+#include "core/checkpoint.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "support/crc32.h"
+
+namespace cusp::core {
+
+namespace {
+
+struct CheckpointHeader {
+  uint64_t magic = kCheckpointMagic;
+  uint32_t host = 0;
+  uint32_t numHosts = 0;
+  uint32_t phase = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(CheckpointHeader) == 24);
+
+std::optional<std::vector<uint8_t>> readWholeFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(size < 0 ? 0 : static_cast<size_t>(size));
+  const size_t got = bytes.empty()
+                         ? 0
+                         : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) {
+    return std::nullopt;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::string checkpointPath(const std::string& dir, uint32_t host,
+                           uint32_t phase) {
+  return dir + "/h" + std::to_string(host) + ".p" + std::to_string(phase) +
+         ".ckpt";
+}
+
+void saveCheckpoint(const std::string& dir, uint32_t host, uint32_t numHosts,
+                    uint32_t phase, const support::SendBuffer& payload) {
+  ::mkdir(dir.c_str(), 0777);  // fine if it already exists
+
+  CheckpointHeader header;
+  header.host = host;
+  header.numHosts = numHosts;
+  header.phase = phase;
+  std::vector<uint8_t> bytes(sizeof(header) + payload.size());
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  if (payload.size() > 0) {  // data() may be null on an empty buffer
+    std::memcpy(bytes.data() + sizeof(header), payload.data(),
+                payload.size());
+  }
+  support::appendCrcFooter(bytes);
+
+  const std::string finalPath = checkpointPath(dir, host, phase);
+  const std::string tmpPath = finalPath + ".tmp";
+  FILE* f = std::fopen(tmpPath.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("saveCheckpoint: cannot open " + tmpPath);
+  }
+  const size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (wrote != bytes.size() || !flushed) {
+    std::remove(tmpPath.c_str());
+    throw std::runtime_error("saveCheckpoint: short write to " + tmpPath);
+  }
+  if (std::rename(tmpPath.c_str(), finalPath.c_str()) != 0) {
+    std::remove(tmpPath.c_str());
+    throw std::runtime_error("saveCheckpoint: cannot rename to " + finalPath);
+  }
+}
+
+std::optional<std::vector<uint8_t>> loadCheckpoint(const std::string& dir,
+                                                   uint32_t host,
+                                                   uint32_t numHosts,
+                                                   uint32_t phase) {
+  auto bytes = readWholeFile(checkpointPath(dir, host, phase));
+  if (!bytes) {
+    return std::nullopt;
+  }
+  if (support::verifyAndStripCrcFooter(*bytes) !=
+      support::CrcFooterStatus::kVerified) {
+    return std::nullopt;  // checkpoints always carry a footer; no legacy path
+  }
+  if (bytes->size() < sizeof(CheckpointHeader)) {
+    return std::nullopt;
+  }
+  CheckpointHeader header;
+  std::memcpy(&header, bytes->data(), sizeof(header));
+  if (header.magic != kCheckpointMagic || header.host != host ||
+      header.numHosts != numHosts || header.phase != phase) {
+    return std::nullopt;
+  }
+  bytes->erase(bytes->begin(), bytes->begin() + sizeof(header));
+  return bytes;
+}
+
+uint32_t latestValidCheckpoint(const std::string& dir, uint32_t host,
+                               uint32_t numHosts, uint32_t maxPhase) {
+  for (uint32_t phase = maxPhase; phase >= 1; --phase) {
+    if (loadCheckpoint(dir, host, numHosts, phase)) {
+      return phase;
+    }
+  }
+  return 0;
+}
+
+void removeCheckpoints(const std::string& dir, uint32_t host,
+                       uint32_t maxPhase) {
+  for (uint32_t phase = 1; phase <= maxPhase; ++phase) {
+    std::remove(checkpointPath(dir, host, phase).c_str());
+    std::remove((checkpointPath(dir, host, phase) + ".tmp").c_str());
+  }
+}
+
+}  // namespace cusp::core

@@ -1,0 +1,53 @@
+// Per-phase partitioning checkpoints.
+//
+// Fault-tolerant runs persist each host's state after every completed
+// pipeline phase as `<dir>/h<host>.p<phase>.ckpt`. A checkpoint is a small
+// header (magic, host, numHosts, phase) followed by an opaque payload the
+// partitioner serializes with the support/serialize.h machinery, and a
+// CRC32 footer (support/crc32.h). Writes are atomic (tmp file + rename) so
+// a crash mid-checkpoint can never leave a truncated file that passes
+// validation; any file that fails the magic/identity/CRC checks is treated
+// as absent.
+//
+// Hosts keep every phase's file (not just the latest): after a crash the
+// recovery driver agrees on min-over-hosts of the latest valid phase, so
+// any host may be asked to reload an older checkpoint than its newest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/serialize.h"
+
+namespace cusp::core {
+
+inline constexpr uint64_t kCheckpointMagic = 0x0000000031504B43ULL;  // "CKP1"
+
+// `<dir>/h<host>.p<phase>.ckpt`
+std::string checkpointPath(const std::string& dir, uint32_t host,
+                           uint32_t phase);
+
+// Atomically writes `payload` as host `host`'s checkpoint for `phase`.
+// Creates `dir` if missing. Throws std::runtime_error on I/O failure.
+void saveCheckpoint(const std::string& dir, uint32_t host, uint32_t numHosts,
+                    uint32_t phase, const support::SendBuffer& payload);
+
+// Loads and validates a checkpoint; nullopt if the file is missing, fails
+// CRC, or does not match (host, numHosts, phase). Returns the bare payload.
+std::optional<std::vector<uint8_t>> loadCheckpoint(const std::string& dir,
+                                                   uint32_t host,
+                                                   uint32_t numHosts,
+                                                   uint32_t phase);
+
+// Highest phase in [1, maxPhase] with a valid checkpoint for `host`;
+// 0 if none (restart from scratch).
+uint32_t latestValidCheckpoint(const std::string& dir, uint32_t host,
+                               uint32_t numHosts, uint32_t maxPhase);
+
+// Deletes every checkpoint file of `host` up to `maxPhase` (best effort).
+void removeCheckpoints(const std::string& dir, uint32_t host,
+                       uint32_t maxPhase);
+
+}  // namespace cusp::core

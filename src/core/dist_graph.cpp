@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "support/crc32.h"
 #include "support/serialize.h"
 
 namespace cusp::core {
@@ -79,8 +80,7 @@ constexpr uint64_t kDistGraphMagic = 0x0000000031474443ULL;  // "CDG1"
 
 }  // namespace
 
-void saveDistGraph(const std::string& path, const DistGraph& part) {
-  support::SendBuffer buf;
+void serializeDistGraph(support::SendBuffer& buf, const DistGraph& part) {
   support::serializeAll(
       buf, kDistGraphMagic, part.hostId, part.numHosts, part.numGlobalNodes,
       part.numGlobalEdges, static_cast<uint8_t>(part.isTransposed),
@@ -94,12 +94,52 @@ void saveDistGraph(const std::string& path, const DistGraph& part) {
       std::vector<uint32_t>(part.graph.edgeDataArray().begin(),
                             part.graph.edgeDataArray().end()));
   support::serializeAll(buf, part.mirrorsOnHost, part.myMirrorsByOwner);
+}
+
+DistGraph deserializeDistGraph(support::RecvBuffer& buf) {
+  uint64_t magic = 0;
+  DistGraph part;
+  uint8_t transposed = 0;
+  support::deserializeAll(buf, magic, part.hostId, part.numHosts,
+                          part.numGlobalNodes, part.numGlobalEdges,
+                          transposed, part.numMasters, part.localToGlobal,
+                          part.masterHostOfLocal);
+  if (magic != kDistGraphMagic) {
+    throw std::runtime_error("bad magic");
+  }
+  part.isTransposed = transposed != 0;
+  std::vector<uint64_t> rowStart;
+  std::vector<uint64_t> dests;
+  std::vector<uint32_t> edgeData;
+  support::deserializeAll(buf, rowStart, dests, edgeData);
+  part.graph = graph::CsrGraph(std::move(rowStart), std::move(dests),
+                               std::move(edgeData));
+  support::deserializeAll(buf, part.mirrorsOnHost, part.myMirrorsByOwner);
+  part.globalToLocal.reserve(part.localToGlobal.size());
+  for (uint64_t lid = 0; lid < part.localToGlobal.size(); ++lid) {
+    part.globalToLocal.emplace(part.localToGlobal[lid], lid);
+  }
+  if (part.numMasters > part.numLocalNodes() ||
+      part.masterHostOfLocal.size() != part.numLocalNodes() ||
+      part.graph.numNodes() != part.numLocalNodes() ||
+      part.mirrorsOnHost.size() != part.numHosts ||
+      part.myMirrorsByOwner.size() != part.numHosts) {
+    throw std::runtime_error("inconsistent sizes");
+  }
+  return part;
+}
+
+void saveDistGraph(const std::string& path, const DistGraph& part) {
+  support::SendBuffer buf;
+  serializeDistGraph(buf, part);
+  std::vector<uint8_t> bytes = buf.release();
+  support::appendCrcFooter(bytes);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     throw std::runtime_error("saveDistGraph: cannot create " + path);
   }
-  const size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
-  const bool ok = written == buf.size() && std::fflush(f) == 0;
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool ok = written == bytes.size() && std::fflush(f) == 0;
   std::fclose(f);
   if (!ok) {
     throw std::runtime_error("saveDistGraph: short write to " + path);
@@ -120,47 +160,23 @@ DistGraph loadDistGraph(const std::string& path) {
   if (read != bytes.size()) {
     throw std::runtime_error("loadDistGraph: short read from " + path);
   }
+  if (support::verifyAndStripCrcFooter(bytes) ==
+      support::CrcFooterStatus::kMismatch) {
+    throw std::runtime_error("loadDistGraph: checksum mismatch in " + path);
+  }
   support::RecvBuffer buf(std::move(bytes));
-  uint64_t magic = 0;
-  DistGraph part;
-  uint8_t transposed = 0;
   // Truncated or corrupt files surface as deserialization/validation
   // errors; report them uniformly as a file-level failure.
   try {
-    support::deserializeAll(buf, magic, part.hostId, part.numHosts,
-                            part.numGlobalNodes, part.numGlobalEdges,
-                            transposed, part.numMasters, part.localToGlobal,
-                            part.masterHostOfLocal);
-    if (magic != kDistGraphMagic) {
-      throw std::runtime_error("bad magic");
-    }
-    part.isTransposed = transposed != 0;
-    std::vector<uint64_t> rowStart;
-    std::vector<uint64_t> dests;
-    std::vector<uint32_t> edgeData;
-    support::deserializeAll(buf, rowStart, dests, edgeData);
-    part.graph = graph::CsrGraph(std::move(rowStart), std::move(dests),
-                                 std::move(edgeData));
-    support::deserializeAll(buf, part.mirrorsOnHost, part.myMirrorsByOwner);
+    DistGraph part = deserializeDistGraph(buf);
     if (!buf.exhausted()) {
       throw std::runtime_error("trailing bytes");
     }
+    return part;
   } catch (const std::exception& e) {
     throw std::runtime_error("loadDistGraph: corrupt file " + path + " (" +
                              e.what() + ")");
   }
-  part.globalToLocal.reserve(part.localToGlobal.size());
-  for (uint64_t lid = 0; lid < part.localToGlobal.size(); ++lid) {
-    part.globalToLocal.emplace(part.localToGlobal[lid], lid);
-  }
-  if (part.numMasters > part.numLocalNodes() ||
-      part.masterHostOfLocal.size() != part.numLocalNodes() ||
-      part.graph.numNodes() != part.numLocalNodes() ||
-      part.mirrorsOnHost.size() != part.numHosts ||
-      part.myMirrorsByOwner.size() != part.numHosts) {
-    throw std::runtime_error("loadDistGraph: inconsistent sizes in " + path);
-  }
-  return part;
 }
 
 void validatePartitions(const graph::CsrGraph& original,

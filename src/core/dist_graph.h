@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "support/serialize.h"
 
 namespace cusp::core {
 
@@ -93,9 +94,19 @@ std::vector<graph::Edge> gatherAllEdges(std::span<const DistGraph> partitions);
 // DistGraph: local topology, id maps, master/mirror metadata, so a
 // partition set written by `partition_tool` can be reloaded later and fed
 // straight to the analytics engine. Format: "CDG1" magic followed by the
-// serialized fields (see dist_graph.cpp).
+// serialized fields (see dist_graph.cpp), then a CRC32 footer
+// (support/crc32.h). Readers verify the footer when present and accept
+// legacy footerless files unchanged.
 void saveDistGraph(const std::string& path, const DistGraph& part);
 DistGraph loadDistGraph(const std::string& path);
+
+// In-memory (de)serialization of the full DistGraph, shared by the .cdg
+// file format and the phase-5 partitioning checkpoints. The byte stream is
+// deterministic for a given partition (globalToLocal is rebuilt from
+// localToGlobal, never serialized), so bit-identical partitions produce
+// bit-identical streams — the property the recovery tests compare on.
+void serializeDistGraph(support::SendBuffer& buf, const DistGraph& part);
+DistGraph deserializeDistGraph(support::RecvBuffer& buf);
 
 // Exhaustive structural validation of a partition set against the original
 // graph; throws std::logic_error with a description on the first violation.

@@ -8,6 +8,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "core/checkpoint.h"
 #include "support/bitset.h"
 #include "support/prefix_sum.h"
 #include "support/threading.h"
@@ -57,16 +58,40 @@ class PartitionJob {
     // makespan. (The construction phase's dedicated receiver thread is not
     // CPU-accounted: it models the communication hyperthread of paper
     // IV-D1, which overlaps computation.)
-    timedPhase("Graph Reading", [&] { phaseGraphReading(); });
-    net_.barrier(me_);
-    timedPhase("Master Assignment", [&] { phaseMasterAssignment(); });
-    net_.barrier(me_);
-    timedPhase("Edge Assignment", [&] { phaseEdgeAssignment(); });
-    net_.barrier(me_);
-    timedPhase("Graph Allocation", [&] { phaseGraphAllocation(); });
-    net_.barrier(me_);
-    timedPhase("Graph Construction", [&] { phaseGraphConstruction(); });
-    net_.barrier(me_);
+    //
+    // With checkpointing on, hosts first agree on the last phase EVERY host
+    // holds a valid checkpoint for (min across hosts — a crashed run leaves
+    // hosts at different phases) and the pipeline resumes after it; skipped
+    // phases run no barriers, so all hosts stay collectively aligned.
+    uint32_t resumePhase = 0;
+    if (checkpointing()) {
+      const uint32_t mine = latestValidCheckpoint(
+          config_.resilience.checkpointDir, me_, numHosts(), 5);
+      resumePhase = net_.allReduceMin(me_, mine);
+    }
+    if (resumePhase >= 5) {
+      restoreCheckpoint(5);
+      return std::move(result_);
+    }
+    if (resumePhase == 0) {
+      runPhase(1, "Graph Reading", [&] { phaseGraphReading(); });
+    } else {
+      // Graph reading has no communication and its window arrays are large
+      // and deterministic, so they are never checkpointed: re-run it
+      // locally, then restore the agreed checkpoint on top.
+      timedPhase("Graph Reading", [&] { phaseGraphReading(); });
+      restoreCheckpoint(resumePhase);
+    }
+    if (resumePhase < 2) {
+      runPhase(2, "Master Assignment", [&] { phaseMasterAssignment(); });
+    }
+    if (resumePhase < 3) {
+      runPhase(3, "Edge Assignment", [&] { phaseEdgeAssignment(); });
+    }
+    if (resumePhase < 4) {
+      runPhase(4, "Graph Allocation", [&] { phaseGraphAllocation(); });
+    }
+    runPhase(5, "Graph Construction", [&] { phaseGraphConstruction(); });
     return std::move(result_);
   }
 
@@ -80,6 +105,176 @@ class PartitionJob {
     phaseTimes_.add(name, (support::threadCpuSeconds() - cpu0) +
                               (net_.modeledCommSeconds(me_) - comm0) +
                               (modeledDiskSeconds_ - disk0));
+  }
+
+  // One pipeline phase: announce it to the fault injector (phase-scheduled
+  // crashes; the explicit fault point gives opsIntoPhase=0 a crossing even
+  // in communication-free phases), run the body, checkpoint the completed
+  // phase, and barrier. The barrier guarantees that once any host starts
+  // phase p+1, every host holds a phase-p checkpoint.
+  template <typename Fn>
+  void runPhase(uint32_t phase, const char* name, Fn&& body) {
+    net_.enterPhase(me_, phase);
+    net_.faultPoint(me_);
+    timedPhase(name, std::forward<Fn>(body));
+    if (checkpointing()) {
+      writeCheckpoint(phase);
+    }
+    net_.barrier(me_);
+  }
+
+  // ---- per-phase checkpoints (core/checkpoint.h) -------------------------
+
+  bool checkpointing() const {
+    return config_.resilience.enableCheckpoints &&
+           !config_.resilience.checkpointDir.empty();
+  }
+
+  void writeCheckpoint(uint32_t phase) {
+    SendBuffer payload;
+    switch (phase) {
+      case 1:
+        break;  // marker only: reading is re-run locally on resume
+      case 2:
+        serializeMasterSection(payload);
+        break;
+      case 3:
+        serializeMasterSection(payload);
+        serializeEdgeSection(payload);
+        break;
+      case 4:
+        serializeMasterSection(payload);
+        serializeAllocSection(payload);
+        break;
+      case 5:
+        serializeDistGraph(payload, result_);
+        break;
+    }
+    saveCheckpoint(config_.resilience.checkpointDir, me_, numHosts(), phase,
+                   payload);
+  }
+
+  void restoreCheckpoint(uint32_t phase) {
+    auto payload = loadCheckpoint(config_.resilience.checkpointDir, me_,
+                                  numHosts(), phase);
+    if (!payload) {
+      // The agreement said every host has this phase; a vanished/corrupt
+      // file between probe and load is a driver bug or live corruption.
+      throw std::runtime_error("partitioner: checkpoint for phase " +
+                               std::to_string(phase) +
+                               " disappeared on host " + std::to_string(me_));
+    }
+    RecvBuffer buf(std::move(*payload));
+    switch (phase) {
+      case 1:
+        break;
+      case 2:
+        restoreMasterSection(buf);
+        break;
+      case 3:
+        restoreMasterSection(buf);
+        restoreEdgeSection(buf);
+        break;
+      case 4:
+        restoreMasterSection(buf);
+        restoreAllocSection(buf);
+        break;
+      case 5:
+        result_ = deserializeDistGraph(buf);
+        break;
+    }
+  }
+
+  // Master-assignment outputs, needed by every later phase (masterOf).
+  // Pure-master policies recompute assignments on demand, so only the
+  // partitioning-state snapshot is stored for them.
+  void serializeMasterSection(SendBuffer& buf) const {
+    const uint8_t stateful = pureMasterPath() ? 0 : 1;
+    support::serialize(buf, stateful);
+    if (stateful) {
+      std::vector<uint32_t> masters(masterOfMine_.size());
+      for (size_t i = 0; i < masterOfMine_.size(); ++i) {
+        masters[i] = masterOfMine_[i].load(std::memory_order_relaxed);
+      }
+      support::serialize(buf, masters);
+      std::vector<std::pair<uint64_t, uint32_t>> remote(
+          remoteMasters_.begin(), remoteMasters_.end());
+      std::sort(remote.begin(), remote.end());
+      support::serialize(buf, remote);
+    }
+    state_.serializeSnapshot(buf);
+  }
+
+  void restoreMasterSection(RecvBuffer& buf) {
+    uint8_t stateful = 0;
+    support::deserialize(buf, stateful);
+    if (stateful) {
+      std::vector<uint32_t> masters;
+      support::deserialize(buf, masters);
+      masterOfMine_ = std::vector<std::atomic<uint32_t>>(masters.size());
+      for (size_t i = 0; i < masters.size(); ++i) {
+        masterOfMine_[i].store(masters[i], std::memory_order_relaxed);
+      }
+      std::vector<std::pair<uint64_t, uint32_t>> remote;
+      support::deserialize(buf, remote);
+      remoteMasters_.clear();
+      remoteMasters_.insert(remote.begin(), remote.end());
+    }
+    state_.restoreSnapshot(buf);
+  }
+
+  // Edge-assignment outputs, needed to enter graph allocation.
+  void serializeEdgeSection(SendBuffer& buf) const {
+    support::serialize(buf, countsFrom_);
+    std::vector<std::pair<uint64_t, uint32_t>> mirrors(
+        mirrorMasterHost_.begin(), mirrorMasterHost_.end());
+    std::sort(mirrors.begin(), mirrors.end());
+    support::serializeAll(buf, mirrors, myMasterNodes_);
+  }
+
+  void restoreEdgeSection(RecvBuffer& buf) {
+    support::deserialize(buf, countsFrom_);
+    std::vector<std::pair<uint64_t, uint32_t>> mirrors;
+    support::deserializeAll(buf, mirrors, myMasterNodes_);
+    mirrorMasterHost_.clear();
+    mirrorMasterHost_.insert(mirrors.begin(), mirrors.end());
+  }
+
+  // Allocation outputs, needed to enter graph construction. The local CSR
+  // skeleton (row offsets + expected edge count) is stored; the edge arrays
+  // themselves are re-filled by the construction replay.
+  void serializeAllocSection(SendBuffer& buf) const {
+    support::serializeAll(buf, result_.numMasters, result_.localToGlobal,
+                          result_.masterHostOfLocal, result_.mirrorsOnHost,
+                          result_.myMirrorsByOwner, localRowStart_,
+                          expectedRemoteEdges_);
+  }
+
+  void restoreAllocSection(RecvBuffer& buf) {
+    result_.hostId = me_;
+    result_.numHosts = numHosts();
+    result_.numGlobalNodes = prop_.getNumNodes();
+    result_.numGlobalEdges = prop_.getNumEdges();
+    support::deserializeAll(buf, result_.numMasters, result_.localToGlobal,
+                            result_.masterHostOfLocal, result_.mirrorsOnHost,
+                            result_.myMirrorsByOwner, localRowStart_,
+                            expectedRemoteEdges_);
+    result_.globalToLocal.clear();
+    result_.globalToLocal.reserve(result_.localToGlobal.size());
+    for (uint64_t lid = 0; lid < result_.localToGlobal.size(); ++lid) {
+      result_.globalToLocal.emplace(result_.localToGlobal[lid], lid);
+    }
+    localDests_.assign(localRowStart_.back(), 0);
+    if (file_.hasEdgeData()) {
+      localEdgeData_.assign(localRowStart_.back(), 0);
+    }
+    insertCursor_ =
+        std::vector<std::atomic<uint64_t>>(result_.localToGlobal.size());
+    for (size_t lid = 0; lid + 1 < localRowStart_.size(); ++lid) {
+      insertCursor_[lid].store(localRowStart_[lid],
+                               std::memory_order_relaxed);
+    }
+    state_.reset();  // construction replays against initial state (IV-B4)
   }
 
   uint32_t numHosts() const { return net_.numHosts(); }
@@ -185,7 +380,7 @@ class PartitionJob {
       totalExpected += requestsTo[h].size();
       SendBuffer buf;
       support::serialize(buf, requestsTo[h]);
-      net_.send(me_, h, comm::kTagMasterRequest, std::move(buf));
+      net_.sendReliable(me_, h, comm::kTagMasterRequest, std::move(buf));
     }
     std::vector<std::vector<uint64_t>> requestsFrom(numHosts());
     for (HostId h = 0; h < numHosts(); ++h) {
@@ -245,7 +440,7 @@ class PartitionJob {
         if (!gids.empty()) {
           SendBuffer buf;
           support::serializeAll(buf, gids, parts);
-          net_.send(me_, h, comm::kTagMasterAssign, std::move(buf));
+          net_.sendReliable(me_, h, comm::kTagMasterAssign, std::move(buf));
         }
       }
       // Drain whatever has arrived without blocking (paper IV-D5: no
@@ -409,7 +604,7 @@ class PartitionJob {
       SendBuffer countsBuf;
       support::serialize(countsBuf,
                          anyEdges ? outCounts_[h] : std::vector<uint64_t>());
-      net_.send(me_, h, comm::kTagEdgeCounts, std::move(countsBuf));
+      net_.sendReliable(me_, h, comm::kTagEdgeCounts, std::move(countsBuf));
 
       std::vector<uint64_t> gids;
       mirrorFlags[h].collectSetBits(gids);
@@ -419,7 +614,7 @@ class PartitionJob {
       }
       SendBuffer mirrorBuf;
       support::serializeAll(mirrorBuf, gids, masters);
-      net_.send(me_, h, comm::kTagMirrorFlags, std::move(mirrorBuf));
+      net_.sendReliable(me_, h, comm::kTagMirrorFlags, std::move(mirrorBuf));
     }
     // Local contribution (host == me) is absorbed directly.
     countsFrom_.assign(k, {});
@@ -467,7 +662,7 @@ class PartitionJob {
         }
         SendBuffer buf;
         support::serialize(buf, listFor[h]);
-        net_.send(me_, h, comm::kTagMasterList, std::move(buf));
+        net_.sendReliable(me_, h, comm::kTagMasterList, std::move(buf));
       }
       myMasterNodes_ = std::move(listFor[me_]);
       for (HostId h = 0; h < k; ++h) {
@@ -568,7 +763,7 @@ class PartitionJob {
       }
       SendBuffer buf;
       support::serialize(buf, gids);
-      net_.send(me_, h, comm::kTagMirrorToMaster, std::move(buf));
+      net_.sendReliable(me_, h, comm::kTagMirrorToMaster, std::move(buf));
     }
     for (HostId h = 0; h < k; ++h) {
       if (h == me_) {
@@ -627,6 +822,36 @@ class PartitionJob {
       }
     });
 
+    // Any exception on the streaming side (e.g. an injected HostFailure at
+    // a send crossing) must not leave the receiver thread joinable: abort
+    // the network so it unwinds, join it, then propagate.
+    try {
+      streamAndSendEdges(withData);
+    } catch (...) {
+      net_.abort();
+      receiver.join();
+      throw;
+    }
+    receiver.join();
+    if (receiverError) {
+      std::rethrow_exception(receiverError);
+    }
+
+    // Canonicalize rows (arrival order is nondeterministic) and finalize.
+    sortRows(withData);
+    graph::CsrGraph local(std::move(localRowStart_), std::move(localDests_),
+                          std::move(localEdgeData_));
+    if (config_.buildTranspose) {
+      result_.graph = local.transpose();
+      result_.isTransposed = true;
+    } else {
+      result_.graph = std::move(local);
+    }
+  }
+
+  // The streaming half of graph construction: re-assign every read edge
+  // and either insert it locally or ship it to its owner.
+  void streamAndSendEdges(bool withData) {
     if (windowedMode()) {
       // Windowed mode replays the exact priority order of edge assignment
       // (same initial state, same scores), shipping one edge per record.
@@ -647,20 +872,6 @@ class PartitionJob {
         }
       });
       sender.flushAll();
-      receiver.join();
-      if (receiverError) {
-        std::rethrow_exception(receiverError);
-      }
-      sortRows(withData);
-      graph::CsrGraph localWindowed(std::move(localRowStart_),
-                                    std::move(localDests_),
-                                    std::move(localEdgeData_));
-      if (config_.buildTranspose) {
-        result_.graph = localWindowed.transpose();
-        result_.isTransposed = true;
-      } else {
-        result_.graph = std::move(localWindowed);
-      }
       return;
     }
 
@@ -712,21 +923,6 @@ class PartitionJob {
           sender.flushAll();
         },
         threads);
-    receiver.join();
-    if (receiverError) {
-      std::rethrow_exception(receiverError);
-    }
-
-    // Canonicalize rows (arrival order is nondeterministic) and finalize.
-    sortRows(withData);
-    graph::CsrGraph local(std::move(localRowStart_), std::move(localDests_),
-                          std::move(localEdgeData_));
-    if (config_.buildTranspose) {
-      result_.graph = local.transpose();
-      result_.isTransposed = true;
-    } else {
-      result_.graph = std::move(local);
-    }
   }
 
   void insertEdges(uint64_t srcGid, const std::vector<uint64_t>& dsts,
@@ -853,13 +1049,33 @@ DistGraph partitionOnHost(comm::Network& net, comm::HostId me,
   return job.run();
 }
 
-PartitionResult partitionGraph(const graph::GraphFile& file,
-                               const PartitionPolicy& policy,
-                               const PartitionerConfig& config) {
-  if (config.numHosts == 0) {
-    throw std::invalid_argument("partitionGraph: numHosts must be > 0");
+namespace {
+
+std::shared_ptr<comm::FaultInjector> makeInjector(
+    const PartitionerConfig& config) {
+  const auto& plan = config.resilience.faultPlan;
+  if (!plan || plan->empty()) {
+    return nullptr;
   }
+  return std::make_shared<comm::FaultInjector>(*plan);
+}
+
+// One full pipeline run over a fresh Network. The injector is passed in
+// (rather than built here) so recovery attempts share it: occurrence
+// counters and fired-crash flags persist, and a rebooted host does not
+// re-crash on replay.
+PartitionResult runPipeline(
+    const graph::GraphFile& file, const PartitionPolicy& policy,
+    const PartitionerConfig& config,
+    const std::shared_ptr<comm::FaultInjector>& injector) {
   comm::Network net(config.numHosts, config.networkCostModel);
+  if (injector) {
+    net.setFaultInjector(injector);
+  }
+  if (config.resilience.recvTimeoutSeconds > 0) {
+    net.setRecvTimeout(config.resilience.recvTimeoutSeconds);
+  }
+  net.setRetryPolicy(config.resilience.retry);
   PartitionResult result;
   result.partitions.resize(config.numHosts);
   std::vector<support::PhaseTimes> hostTimes(config.numHosts);
@@ -875,6 +1091,76 @@ PartitionResult partitionGraph(const graph::GraphFile& file,
   result.totalSeconds = result.phaseTimes.total();
   result.volume = net.statsSnapshot();
   return result;
+}
+
+}  // namespace
+
+PartitionResult partitionGraph(const graph::GraphFile& file,
+                               const PartitionPolicy& policy,
+                               const PartitionerConfig& config) {
+  if (config.numHosts == 0) {
+    throw std::invalid_argument("partitionGraph: numHosts must be > 0");
+  }
+  return runPipeline(file, policy, config, makeInjector(config));
+}
+
+PartitionResult partitionGraphResilient(const graph::GraphFile& file,
+                                        const PartitionPolicy& policy,
+                                        const PartitionerConfig& config,
+                                        RecoveryReport* report) {
+  if (config.numHosts == 0) {
+    throw std::invalid_argument(
+        "partitionGraphResilient: numHosts must be > 0");
+  }
+  auto injector = makeInjector(config);
+  const uint32_t maxAttempts =
+      std::max(1u, config.resilience.maxRecoveryAttempts);
+  if (report != nullptr) {
+    *report = RecoveryReport{};
+  }
+  const bool checkpoints = config.resilience.enableCheckpoints &&
+                           !config.resilience.checkpointDir.empty();
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (report != nullptr) {
+      ++report->attempts;
+      // Mirror the agreement the hosts are about to compute (min over
+      // hosts of the latest valid checkpoint) for reporting.
+      uint32_t resume = 0;
+      if (checkpoints) {
+        resume = 5;
+        for (uint32_t h = 0; h < config.numHosts; ++h) {
+          resume = std::min(
+              resume, latestValidCheckpoint(config.resilience.checkpointDir,
+                                            h, config.numHosts, 5));
+        }
+      }
+      report->resumedFromPhase = resume;
+    }
+    try {
+      return runPipeline(file, policy, config, injector);
+    } catch (const comm::HostFailure& e) {
+      if (report != nullptr) {
+        report->failures.emplace_back(e.what());
+      }
+      if (attempt + 1 >= maxAttempts) {
+        throw;
+      }
+    } catch (const comm::NetworkStalled& e) {
+      if (report != nullptr) {
+        report->failures.emplace_back(e.what());
+      }
+      if (attempt + 1 >= maxAttempts) {
+        throw;
+      }
+    } catch (const comm::SendRetriesExhausted& e) {
+      if (report != nullptr) {
+        report->failures.emplace_back(e.what());
+      }
+      if (attempt + 1 >= maxAttempts) {
+        throw;
+      }
+    }
+  }
 }
 
 PartitionResult partitionGraphCsc(const graph::GraphFile& cscFile,

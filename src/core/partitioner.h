@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/network.h"
@@ -29,6 +31,44 @@
 #include "support/timer.h"
 
 namespace cusp::core {
+
+// Fault-tolerance knobs; everything off by default, in which case the
+// partitioner's behavior (messages, bytes, outputs) is identical to a
+// build without any of the fault machinery.
+struct ResilienceConfig {
+  // Directory for per-phase checkpoints (h<host>.p<phase>.ckpt). Hosts
+  // checkpoint after each completed phase and partitionGraphResilient
+  // restarts crashed runs from the last phase completed by EVERY host.
+  // Empty or enableCheckpoints=false disables checkpointing.
+  std::string checkpointDir;
+  bool enableCheckpoints = false;
+
+  // How many times partitionGraphResilient re-runs the pipeline after a
+  // fault exception before giving up and rethrowing.
+  uint32_t maxRecoveryAttempts = 3;
+
+  // Bounds every blocking receive; on expiry the receive throws
+  // NetworkStalled naming each blocked host and its tag, instead of
+  // hanging. <= 0 = unbounded (the default).
+  double recvTimeoutSeconds = 0.0;
+
+  // Deterministic fault plan to inject (drops/duplicates/delays/crashes);
+  // null or empty = clean network.
+  std::shared_ptr<const comm::FaultPlan> faultPlan;
+
+  // Retry budget for dropped messages (Network::sendReliable).
+  comm::RetryPolicy retry;
+};
+
+// What partitionGraphResilient did to produce its result.
+struct RecoveryReport {
+  uint32_t attempts = 0;  // pipeline runs, including the successful one
+  // what() of every fault exception that triggered a re-run, in order.
+  std::vector<std::string> failures;
+  // Resume phase of the final attempt: the pipeline restarted after this
+  // phase (0 = ran from scratch).
+  uint32_t resumedFromPhase = 0;
+};
 
 struct PartitionerConfig {
   uint32_t numHosts = 4;
@@ -87,6 +127,12 @@ struct PartitionerConfig {
   // appear. Hosts read their windows concurrently, as on a parallel
   // filesystem.
   double simulatedDiskBandwidthMBps = 0.0;
+
+  // Fault-tolerance knobs (fault injection, recv timeouts, checkpoints,
+  // retry); all off by default. partitionGraph honors the injection/
+  // timeout/retry/checkpoint knobs; the recovery loop lives in
+  // partitionGraphResilient.
+  ResilienceConfig resilience;
 };
 
 struct PartitionResult {
@@ -123,6 +169,21 @@ PartitionResult partitionGraph(const graph::GraphFile& file,
 PartitionResult partitionGraphCsc(const graph::GraphFile& cscFile,
                                   const PartitionPolicy& policy,
                                   const PartitionerConfig& config);
+
+// Fault-tolerant driver: runs the pipeline like partitionGraph, but when a
+// fault exception escapes (an injected HostFailure, a receive timeout, or
+// exhausted send retries) it tears the cluster down and re-runs, resuming
+// from the last phase every host holds a valid checkpoint for (see
+// core/checkpoint.h; without checkpoints enabled a re-run starts from
+// scratch). The same FaultInjector is shared across attempts, so a crash
+// fires exactly once and the re-run proceeds past it. Gives up after
+// config.resilience.maxRecoveryAttempts runs and rethrows the last fault.
+// For deterministic policies the recovered result is bit-identical to a
+// fault-free run.
+PartitionResult partitionGraphResilient(const graph::GraphFile& file,
+                                        const PartitionPolicy& policy,
+                                        const PartitionerConfig& config,
+                                        RecoveryReport* report = nullptr);
 
 // Host-level entry point for callers that already run inside a Network
 // (e.g. an analytics pipeline that partitions and then computes without

@@ -24,6 +24,7 @@
 // assignment) observes the same state.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -157,7 +158,7 @@ class PartitionState {
       }
       support::SendBuffer buf;
       support::serializeAll(buf, deltas, maskNodes, maskBits);
-      net.send(me, h, comm::kTagStateReduce, std::move(buf));
+      net.sendReliable(me, h, comm::kTagStateReduce, std::move(buf));
     }
     ++roundsSent_;
     drainPending(net, me);
@@ -186,6 +187,47 @@ class PartitionState {
 
   uint64_t deltaMessagesReceived() const { return received_; }
 
+  // --- checkpoint support ---
+
+  // Serializes the full state (synced base, unsent deltas, replica masks
+  // and unsent mask deltas) so a recovery attempt can resume a phase with
+  // the views this host had at the checkpoint. Mask maps are emitted in
+  // sorted node order so identical states produce identical bytes.
+  void serializeSnapshot(support::SendBuffer& buf) const {
+    support::serialize(buf, base_);
+    std::vector<int64_t> deltas(delta_.size());
+    for (size_t i = 0; i < delta_.size(); ++i) {
+      deltas[i] = delta_[i].load(std::memory_order_relaxed);
+    }
+    support::serialize(buf, deltas);
+    std::lock_guard<std::mutex> lock(maskMutex_);
+    serializeSortedMap(buf, masks_);
+    serializeSortedMap(buf, maskDeltas_);
+  }
+
+  // Inverse of serializeSnapshot(); the state must already be initialize()d
+  // with the same counters and partition count. Exchange-round bookkeeping
+  // restarts at zero — the resumed phase replays its own exchange rounds.
+  void restoreSnapshot(support::RecvBuffer& buf) {
+    std::vector<int64_t> base;
+    std::vector<int64_t> deltas;
+    support::deserialize(buf, base);
+    support::deserialize(buf, deltas);
+    if (base.size() != base_.size() || deltas.size() != delta_.size()) {
+      throw std::logic_error(
+          "PartitionState: snapshot does not match registered counters");
+    }
+    base_ = std::move(base);
+    for (size_t i = 0; i < delta_.size(); ++i) {
+      delta_[i].store(deltas[i], std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(maskMutex_);
+    deserializeMap(buf, masks_);
+    deserializeMap(buf, maskDeltas_);
+    received_ = 0;
+    roundsSent_ = 0;
+  }
+
   // Restores initial (zero/empty) values; paper Section IV-B4.
   void reset() {
     std::fill(base_.begin(), base_.end(), 0);
@@ -198,6 +240,22 @@ class PartitionState {
   }
 
  private:
+  static void serializeSortedMap(
+      support::SendBuffer& buf,
+      const std::unordered_map<uint64_t, uint64_t>& map) {
+    std::vector<std::pair<uint64_t, uint64_t>> entries(map.begin(), map.end());
+    std::sort(entries.begin(), entries.end());
+    support::serialize(buf, entries);
+  }
+
+  static void deserializeMap(support::RecvBuffer& buf,
+                             std::unordered_map<uint64_t, uint64_t>& map) {
+    std::vector<std::pair<uint64_t, uint64_t>> entries;
+    support::deserialize(buf, entries);
+    map.clear();
+    map.insert(entries.begin(), entries.end());
+  }
+
   void absorb(comm::Message& msg) {
     std::vector<int64_t> deltas;
     std::vector<uint64_t> maskNodes;

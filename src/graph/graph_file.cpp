@@ -6,6 +6,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "support/crc32.h"
+
 namespace cusp::graph {
 
 namespace {
@@ -61,8 +63,13 @@ GraphFile GraphFile::load(const std::string& path) {
   if (!f) {
     throw std::runtime_error("GraphFile: cannot open " + path);
   }
+  uint32_t crc = 0;
+  auto readChecked = [&](auto* data, size_t count) {
+    readArray(f.get(), data, count, path);
+    crc = support::crc32Update(crc, data, count * sizeof(*data));
+  };
   uint64_t header[4];
-  readArray(f.get(), header, 4, path);
+  readChecked(header, 4);
   if (header[0] != kMagic) {
     throw std::runtime_error("GraphFile: bad magic in " + path);
   }
@@ -75,13 +82,13 @@ GraphFile GraphFile::load(const std::string& path) {
   file.numNodes_ = header[2];
   file.numEdges_ = header[3];
   file.rowStart_.resize(file.numNodes_ + 1);
-  readArray(f.get(), file.rowStart_.data(), file.rowStart_.size(), path);
+  readChecked(file.rowStart_.data(), file.rowStart_.size());
   if (file.rowStart_.front() != 0 || file.rowStart_.back() != file.numEdges_ ||
       !std::is_sorted(file.rowStart_.begin(), file.rowStart_.end())) {
     throw std::runtime_error("GraphFile: corrupt row index in " + path);
   }
   file.dests_.resize(file.numEdges_);
-  readArray(f.get(), file.dests_.data(), file.dests_.size(), path);
+  readChecked(file.dests_.data(), file.dests_.size());
   for (uint64_t dst : file.dests_) {
     if (dst >= file.numNodes_) {
       throw std::runtime_error("GraphFile: destination out of range in " +
@@ -90,7 +97,15 @@ GraphFile GraphFile::load(const std::string& path) {
   }
   if (sizeofEdgeData == 4) {
     file.edgeData_.resize(file.numEdges_);
-    readArray(f.get(), file.edgeData_.data(), file.edgeData_.size(), path);
+    readChecked(file.edgeData_.data(), file.edgeData_.size());
+  }
+  // Optional CRC footer after the payload (newer writers always add it);
+  // legacy files simply end here and are accepted unverified.
+  uint64_t footer[2];
+  if (std::fread(footer, 1, sizeof(footer), f.get()) == sizeof(footer) &&
+      footer[0] == support::kCrcFooterMagic &&
+      footer[1] != static_cast<uint64_t>(crc)) {
+    throw std::runtime_error("GraphFile: checksum mismatch in " + path);
   }
   return file;
 }
@@ -100,17 +115,22 @@ void GraphFile::save(const std::string& path, const CsrGraph& graph) {
   if (!f) {
     throw std::runtime_error("GraphFile: cannot create " + path);
   }
+  uint32_t crc = 0;
+  auto writeChecked = [&](const auto* data, size_t count) {
+    writeArray(f.get(), data, count, path);
+    crc = support::crc32Update(crc, data, count * sizeof(*data));
+  };
   const uint64_t header[4] = {kMagic, graph.hasEdgeData() ? 4ull : 0ull,
                               graph.numNodes(), graph.numEdges()};
-  writeArray(f.get(), header, 4, path);
-  writeArray(f.get(), graph.rowStarts().data(), graph.rowStarts().size(),
-             path);
-  writeArray(f.get(), graph.destinations().data(),
-             graph.destinations().size(), path);
+  writeChecked(header, 4);
+  writeChecked(graph.rowStarts().data(), graph.rowStarts().size());
+  writeChecked(graph.destinations().data(), graph.destinations().size());
   if (graph.hasEdgeData()) {
-    writeArray(f.get(), graph.edgeDataArray().data(),
-               graph.edgeDataArray().size(), path);
+    writeChecked(graph.edgeDataArray().data(), graph.edgeDataArray().size());
   }
+  const uint64_t footer[2] = {support::kCrcFooterMagic,
+                              static_cast<uint64_t>(crc)};
+  writeArray(f.get(), footer, 2, path);
   if (std::fflush(f.get()) != 0) {
     throw std::runtime_error("GraphFile: flush failed for " + path);
   }

@@ -1,0 +1,83 @@
+// CRC32 (IEEE 802.3, polynomial 0xEDB88320) for on-disk integrity checks.
+//
+// The .cgr/.cdg/.ckpt file formats append an optional 16-byte footer
+// {kCrcFooterMagic, crc32-of-preceding-bytes} so that silently corrupted
+// bytes are caught on load, not just truncation and bad magic. The footer is
+// backward compatible: readers verify it when present and accept legacy
+// files without one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace cusp::support {
+
+inline uint32_t crc32Update(uint32_t crc, const void* data, size_t len) {
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline uint32_t crc32(const void* data, size_t len) {
+  return crc32Update(0, data, len);
+}
+
+// Footer magic "CRC1" (little-endian u64, high bytes zero, matching the
+// style of the CGR1/CDG1 file magics).
+inline constexpr uint64_t kCrcFooterMagic = 0x0000000031435243ULL;
+inline constexpr size_t kCrcFooterSize = 2 * sizeof(uint64_t);
+
+// Appends {kCrcFooterMagic, crc32(bytes)} to `bytes`.
+inline void appendCrcFooter(std::vector<uint8_t>& bytes) {
+  const uint64_t crc = crc32(bytes.data(), bytes.size());
+  const uint64_t footer[2] = {kCrcFooterMagic, crc};
+  const size_t offset = bytes.size();
+  bytes.resize(offset + sizeof(footer));
+  std::memcpy(bytes.data() + offset, footer, sizeof(footer));
+}
+
+enum class CrcFooterStatus {
+  kAbsent,    // legacy payload with no footer; nothing verified
+  kVerified,  // footer present and checksum matched; footer stripped
+  kMismatch,  // footer present but checksum failed
+};
+
+// Detects a trailing CRC footer on `bytes`; on a match strips it so the
+// caller sees the bare payload. A payload shorter than a footer, or one
+// whose tail is not the footer magic, is treated as legacy (kAbsent).
+inline CrcFooterStatus verifyAndStripCrcFooter(std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kCrcFooterSize) {
+    return CrcFooterStatus::kAbsent;
+  }
+  uint64_t footer[2];
+  std::memcpy(footer, bytes.data() + bytes.size() - kCrcFooterSize,
+              sizeof(footer));
+  if (footer[0] != kCrcFooterMagic) {
+    return CrcFooterStatus::kAbsent;
+  }
+  const size_t payloadSize = bytes.size() - kCrcFooterSize;
+  const uint64_t expected = footer[1];
+  if (crc32(bytes.data(), payloadSize) != expected) {
+    return CrcFooterStatus::kMismatch;
+  }
+  bytes.resize(payloadSize);
+  return CrcFooterStatus::kVerified;
+}
+
+}  // namespace cusp::support

@@ -33,6 +33,9 @@ class SendBuffer {
   void reserve(size_t bytes) { data_.reserve(bytes); }
 
   void appendBytes(const void* src, size_t len) {
+    if (len == 0) {  // both pointers may be null on empty buffers
+      return;
+    }
     const size_t offset = data_.size();
     data_.resize(offset + len);
     std::memcpy(data_.data() + offset, src, len);

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under ASan+UBSan and under TSan, using the
+# presets from CMakePresets.json. The concurrency machinery (simulated
+# network, per-host threads, fault injection, phase-5 receiver threads) is
+# exactly the code most likely to hide races and lifetime bugs, so both
+# sanitizers are part of the pre-merge checklist.
+#
+# Usage: tests/run_sanitized.sh [asan-ubsan|tsan]   (default: both)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("${@:-asan-ubsan tsan}")
+if [ $# -eq 0 ]; then
+  presets=(asan-ubsan tsan)
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+for preset in "${presets[@]}"; do
+  echo "==== [$preset] configure ===="
+  cmake --preset "$preset"
+  echo "==== [$preset] build ===="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==== [$preset] test ===="
+  ctest --preset "$preset" -j "$jobs"
+done
+echo "==== all sanitized suites passed ===="

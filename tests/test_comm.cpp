@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "comm/network.h"
 
@@ -328,6 +330,258 @@ TEST(BufferedSenderTest, RecordsSurviveConcatenation) {
       EXPECT_TRUE(msg.payload.exhausted());
     }
   });
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection, bounded-wait receives, reliable sends
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<FaultInjector> injectorWith(FaultPlan plan) {
+  return std::make_shared<FaultInjector>(std::move(plan));
+}
+
+TEST(FaultTest, TryRecvAfterAbortThrows) {
+  Network net(2);
+  net.abort();
+  EXPECT_THROW(net.tryRecv(0, kTagGeneric), NetworkAborted);
+  EXPECT_THROW(net.recv(0, kTagGeneric), NetworkAborted);
+}
+
+TEST(FaultTest, RecvTimeoutThrowsNetworkStalledNamingHostAndTag) {
+  Network net(2);
+  net.setRecvTimeout(0.05);
+  try {
+    net.recv(0, kTagEdgeCounts);
+    FAIL() << "expected NetworkStalled";
+  } catch (const NetworkStalled& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("host 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("kTagEdgeCounts"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultTest, StallReportNamesEveryBlockedHost) {
+  // Host 0 enters its receive first and times out while hosts 1 and 2 are
+  // still parked on theirs (they start later, so their deadlines are
+  // comfortably beyond host 0's); its report must name all three.
+  Network net(3);
+  net.setRecvTimeout(0.15);
+  std::string report;
+  std::mutex reportMutex;
+  EXPECT_THROW(runHosts(net,
+                        [&](HostId me) {
+                          if (me != 0) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(30));
+                          }
+                          try {
+                            net.recv(me, kTagEdgeBatch + me);
+                          } catch (const NetworkStalled& e) {
+                            std::lock_guard<std::mutex> lock(reportMutex);
+                            if (report.empty()) {
+                              report = e.what();
+                            }
+                            throw;
+                          }
+                        }),
+               NetworkStalled);
+  for (HostId h = 0; h < 3; ++h) {
+    EXPECT_NE(report.find("host " + std::to_string(h)), std::string::npos)
+        << report;
+  }
+}
+
+TEST(FaultTest, DroppedSendIsVisibleToPlainSend) {
+  FaultPlan plan;
+  plan.messageFaults.push_back(
+      {/*src=*/0, /*dst=*/1, kTagGeneric, /*occurrence=*/0});
+  auto injector = injectorWith(plan);
+  Network net(2);
+  net.setFaultInjector(injector);
+  EXPECT_FALSE(net.send(0, 1, kTagGeneric, bufferWith(1)));  // dropped
+  EXPECT_TRUE(net.send(0, 1, kTagGeneric, bufferWith(2)));   // clean
+  auto msg = net.recv(1, kTagGeneric);
+  EXPECT_EQ(valueOf(msg), 2u);
+  EXPECT_EQ(injector->stats().dropped, 1u);
+  // Dropped messages are not accounted as traffic.
+  EXPECT_EQ(net.messagesSent(kTagGeneric), 1u);
+}
+
+TEST(FaultTest, SendReliableRetriesDropTransparently) {
+  FaultPlan plan;
+  plan.messageFaults.push_back(
+      {/*src=*/0, /*dst=*/1, kTagGeneric, /*occurrence=*/0, /*repeat=*/2});
+  auto injector = injectorWith(plan);
+  Network net(2);
+  net.setFaultInjector(injector);
+  net.sendReliable(0, 1, kTagGeneric, bufferWith(42));
+  auto msg = net.recv(1, kTagGeneric);
+  EXPECT_EQ(valueOf(msg), 42u);
+  EXPECT_EQ(injector->stats().dropped, 2u);
+  EXPECT_EQ(injector->stats().retries, 2u);
+}
+
+TEST(FaultTest, SendReliableThrowsWhenRetriesExhausted) {
+  FaultPlan plan;
+  plan.messageFaults.push_back({/*src=*/0, /*dst=*/1, kTagEdgeBatch,
+                                /*occurrence=*/0, /*repeat=*/100});
+  auto injector = injectorWith(plan);
+  Network net(2);
+  net.setFaultInjector(injector);
+  RetryPolicy policy;
+  policy.maxAttempts = 3;
+  net.setRetryPolicy(policy);
+  try {
+    net.sendReliable(0, 1, kTagEdgeBatch, bufferWith(1));
+    FAIL() << "expected SendRetriesExhausted";
+  } catch (const SendRetriesExhausted& e) {
+    EXPECT_EQ(e.from, 0u);
+    EXPECT_EQ(e.to, 1u);
+    EXPECT_EQ(e.tag, kTagEdgeBatch);
+    EXPECT_EQ(e.attempts, 3u);
+    EXPECT_NE(std::string(e.what()).find("kTagEdgeBatch"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultTest, DuplicateDeliveredExactlyOnce) {
+  FaultPlan plan;
+  plan.messageFaults.push_back({/*src=*/0, /*dst=*/1, kTagGeneric,
+                                /*occurrence=*/0, /*repeat=*/1,
+                                FaultAction::kDuplicate});
+  auto injector = injectorWith(plan);
+  Network net(2);
+  net.setFaultInjector(injector);
+  net.send(0, 1, kTagGeneric, bufferWith(5));
+  net.send(0, 1, kTagGeneric, bufferWith(6));
+  auto first = net.recv(1, kTagGeneric);
+  EXPECT_EQ(valueOf(first), 5u);
+  auto second = net.recv(1, kTagGeneric);
+  EXPECT_EQ(valueOf(second), 6u);  // the duplicate of 5 was filtered
+  EXPECT_FALSE(net.tryRecv(1, kTagGeneric).has_value());
+  EXPECT_EQ(injector->stats().duplicated, 1u);
+  EXPECT_EQ(injector->stats().duplicatesSuppressed, 1u);
+}
+
+TEST(FaultTest, DelayedMessagePreservesChannelFifo) {
+  FaultPlan plan;
+  plan.messageFaults.push_back({/*src=*/0, /*dst=*/1, kTagGeneric,
+                                /*occurrence=*/0, /*repeat=*/1,
+                                FaultAction::kDelay, /*delayScans=*/3});
+  auto injector = injectorWith(plan);
+  Network net(2);
+  net.setFaultInjector(injector);
+  for (uint64_t i = 0; i < 4; ++i) {
+    net.send(0, 1, kTagGeneric, bufferWith(i));
+  }
+  // The first message is delayed; FIFO on the (0, kTagGeneric) channel
+  // means the later ones must not overtake it.
+  for (uint64_t i = 0; i < 4; ++i) {
+    auto msg = net.recv(1, kTagGeneric);
+    EXPECT_EQ(valueOf(msg), i);
+  }
+  EXPECT_EQ(injector->stats().delayed, 1u);
+}
+
+TEST(FaultTest, DelayedMessageDeliversToBlockedReceiver) {
+  // A receiver already parked inside recv() when the only message it can
+  // get is delayed: the delay must age out (via polling), not deadlock.
+  FaultPlan plan;
+  plan.messageFaults.push_back({/*src=*/0, /*dst=*/1, kTagGeneric,
+                                /*occurrence=*/0, /*repeat=*/1,
+                                FaultAction::kDelay, /*delayScans=*/5});
+  auto injector = injectorWith(plan);
+  Network net(2);
+  net.setFaultInjector(injector);
+  net.setRecvTimeout(5.0);  // backstop: fail the test instead of hanging
+  runHosts(net, [&](HostId me) {
+    if (me == 0) {
+      net.send(0, 1, kTagGeneric, bufferWith(77));
+    } else {
+      auto msg = net.recv(1, kTagGeneric);
+      EXPECT_EQ(valueOf(msg), 77u);
+    }
+  });
+}
+
+TEST(FaultTest, ScheduledCrashFiresOncePerInjector) {
+  FaultPlan plan;
+  plan.crashes.push_back({/*host=*/1, /*phase=*/0, /*opsIntoPhase=*/0});
+  auto injector = injectorWith(plan);
+  Network net(2);
+  net.setFaultInjector(injector);
+  EXPECT_THROW(runHosts(net,
+                        [&](HostId me) {
+                          if (me == 1) {
+                            net.barrier(me);  // first crossing: crash
+                          } else {
+                            net.barrier(me);
+                          }
+                        }),
+               HostFailure);
+  EXPECT_EQ(injector->stats().crashesFired, 1u);
+
+  // Same injector, fresh network: the crash does not re-fire.
+  Network net2(2);
+  net2.setFaultInjector(injector);
+  runHosts(net2, [&](HostId me) { net2.barrier(me); });
+  EXPECT_EQ(injector->stats().crashesFired, 1u);
+}
+
+TEST(FaultTest, CrashTargetsPhaseAndCrossing) {
+  FaultPlan plan;
+  plan.crashes.push_back({/*host=*/0, /*phase=*/2, /*opsIntoPhase=*/1});
+  auto injector = injectorWith(plan);
+  Network net(1);
+  net.setFaultInjector(injector);
+  net.enterPhase(0, 1);
+  net.faultPoint(0);  // phase 1 crossings never match
+  net.faultPoint(0);
+  net.enterPhase(0, 2);
+  net.faultPoint(0);  // crossing 0 of phase 2: no crash yet
+  EXPECT_THROW(net.faultPoint(0), HostFailure);  // crossing 1: crash
+  EXPECT_EQ(injector->stats().crashesFired, 1u);
+}
+
+TEST_P(NetworkHosts, AllReduceMin) {
+  const uint32_t hosts = GetParam();
+  Network net(hosts);
+  std::vector<uint32_t> results(hosts);
+  runHosts(net, [&](HostId me) {
+    results[me] = net.allReduceMin<uint32_t>(me, 10 + me);
+  });
+  for (uint32_t h = 0; h < hosts; ++h) {
+    EXPECT_EQ(results[h], 10u);
+  }
+}
+
+TEST(FaultTest, CleanRunWithInjectorMatchesWithout) {
+  // An injector whose plan never matches must not perturb traffic stats.
+  auto runOnce = [](std::shared_ptr<FaultInjector> injector) {
+    Network net(3);
+    if (injector) {
+      net.setFaultInjector(std::move(injector));
+    }
+    runHosts(net, [&](HostId me) {
+      if (me == 0) {
+        for (HostId h = 1; h < 3; ++h) {
+          net.sendReliable(0, h, kTagGeneric, bufferWith(h));
+        }
+      } else {
+        auto msg = net.recvFrom(me, 0, kTagGeneric);
+        EXPECT_EQ(valueOf(msg), me);
+      }
+      net.barrier(me);
+    });
+    return net.statsSnapshot();
+  };
+  FaultPlan plan;
+  plan.messageFaults.push_back(
+      {/*src=*/2, /*dst=*/0, kTagEdgeBatch, /*occurrence=*/99});
+  const auto clean = runOnce(nullptr);
+  const auto injected = runOnce(injectorWith(plan));
+  EXPECT_EQ(clean.totalBytes(), injected.totalBytes());
+  EXPECT_EQ(clean.totalMessages(), injected.totalMessages());
 }
 
 }  // namespace

@@ -146,6 +146,39 @@ TEST_F(DistGraphFiles, RejectsMissingCorruptAndTruncatedFiles) {
   EXPECT_THROW(loadDistGraph(path("ok.cdg")), std::runtime_error);
 }
 
+TEST_F(DistGraphFiles, ChecksumCatchesSilentPayloadCorruption) {
+  const auto g = graph::generateErdosRenyi(100, 500, 73);
+  const auto parts = makeParts(g, "HVC", 2);
+  saveDistGraph(path("crc.cdg"), parts[0]);
+  // Flip one payload byte; the CRC footer must reject the file even though
+  // the flipped value may parse fine.
+  std::fstream f(path("crc.cdg"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(32);
+  const char byte = static_cast<char>(f.get());
+  f.seekp(32);
+  f.put(static_cast<char>(byte ^ 0x01));
+  f.close();
+  try {
+    loadDistGraph(path("crc.cdg"));
+    FAIL() << "expected checksum error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(DistGraphFiles, LegacyFileWithoutFooterStillLoads) {
+  const auto g = graph::generateErdosRenyi(100, 500, 73);
+  const auto parts = makeParts(g, "HVC", 2);
+  saveDistGraph(path("legacy.cdg"), parts[0]);
+  const auto full = std::filesystem::file_size(path("legacy.cdg"));
+  std::filesystem::resize_file(path("legacy.cdg"), full - 16);
+  const auto reloaded = loadDistGraph(path("legacy.cdg"));
+  EXPECT_EQ(reloaded.graph, parts[0].graph);
+  EXPECT_EQ(reloaded.localToGlobal, parts[0].localToGlobal);
+}
+
 // ---------------------------------------------------------------------------
 // Failure injection: the validator must catch corrupted partition sets.
 // ---------------------------------------------------------------------------

@@ -5,8 +5,14 @@
 // exactly.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include <unistd.h>
+
 #include "analytics/algorithms.h"
 #include "analytics/reference.h"
+#include "comm/fault.h"
+#include "core/checkpoint.h"
 #include "core/partitioner.h"
 #include "core/policies.h"
 #include "graph/generators.h"
@@ -155,6 +161,86 @@ TEST_P(NetworkFuzz, RandomStormDeliversEverythingIntact) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFuzz,
                          ::testing::Range<uint64_t>(0, 16));
+
+// Fault-plan fuzzing: under seeded-random drop/duplicate/delay/crash
+// schedules, every resilient run must either complete with valid,
+// fault-free-identical partitions or fail with one of the structured fault
+// errors — never hang (the recv timeout backstop turns hangs into
+// NetworkStalled) and never return a wrong answer.
+class FaultPlanFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultPlanFuzz, CompletesValidlyOrFailsStructured) {
+  const uint64_t seed = GetParam();
+  support::Rng rng(seed * 6364136223846793005ull + 1442695040888963407ull);
+  const uint32_t hosts = 2 + static_cast<uint32_t>(rng.nextBounded(7));
+  const uint64_t nodes = 40 + rng.nextBounded(300);
+  graph::CsrGraph g =
+      graph::generateErdosRenyi(nodes, rng.nextBounded(4 * nodes), seed);
+  if (rng.nextBounded(2) == 1) {
+    g = graph::withRandomWeights(g, 16, seed + 1);
+  }
+  const auto& catalog = core::extendedPolicyCatalog();
+  const std::string policyName = catalog[rng.nextBounded(catalog.size())];
+
+  core::PartitionerConfig config;
+  config.numHosts = hosts;
+  config.stateSyncRounds = 1 + static_cast<uint32_t>(rng.nextBounded(20));
+  config.messageBufferThreshold = rng.nextBounded(8 << 10);
+  config.threadsPerHost = 1 + static_cast<unsigned>(rng.nextBounded(2));
+
+  SCOPED_TRACE("policy=" + policyName + " hosts=" + std::to_string(hosts) +
+               " nodes=" + std::to_string(g.numNodes()) +
+               " edges=" + std::to_string(g.numEdges()));
+
+  const graph::GraphFile file = graph::GraphFile::fromCsr(g);
+  const core::PartitionPolicy policy = core::makePolicy(policyName);
+  const auto baseline = core::partitionGraph(file, policy, config);
+
+  char tmpl[] = "/tmp/cusp_fuzz_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+
+  config.resilience.faultPlan = std::make_shared<comm::FaultPlan>(
+      comm::randomFaultPlan(seed, hosts));
+  config.resilience.enableCheckpoints = rng.nextBounded(4) != 0;
+  config.resilience.checkpointDir = dir;
+  config.resilience.recvTimeoutSeconds = 5.0;  // turns any hang into a stall
+  config.resilience.maxRecoveryAttempts =
+      1 + static_cast<uint32_t>(rng.nextBounded(3));
+
+  try {
+    const auto result =
+        core::partitionGraphResilient(file, policy, config);
+    // Completed: the result must be valid — injected faults may cost time,
+    // never correctness. For deterministic policies (pure master rule, no
+    // edge state — the stateful ones assign by asynchronously synchronized
+    // scores, so their outcome is timing-dependent even without faults) it
+    // must further be bit-identical to the fault-free run.
+    ASSERT_NO_THROW(core::validatePartitions(g, result.partitions));
+    ASSERT_EQ(result.partitions.size(), baseline.partitions.size());
+    if (policy.master.isPure() && !policy.edge.usesState) {
+      for (size_t h = 0; h < baseline.partitions.size(); ++h) {
+        support::SendBuffer a;
+        support::SendBuffer b;
+        core::serializeDistGraph(a, baseline.partitions[h]);
+        core::serializeDistGraph(b, result.partitions[h]);
+        EXPECT_EQ(a.release(), b.release()) << "host " << h;
+      }
+    }
+  } catch (const comm::HostFailure&) {      // structured: crash budget spent
+  } catch (const comm::NetworkStalled&) {   // structured: bounded wait
+  } catch (const comm::SendRetriesExhausted&) {  // structured: retry budget
+  }
+  // Any other exception type escapes and fails the test.
+
+  for (uint32_t h = 0; h < hosts; ++h) {
+    core::removeCheckpoints(dir, h, 5);
+  }
+  ::rmdir(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultPlanFuzz,
+                         ::testing::Range<uint64_t>(0, 32));
 
 }  // namespace
 }  // namespace cusp

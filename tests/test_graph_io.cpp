@@ -113,6 +113,36 @@ TEST_F(GraphFileTest, EmptyGraphRoundTrips) {
   EXPECT_EQ(file.numEdges(), 0u);
 }
 
+TEST_F(GraphFileTest, ChecksumCatchesSilentPayloadCorruption) {
+  // Flip a byte of edge data: structurally still a perfectly valid file,
+  // only the CRC footer can tell.
+  const auto g = withRandomWeights(makeGrid(4, 4), 100, 7);
+  GraphFile::save(path("crc.cgr"), g);
+  const auto size = std::filesystem::file_size(path("crc.cgr"));
+  std::fstream f(path("crc.cgr"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(static_cast<std::streamoff>(size) - 17);
+  const char byte = static_cast<char>(f.get());
+  f.seekp(static_cast<std::streamoff>(size) - 17);
+  f.put(static_cast<char>(byte ^ 0x40));
+  f.close();
+  try {
+    GraphFile::load(path("crc.cgr"));
+    FAIL() << "expected checksum error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(GraphFileTest, LegacyFileWithoutFooterStillLoads) {
+  const auto g = withRandomWeights(makeGrid(4, 4), 100, 7);
+  GraphFile::save(path("legacy.cgr"), g);
+  const auto size = std::filesystem::file_size(path("legacy.cgr"));
+  std::filesystem::resize_file(path("legacy.cgr"), size - 16);
+  EXPECT_EQ(GraphFile::load(path("legacy.cgr")).toCsr(), g);
+}
+
 // ---------------------------------------------------------------------------
 // Galois .gr v1 interop
 // ---------------------------------------------------------------------------
