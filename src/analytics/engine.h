@@ -17,6 +17,11 @@
 // naturally talks only to its row/column partners while a general
 // vertex-cut (HVC/GVC) talks to everyone — the structural property the
 // paper's quality results hinge on.
+//
+// Membership-aware: every sync loop skips hosts the Network has evicted
+// (degraded mode), so survivors keep synchronizing among themselves after a
+// permanent host loss instead of blocking on a dead peer. With full
+// membership the skip never fires and the traffic is unchanged.
 #pragma once
 
 #include <cstdint>
@@ -68,7 +73,7 @@ class SyncContext {
     guarded("reduceToMasters", [&] {
       // Send my dirty mirrors to each owner that has any of my mirrors.
       for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-        if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
+        if (h == me_ || !net_.isAlive(h) || part_.myMirrorsByOwner[h].empty()) {
           continue;
         }
         support::SendBuffer buf;
@@ -79,7 +84,7 @@ class SyncContext {
       // Receive contributions for my masters from each host holding
       // mirrors.
       for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-        if (h == me_ || part_.mirrorsOnHost[h].empty()) {
+        if (h == me_ || !net_.isAlive(h) || part_.mirrorsOnHost[h].empty()) {
           continue;
         }
         auto msg = net_.recvFrom(me_, h, comm::kTagAppReduce);
@@ -107,7 +112,7 @@ class SyncContext {
                           support::DynamicBitset& changed) {
     guarded("broadcastToMirrors", [&] {
       for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-        if (h == me_ || part_.mirrorsOnHost[h].empty()) {
+        if (h == me_ || !net_.isAlive(h) || part_.mirrorsOnHost[h].empty()) {
           continue;
         }
         support::SendBuffer buf;
@@ -116,7 +121,7 @@ class SyncContext {
         net_.sendReliable(me_, h, comm::kTagAppBroadcast, std::move(buf));
       }
       for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-        if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
+        if (h == me_ || !net_.isAlive(h) || part_.myMirrorsByOwner[h].empty()) {
           continue;
         }
         auto msg = net_.recvFrom(me_, h, comm::kTagAppBroadcast);
@@ -141,7 +146,7 @@ class SyncContext {
   void gatherListsToMasters(std::vector<std::vector<T>>& lists) {
     guarded("gatherListsToMasters", [&] {
       for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-        if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
+        if (h == me_ || !net_.isAlive(h) || part_.myMirrorsByOwner[h].empty()) {
           continue;
         }
         std::vector<std::vector<T>> payload;
@@ -154,7 +159,7 @@ class SyncContext {
         net_.sendReliable(me_, h, comm::kTagAppReduce, std::move(buf));
       }
       for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-        if (h == me_ || part_.mirrorsOnHost[h].empty()) {
+        if (h == me_ || !net_.isAlive(h) || part_.mirrorsOnHost[h].empty()) {
           continue;
         }
         auto msg = net_.recvFrom(me_, h, comm::kTagAppReduce);
@@ -175,7 +180,7 @@ class SyncContext {
   void broadcastListsToMirrors(std::vector<std::vector<T>>& lists) {
     guarded("broadcastListsToMirrors", [&] {
       for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-        if (h == me_ || part_.mirrorsOnHost[h].empty()) {
+        if (h == me_ || !net_.isAlive(h) || part_.mirrorsOnHost[h].empty()) {
           continue;
         }
         std::vector<std::vector<T>> payload;
@@ -188,7 +193,7 @@ class SyncContext {
         net_.sendReliable(me_, h, comm::kTagAppBroadcast, std::move(buf));
       }
       for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
-        if (h == me_ || part_.myMirrorsByOwner[h].empty()) {
+        if (h == me_ || !net_.isAlive(h) || part_.myMirrorsByOwner[h].empty()) {
           continue;
         }
         auto msg = net_.recvFrom(me_, h, comm::kTagAppBroadcast);
@@ -211,7 +216,8 @@ class SyncContext {
  private:
   // Runs one sync operation, translating recoverable transport faults into
   // SyncRoundFailed so the application sees which round died. HostFailure
-  // (an injected crash) and NetworkAborted pass through untouched.
+  // (an injected crash), HostEvicted (membership change mid-round) and
+  // NetworkAborted pass through untouched.
   template <typename Fn>
   void guarded(const char* op, Fn&& body) {
     const uint64_t round = ++rounds_;

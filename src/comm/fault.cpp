@@ -16,6 +16,17 @@ SendRetriesExhausted::SendRetriesExhausted(HostId from, HostId to, Tag tag,
       tag(tag),
       attempts(attempts) {}
 
+HostEvicted::HostEvicted(HostId from, HostId host, Tag tag, uint64_t epoch)
+    : std::runtime_error("host " + std::to_string(host) +
+                         " was evicted (membership epoch " +
+                         std::to_string(epoch) + "); host " +
+                         std::to_string(from) + " failing fast on " +
+                         tagName(tag)),
+      from(from),
+      host(host),
+      tag(tag),
+      epoch(epoch) {}
+
 std::string tagName(Tag tag) {
   switch (tag) {
     case kTagGeneric: return "kTagGeneric";
@@ -74,6 +85,12 @@ void FaultInjector::onCrossing(HostId host) {
   std::unique_lock<std::mutex> lock(mutex_);
   const uint64_t op = hostOps_[host]++;
   const uint32_t phase = hostPhase_[host];  // 0 until enterPhase
+  if (host < permanentlyDown_.size() && permanentlyDown_[host]) {
+    // A permanently crashed host does not reboot: it dies again at its
+    // first crossing of every later attempt, whatever the phase.
+    lock.unlock();
+    throw HostFailure(host, phase);
+  }
   for (size_t i = 0; i < plan_.crashes.size(); ++i) {
     const HostCrash& crash = plan_.crashes[i];
     if (crashFired_[i] || crash.host != host || crash.phase != phase ||
@@ -81,6 +98,12 @@ void FaultInjector::onCrossing(HostId host) {
       continue;
     }
     crashFired_[i] = true;
+    if (crash.permanent) {
+      if (permanentlyDown_.size() <= host) {
+        permanentlyDown_.resize(host + 1, false);
+      }
+      permanentlyDown_[host] = true;
+    }
     ++stats_.crashesFired;
     lock.unlock();
     throw HostFailure(host, phase);
@@ -91,6 +114,22 @@ void FaultInjector::enterPhase(HostId host, uint32_t phase) {
   std::lock_guard<std::mutex> lock(mutex_);
   hostPhase_[host] = phase;
   hostOps_[host] = 0;
+}
+
+bool FaultInjector::isPermanentlyDown(HostId host) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return host < permanentlyDown_.size() && permanentlyDown_[host];
+}
+
+std::vector<HostId> FaultInjector::permanentlyDownHosts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HostId> down;
+  for (HostId h = 0; h < permanentlyDown_.size(); ++h) {
+    if (permanentlyDown_[h]) {
+      down.push_back(h);
+    }
+  }
+  return down;
 }
 
 void FaultInjector::countRetry() {
@@ -109,7 +148,8 @@ FaultStats FaultInjector::stats() const {
 }
 
 FaultPlan randomFaultPlan(uint64_t seed, uint32_t numHosts,
-                          uint32_t maxMessageFaults, uint32_t maxCrashes) {
+                          uint32_t maxMessageFaults, uint32_t maxCrashes,
+                          bool allowPermanent) {
   support::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
   FaultPlan plan;
   static constexpr Tag kFuzzTags[] = {
@@ -132,7 +172,12 @@ FaultPlan randomFaultPlan(uint64_t seed, uint32_t numHosts,
     switch (rng.nextBounded(3)) {
       case 0: fault.action = FaultAction::kDrop; break;
       case 1: fault.action = FaultAction::kDuplicate; break;
-      default: fault.action = FaultAction::kDelay; break;
+      default:
+        fault.action = FaultAction::kDelay;
+        // Repeated delays (the whole occurrence run of a channel held back)
+        // stress the aging/polling path far harder than a single one.
+        fault.repeat = 2 + static_cast<uint32_t>(rng.nextBounded(5));
+        break;
     }
     fault.delayScans = 1 + static_cast<uint32_t>(rng.nextBounded(4));
     plan.messageFaults.push_back(fault);
@@ -143,9 +188,42 @@ FaultPlan randomFaultPlan(uint64_t seed, uint32_t numHosts,
     crash.host = static_cast<HostId>(rng.nextBounded(numHosts));
     crash.phase = static_cast<uint32_t>(rng.nextBounded(6));  // 0..5
     crash.opsIntoPhase = rng.nextBounded(40);
+    crash.permanent = allowPermanent && rng.nextBounded(3) == 0;
     plan.crashes.push_back(crash);
   }
   return plan;
+}
+
+FaultPlan remapFaultPlan(const FaultPlan& plan,
+                         const std::vector<HostId>& survivors) {
+  std::map<HostId, HostId> newRank;
+  for (HostId rank = 0; rank < survivors.size(); ++rank) {
+    newRank[survivors[rank]] = rank;
+  }
+  auto translate = [&](HostId host, HostId* out) {
+    if (host == kAnyHost) {
+      *out = kAnyHost;
+      return true;
+    }
+    auto it = newRank.find(host);
+    if (it == newRank.end()) {
+      return false;  // pinned to an evicted host; drop the fault
+    }
+    *out = it->second;
+    return true;
+  };
+  FaultPlan remapped;
+  for (MessageFault fault : plan.messageFaults) {
+    if (translate(fault.src, &fault.src) && translate(fault.dst, &fault.dst)) {
+      remapped.messageFaults.push_back(fault);
+    }
+  }
+  for (HostCrash crash : plan.crashes) {
+    if (translate(crash.host, &crash.host)) {
+      remapped.crashes.push_back(crash);
+    }
+  }
+  return remapped;
 }
 
 }  // namespace cusp::comm

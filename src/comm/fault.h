@@ -19,6 +19,16 @@
 //                          every host currently blocked and on which tag.
 //   SendRetriesExhausted — a message was dropped more times than the retry
 //                          policy allows.
+//   HostEvicted          — traffic addressed to (or issued by) a host the
+//                          membership view has evicted; fails fast instead
+//                          of burning the retry budget.
+//
+// Crashes come in two flavors: transient (the default — the host "reboots"
+// and the crash fires exactly once for the injector's lifetime) and
+// permanent (`HostCrash::permanent` — the host never comes back: once the
+// crash fires, every later crossing of that host fails immediately, across
+// all recovery attempts sharing the injector). Permanent loss is what the
+// degraded-mode driver turns into a membership eviction.
 #pragma once
 
 #include <cstdint>
@@ -58,12 +68,15 @@ struct MessageFault {
 
 // Crashes `host` at its `opsIntoPhase`-th network crossing (send, receive,
 // barrier or explicit fault point) after it announces partitioner phase
-// `phase` (1-5; 0 = before/outside the phased pipeline). Fires at most once
-// for the lifetime of the injector, across recovery attempts.
+// `phase` (1-5; 0 = before/outside the phased pipeline). A transient crash
+// (the default) fires at most once for the lifetime of the injector, across
+// recovery attempts; a permanent one marks the host as down for good — it
+// fails again at its first crossing of every subsequent attempt.
 struct HostCrash {
   HostId host = 0;
   uint32_t phase = 0;
   uint64_t opsIntoPhase = 0;
+  bool permanent = false;
 };
 
 struct FaultPlan {
@@ -121,6 +134,20 @@ class SendRetriesExhausted : public std::runtime_error {
   uint32_t attempts;
 };
 
+// Traffic touching a host the membership view has evicted (see
+// Network::evict). Raised eagerly at the send/recv call — an evicted host
+// can never answer, so retrying or waiting out a timeout would only burn
+// budget. `host` is the evicted party, `from` the caller.
+class HostEvicted : public std::runtime_error {
+ public:
+  HostEvicted(HostId from, HostId host, Tag tag, uint64_t epoch);
+
+  HostId from;
+  HostId host;
+  Tag tag;
+  uint64_t epoch;
+};
+
 // Human-readable name of a message tag (for stall reports and errors).
 std::string tagName(Tag tag);
 
@@ -140,11 +167,19 @@ class FaultInjector {
   std::optional<SendDecision> onSend(HostId from, HostId to, Tag tag);
 
   // A network crossing by `host` (send/recv/barrier entry or an explicit
-  // fault point). Throws HostFailure if a scheduled crash is due.
+  // fault point). Throws HostFailure if a scheduled crash is due, or — for
+  // a host a permanent crash already took down — immediately (a dead
+  // machine does not boot for the next recovery attempt).
   void onCrossing(HostId host);
 
   // Partitioner phase announcements; resets the host's crossing counter.
   void enterPhase(HostId host, uint32_t phase);
+
+  // Whether a permanent crash has fired for `host` (it will fail every
+  // future crossing). The degraded-mode driver uses this to tell an
+  // evictable loss from a transient, retryable one.
+  bool isPermanentlyDown(HostId host) const;
+  std::vector<HostId> permanentlyDownHosts() const;
 
   void countRetry();
   void countDuplicateSuppressed();
@@ -156,6 +191,7 @@ class FaultInjector {
   FaultPlan plan_;
   std::vector<uint64_t> faultMatches_;  // per message fault: matches so far
   std::vector<bool> crashFired_;
+  std::vector<bool> permanentlyDown_;  // indexed by host id (grown on demand)
   std::map<HostId, uint32_t> hostPhase_;
   std::map<HostId, uint64_t> hostOps_;
   FaultStats stats_;
@@ -163,9 +199,22 @@ class FaultInjector {
 
 // Seeded random fault plan for the fuzzer: a handful of drop/duplicate/
 // delay faults over the partitioner's tags plus at most `maxCrashes`
-// scheduled host crashes.
+// scheduled host crashes. With `allowPermanent`, roughly a third of the
+// generated crashes are permanent (the host never reboots), exercising the
+// degraded-mode eviction path.
 FaultPlan randomFaultPlan(uint64_t seed, uint32_t numHosts,
                           uint32_t maxMessageFaults = 6,
-                          uint32_t maxCrashes = 1);
+                          uint32_t maxCrashes = 1,
+                          bool allowPermanent = false);
+
+// Projects a fault plan onto a shrunk host set after evictions:
+// `survivors[newRank]` is the original id of the host now running as
+// `newRank`. Faults and crashes pinned to an evicted host are dropped;
+// the rest have their host ids remapped (kAnyHost stays wildcarded). The
+// degraded-mode driver feeds the result to the fresh injector of each
+// re-partition epoch, so a second permanent crash still fires at its
+// survivor rank.
+FaultPlan remapFaultPlan(const FaultPlan& plan,
+                         const std::vector<HostId>& survivors);
 
 }  // namespace cusp::comm

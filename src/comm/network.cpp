@@ -28,11 +28,73 @@ Network::Network(uint32_t numHosts, NetworkCostModel costModel)
   mailboxes_.reserve(numHosts);
   modeledCommNanos_.reserve(numHosts);
   blockedOn_.reserve(numHosts);
+  alive_.reserve(numHosts);
   for (uint32_t h = 0; h < numHosts; ++h) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
     modeledCommNanos_.push_back(std::make_unique<std::atomic<int64_t>>(0));
     blockedOn_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+    alive_.push_back(std::make_unique<std::atomic<bool>>(true));
   }
+}
+
+MembershipView Network::membershipSnapshot() const {
+  MembershipView view;
+  view.epoch = membershipEpoch();
+  view.alive.resize(numHosts());
+  for (HostId h = 0; h < numHosts(); ++h) {
+    view.alive[h] = isAlive(h) ? 1 : 0;
+  }
+  return view;
+}
+
+void Network::evict(HostId host) {
+  if (host >= numHosts()) {
+    throw std::out_of_range("Network::evict: host id out of range");
+  }
+  {
+    std::lock_guard<std::mutex> lock(membershipMutex_);
+    if (!alive_[host]->load(std::memory_order_acquire)) {
+      return;  // idempotent
+    }
+    alive_[host]->store(false, std::memory_order_release);
+    membershipEpoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  // Wake every blocked receiver: anyone waiting on the evicted host must
+  // recheck membership and fail fast instead of riding out the timeout.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->arrived.notify_all();
+  }
+}
+
+MembershipView Network::agreeMembership(HostId me) {
+  // The agreement round: alive hosts exchange their (epoch, alive bitmap)
+  // views through the current collective root and fold them — max epoch,
+  // AND of alive flags. On this shared simulated network all local views
+  // already coincide, but the round makes the agreement traffic (and its
+  // fault crossings) real, and it is what shifts the collective root when
+  // host 0 is among the evicted.
+  MembershipView local = membershipSnapshot();
+  std::vector<uint64_t> packed(numHosts() + 1);
+  packed[0] = local.epoch;
+  for (HostId h = 0; h < numHosts(); ++h) {
+    packed[1 + h] = local.alive[h];
+  }
+  allReduce<uint64_t>(
+      me, packed,
+      [](std::vector<uint64_t>& acc, const std::vector<uint64_t>& in) {
+        acc[0] = std::max(acc[0], in[0]);
+        for (size_t i = 1; i < acc.size(); ++i) {
+          acc[i] &= in[i];
+        }
+      });
+  MembershipView agreed;
+  agreed.epoch = packed[0];
+  agreed.alive.resize(numHosts());
+  for (HostId h = 0; h < numHosts(); ++h) {
+    agreed.alive[h] = packed[1 + h] != 0 ? 1 : 0;
+  }
+  return agreed;
 }
 
 double Network::modeledCommSeconds(HostId host) const {
@@ -45,6 +107,12 @@ bool Network::send(HostId from, HostId to, Tag tag,
                    support::SendBuffer&& buffer) {
   if (from >= numHosts() || to >= numHosts()) {
     throw std::out_of_range("Network::send: host id out of range");
+  }
+  if (!isAlive(to) || !isAlive(from)) {
+    // An evicted host never answers and never speaks: fail fast with the
+    // structured error instead of burning the retry budget (sendReliable
+    // does not catch this) or waiting out a recv timeout on the other side.
+    throw HostEvicted(from, isAlive(to) ? from : to, tag, membershipEpoch());
   }
   if (injector_) {
     injector_->onCrossing(from);  // may throw HostFailure
@@ -196,6 +264,9 @@ void Network::throwStalled(HostId me, Tag tag, HostId from,
 }
 
 Message Network::recvImpl(HostId me, Tag tag, HostId from) {
+  if (!isAlive(me) || (from != kAnyHost && !isAlive(from))) {
+    throw HostEvicted(me, isAlive(me) ? from : me, tag, membershipEpoch());
+  }
   if (injector_) {
     injector_->onCrossing(me);
   }
@@ -210,6 +281,11 @@ Message Network::recvImpl(HostId me, Tag tag, HostId from) {
     }
     if (aborted_.load(std::memory_order_acquire)) {
       throw NetworkAborted();
+    }
+    if (from != kAnyHost && !isAlive(from)) {
+      // The awaited peer was evicted while we were blocked (evict() wakes
+      // all receivers): nothing more will ever arrive on this channel.
+      throw HostEvicted(me, from, tag, membershipEpoch());
     }
     if (injector_) {
       // A failed scan ages delayed messages; one may have matured.
@@ -298,22 +374,28 @@ Message Network::recvFrom(HostId me, HostId from, Tag tag) {
 }
 
 void Network::barrier(HostId me) {
-  // Two-phase flat barrier through host 0 using reserved tags; payloads are
-  // empty so barriers contribute only message counts to collective stats.
+  // Two-phase flat barrier through the collective root (the lowest alive
+  // host — 0 on full membership) using reserved tags; payloads are empty so
+  // barriers contribute only message counts to collective stats.
   faultPoint(me);
-  if (numHosts() == 1) {
+  if (numAliveHosts() <= 1) {
     return;
   }
-  if (me == 0) {
-    for (HostId src = 1; src < numHosts(); ++src) {
-      recvFrom(0, src, kTagBarrierUp);
+  const HostId root = collectiveRoot();
+  if (me == root) {
+    for (HostId src = 0; src < numHosts(); ++src) {
+      if (src != root && isAlive(src)) {
+        recvFrom(root, src, kTagBarrierUp);
+      }
     }
-    for (HostId dst = 1; dst < numHosts(); ++dst) {
-      sendReliable(0, dst, kTagBarrierDown, support::SendBuffer());
+    for (HostId dst = 0; dst < numHosts(); ++dst) {
+      if (dst != root && isAlive(dst)) {
+        sendReliable(root, dst, kTagBarrierDown, support::SendBuffer());
+      }
     }
   } else {
-    sendReliable(me, 0, kTagBarrierUp, support::SendBuffer());
-    recvFrom(me, 0, kTagBarrierDown);
+    sendReliable(me, root, kTagBarrierUp, support::SendBuffer());
+    recvFrom(me, root, kTagBarrierDown);
   }
 }
 
@@ -401,6 +483,9 @@ void runHosts(Network& net, const std::function<void(HostId)>& hostMain) {
     }
   };
   for (HostId h = 0; h < numHosts; ++h) {
+    if (!net.isAlive(h)) {
+      continue;  // evicted hosts get no thread
+    }
     threads.emplace_back(guarded, h);
   }
   for (auto& thread : threads) {

@@ -29,6 +29,21 @@
 //  * setRecvTimeout() bounds every blocking receive; expiry raises
 //    NetworkStalled with a report naming each blocked host and its tag
 //    instead of hanging forever.
+//
+// Membership (degraded mode; full membership by default, in which case
+// every code path below is byte-identical to a membership-free build):
+//  * The network maintains an epoch-based MembershipView: an epoch counter
+//    plus per-host alive flags. evict() marks a host permanently dead,
+//    bumps the epoch and wakes all blocked receivers.
+//  * Traffic addressed to (or issued by) an evicted host fails fast with
+//    HostEvicted instead of burning retries or waiting out a timeout.
+//  * Collectives root at the LOWEST ALIVE host and iterate alive hosts
+//    only, so evicting host 0 shifts the root instead of deadlocking; with
+//    full membership the root is 0 and the message pattern is unchanged.
+//  * runHosts() spawns threads for alive hosts only.
+//  * agreeMembership() is the eviction agreement round: a collective in
+//    which every alive host exchanges and confirms the (epoch, alive set)
+//    view before the survivors proceed.
 #pragma once
 
 #include <atomic>
@@ -78,6 +93,33 @@ struct Message {
 class NetworkAborted : public std::runtime_error {
  public:
   NetworkAborted() : std::runtime_error("network aborted") {}
+};
+
+// Snapshot of the cluster membership: which hosts are alive, and the epoch
+// the view belongs to (bumped on every eviction). Host ids never shift —
+// an evicted host leaves a permanent hole in the id space; compaction to a
+// dense survivor numbering is the degraded driver's business.
+struct MembershipView {
+  uint64_t epoch = 0;
+  std::vector<uint8_t> alive;  // 1 = alive, indexed by host id
+
+  bool isAlive(HostId h) const { return h < alive.size() && alive[h] != 0; }
+  uint32_t numAlive() const {
+    uint32_t n = 0;
+    for (uint8_t a : alive) {
+      n += a != 0 ? 1 : 0;
+    }
+    return n;
+  }
+  std::vector<HostId> aliveHosts() const {
+    std::vector<HostId> hosts;
+    for (HostId h = 0; h < alive.size(); ++h) {
+      if (alive[h] != 0) {
+        hosts.push_back(h);
+      }
+    }
+    return hosts;
+  }
 };
 
 // Volume counters per tag (only tags < kTagCount are tracked individually;
@@ -184,6 +226,45 @@ class Network {
 
   bool allReduceOr(HostId me, bool value);
 
+  // --- membership (degraded mode) ---
+
+  bool isAlive(HostId h) const {
+    return alive_[h]->load(std::memory_order_acquire);
+  }
+  uint32_t numAliveHosts() const {
+    uint32_t n = 0;
+    for (HostId h = 0; h < numHosts(); ++h) {
+      n += isAlive(h) ? 1 : 0;
+    }
+    return n;
+  }
+  // Lowest alive host: the root of every collective. 0 on full membership.
+  HostId collectiveRoot() const {
+    for (HostId h = 0; h < numHosts(); ++h) {
+      if (isAlive(h)) {
+        return h;
+      }
+    }
+    return 0;  // unreachable while any host runs
+  }
+  uint64_t membershipEpoch() const {
+    return membershipEpoch_.load(std::memory_order_acquire);
+  }
+  MembershipView membershipSnapshot() const;
+
+  // Permanently removes `host` from the membership: bumps the epoch, makes
+  // all traffic touching the host fail fast with HostEvicted, and wakes
+  // every blocked receiver so survivors waiting on the dead host unwind
+  // immediately. Irreversible for the lifetime of this Network.
+  void evict(HostId host);
+
+  // Eviction agreement round: every ALIVE host calls this collectively;
+  // the hosts exchange their (epoch, alive set) views through the current
+  // collective root, fold them (max epoch, AND of alive flags) and return
+  // the agreed view. Crossing-visible like any collective, so scheduled
+  // crashes can fire inside the round.
+  MembershipView agreeMembership(HostId me);
+
   // --- fault tolerance ---
 
   // Attaches a (shared) fault injector; the same injector survives across
@@ -274,6 +355,13 @@ class Network {
       modeledCommNanos_;  // per sending host
   std::atomic<bool> aborted_{false};
 
+  // Membership: per-host alive flags + the view epoch. Writes (evict) are
+  // serialized under membershipMutex_; reads are lock-free atomics on the
+  // send/recv fast path.
+  std::vector<std::unique_ptr<std::atomic<bool>>> alive_;
+  std::atomic<uint64_t> membershipEpoch_{0};
+  std::mutex membershipMutex_;
+
   std::shared_ptr<FaultInjector> injector_;
   RetryPolicy retryPolicy_;
   std::atomic<int64_t> recvTimeoutNanos_{0};
@@ -316,9 +404,9 @@ class BufferedSender {
   std::vector<support::SendBuffer> pending_;
 };
 
-// Spawns one thread per host running hostMain(hostId), joins them all, and
-// rethrows the first exception (after aborting the network so blocked
-// siblings unwind).
+// Spawns one thread per ALIVE host running hostMain(hostId) — evicted
+// hosts get no thread — joins them all, and rethrows the first exception
+// (after aborting the network so blocked siblings unwind).
 void runHosts(Network& net, const std::function<void(HostId)>& hostMain);
 
 // ---- template implementations ----
@@ -329,13 +417,20 @@ void Network::allReduce(
     const std::function<void(std::vector<T>&, const std::vector<T>&)>&
         combine) {
   static_assert(std::is_trivially_copyable_v<T>);
-  if (numHosts() == 1) {
+  // Membership-aware: root at the lowest alive host and fold alive
+  // contributions in host id order. Full membership gives root 0 and the
+  // historical message pattern, byte for byte.
+  const HostId root = collectiveRoot();
+  if (numAliveHosts() <= 1) {
     faultPoint(me);
     return;
   }
-  if (me == 0) {
-    for (HostId src = 1; src < numHosts(); ++src) {
-      Message msg = recvFrom(0, src, kTagCollectiveUp);
+  if (me == root) {
+    for (HostId src = 0; src < numHosts(); ++src) {
+      if (src == root || !isAlive(src)) {
+        continue;
+      }
+      Message msg = recvFrom(root, src, kTagCollectiveUp);
       std::vector<T> contribution;
       support::deserialize(msg.payload, contribution);
       if (contribution.size() != values.size()) {
@@ -343,16 +438,19 @@ void Network::allReduce(
       }
       combine(values, contribution);
     }
-    for (HostId dst = 1; dst < numHosts(); ++dst) {
+    for (HostId dst = 0; dst < numHosts(); ++dst) {
+      if (dst == root || !isAlive(dst)) {
+        continue;
+      }
       support::SendBuffer out;
       support::serialize(out, values);
-      sendReliable(0, dst, kTagCollectiveDown, std::move(out));
+      sendReliable(root, dst, kTagCollectiveDown, std::move(out));
     }
   } else {
     support::SendBuffer out;
     support::serialize(out, values);
-    sendReliable(me, 0, kTagCollectiveUp, std::move(out));
-    Message msg = recvFrom(me, 0, kTagCollectiveDown);
+    sendReliable(me, root, kTagCollectiveUp, std::move(out));
+    Message msg = recvFrom(me, root, kTagCollectiveDown);
     support::deserialize(msg.payload, values);
   }
 }

@@ -1,5 +1,6 @@
 #include "core/checkpoint.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 
 #include <cstdio>
@@ -7,6 +8,7 @@
 #include <stdexcept>
 
 #include "support/crc32.h"
+#include "support/logging.h"
 
 namespace cusp::core {
 
@@ -40,18 +42,45 @@ std::optional<std::vector<uint8_t>> readWholeFile(const std::string& path) {
   return bytes;
 }
 
-}  // namespace
-
-std::string checkpointPath(const std::string& dir, uint32_t host,
-                           uint32_t phase) {
-  return dir + "/h" + std::to_string(host) + ".p" + std::to_string(phase) +
-         ".ckpt";
+// Validates the file at `path` as a checkpoint of (host, numHosts, phase)
+// and returns the bare payload; nullopt when missing or invalid. A wrong
+// `numHosts` in an otherwise valid file means the directory is being reused
+// across cluster sizes — worth a warning, not silence.
+std::optional<std::vector<uint8_t>> loadFromPath(const std::string& path,
+                                                 uint32_t host,
+                                                 uint32_t numHosts,
+                                                 uint32_t phase) {
+  auto bytes = readWholeFile(path);
+  if (!bytes) {
+    return std::nullopt;
+  }
+  if (support::verifyAndStripCrcFooter(*bytes) !=
+      support::CrcFooterStatus::kVerified) {
+    return std::nullopt;  // checkpoints always carry a footer; no legacy path
+  }
+  if (bytes->size() < sizeof(CheckpointHeader)) {
+    return std::nullopt;
+  }
+  CheckpointHeader header;
+  std::memcpy(&header, bytes->data(), sizeof(header));
+  if (header.magic != kCheckpointMagic || header.host != host ||
+      header.phase != phase) {
+    return std::nullopt;
+  }
+  if (header.numHosts != numHosts) {
+    CUSP_LOG_WARN() << "rejecting checkpoint " << path << ": written for "
+                    << header.numHosts << " hosts, expected " << numHosts
+                    << " (stale checkpoint directory?)";
+    return std::nullopt;
+  }
+  bytes->erase(bytes->begin(), bytes->begin() + sizeof(header));
+  return bytes;
 }
 
-void saveCheckpoint(const std::string& dir, uint32_t host, uint32_t numHosts,
-                    uint32_t phase, const support::SendBuffer& payload) {
-  ::mkdir(dir.c_str(), 0777);  // fine if it already exists
-
+// Atomic (tmp + rename) write of a header+payload+CRC checkpoint image.
+void writeCheckpointFile(const std::string& finalPath, uint32_t host,
+                         uint32_t numHosts, uint32_t phase,
+                         const support::SendBuffer& payload) {
   CheckpointHeader header;
   header.host = host;
   header.numHosts = numHosts;
@@ -64,7 +93,6 @@ void saveCheckpoint(const std::string& dir, uint32_t host, uint32_t numHosts,
   }
   support::appendCrcFooter(bytes);
 
-  const std::string finalPath = checkpointPath(dir, host, phase);
   const std::string tmpPath = finalPath + ".tmp";
   FILE* f = std::fopen(tmpPath.c_str(), "wb");
   if (f == nullptr) {
@@ -82,35 +110,64 @@ void saveCheckpoint(const std::string& dir, uint32_t host, uint32_t numHosts,
   }
 }
 
+}  // namespace
+
+std::string checkpointPath(const std::string& dir, uint32_t host,
+                           uint32_t phase) {
+  return dir + "/h" + std::to_string(host) + ".p" + std::to_string(phase) +
+         ".ckpt";
+}
+
+std::string checkpointReplicaPath(const std::string& dir, uint32_t owner,
+                                  uint32_t numHosts, uint32_t phase) {
+  const uint32_t buddy = (owner + 1) % numHosts;
+  return dir + "/h" + std::to_string(buddy) + ".p" + std::to_string(phase) +
+         ".buddy" + std::to_string(owner) + ".ckpt";
+}
+
+void saveCheckpoint(const std::string& dir, uint32_t host, uint32_t numHosts,
+                    uint32_t phase, const support::SendBuffer& payload) {
+  ::mkdir(dir.c_str(), 0777);  // fine if it already exists
+  writeCheckpointFile(checkpointPath(dir, host, phase), host, numHosts, phase,
+                      payload);
+}
+
+void saveCheckpointReplica(const std::string& dir, uint32_t owner,
+                           uint32_t numHosts, uint32_t phase,
+                           const support::SendBuffer& payload) {
+  ::mkdir(dir.c_str(), 0777);  // fine if it already exists
+  writeCheckpointFile(checkpointReplicaPath(dir, owner, numHosts, phase),
+                      owner, numHosts, phase, payload);
+}
+
 std::optional<std::vector<uint8_t>> loadCheckpoint(const std::string& dir,
                                                    uint32_t host,
                                                    uint32_t numHosts,
                                                    uint32_t phase) {
-  auto bytes = readWholeFile(checkpointPath(dir, host, phase));
-  if (!bytes) {
-    return std::nullopt;
+  return loadFromPath(checkpointPath(dir, host, phase), host, numHosts,
+                      phase);
+}
+
+std::optional<std::vector<uint8_t>> loadCheckpointReplica(
+    const std::string& dir, uint32_t owner, uint32_t numHosts,
+    uint32_t phase) {
+  return loadFromPath(checkpointReplicaPath(dir, owner, numHosts, phase),
+                      owner, numHosts, phase);
+}
+
+std::optional<std::vector<uint8_t>> loadCheckpointOrReplica(
+    const std::string& dir, uint32_t host, uint32_t numHosts,
+    uint32_t phase) {
+  if (auto own = loadCheckpoint(dir, host, numHosts, phase)) {
+    return own;
   }
-  if (support::verifyAndStripCrcFooter(*bytes) !=
-      support::CrcFooterStatus::kVerified) {
-    return std::nullopt;  // checkpoints always carry a footer; no legacy path
-  }
-  if (bytes->size() < sizeof(CheckpointHeader)) {
-    return std::nullopt;
-  }
-  CheckpointHeader header;
-  std::memcpy(&header, bytes->data(), sizeof(header));
-  if (header.magic != kCheckpointMagic || header.host != host ||
-      header.numHosts != numHosts || header.phase != phase) {
-    return std::nullopt;
-  }
-  bytes->erase(bytes->begin(), bytes->begin() + sizeof(header));
-  return bytes;
+  return loadCheckpointReplica(dir, host, numHosts, phase);
 }
 
 uint32_t latestValidCheckpoint(const std::string& dir, uint32_t host,
                                uint32_t numHosts, uint32_t maxPhase) {
   for (uint32_t phase = maxPhase; phase >= 1; --phase) {
-    if (loadCheckpoint(dir, host, numHosts, phase)) {
+    if (loadCheckpointOrReplica(dir, host, numHosts, phase)) {
       return phase;
     }
   }
@@ -123,6 +180,48 @@ void removeCheckpoints(const std::string& dir, uint32_t host,
     std::remove(checkpointPath(dir, host, phase).c_str());
     std::remove((checkpointPath(dir, host, phase) + ".tmp").c_str());
   }
+}
+
+void removeHostCheckpointStore(const std::string& dir, uint32_t host,
+                               uint32_t numHosts, uint32_t maxPhase) {
+  for (uint32_t phase = 1; phase <= maxPhase; ++phase) {
+    std::remove(checkpointPath(dir, host, phase).c_str());
+    std::remove((checkpointPath(dir, host, phase) + ".tmp").c_str());
+    for (uint32_t owner = 0; owner < numHosts; ++owner) {
+      if ((owner + 1) % numHosts != host) {
+        continue;  // only replicas physically stored on `host`
+      }
+      const std::string replica =
+          checkpointReplicaPath(dir, owner, numHosts, phase);
+      std::remove(replica.c_str());
+      std::remove((replica + ".tmp").c_str());
+    }
+  }
+}
+
+uint32_t garbageCollectCheckpointTmp(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return 0;
+  }
+  static constexpr std::string_view kSuffix = ".ckpt.tmp";
+  uint32_t removed = 0;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string_view name = entry->d_name;
+    if (name.size() < kSuffix.size() ||
+        name.substr(name.size() - kSuffix.size()) != kSuffix) {
+      continue;
+    }
+    if (std::remove((dir + "/" + std::string(name)).c_str()) == 0) {
+      ++removed;
+    }
+  }
+  ::closedir(d);
+  if (removed > 0) {
+    CUSP_LOG_WARN() << "garbage-collected " << removed
+                    << " orphaned .ckpt.tmp file(s) in " << dir;
+  }
+  return removed;
 }
 
 }  // namespace cusp::core

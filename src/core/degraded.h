@@ -1,0 +1,91 @@
+// Degraded-mode completion after permanent host loss.
+//
+// When a permanent crash takes a host out for good, the resilient driver
+// (core/partitioner.h, degradedMode on) evicts it from the membership and
+// finishes on the survivors instead of burning its retry budget against a
+// machine that will never answer. Two recovery paths exist:
+//
+//  Path A — checkpoint redistribution. If every host's phase-5 state is
+//    still recoverable (survivors from their own checkpoints, the dead from
+//    their buddy replicas — core/checkpoint.h), the survivors run one
+//    agreement round, each loads ALL phase-5 partitions, and each computes
+//    the same deterministic redistribution locally (replicated computation
+//    instead of communication, the paper's IV-D5 idiom):
+//    redistributePartitions below. No graph data is re-read or re-sent.
+//
+//  Path B — degraded re-partition. Otherwise (mid-pipeline loss, buddy
+//    replica also lost, or replication off) the driver shrinks the host set
+//    and re-runs the pipeline over the survivors: the dead host's CSR edge
+//    window is re-read from the GraphFile and split edge-balanced across
+//    the survivors (the driver records the adopted ranges and modeled
+//    re-read bytes in the RecoveryReport), master assignment re-runs, and
+//    the remaining phases complete on the shrunk cluster.
+//
+// classifyFault is the single failure handler the driver funnels every
+// fault exception through; it replaces per-type catch blocks and feeds
+// RecoveryReport::failures / failureKinds.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/fault.h"
+#include "core/dist_graph.h"
+
+namespace cusp::core {
+
+// A structured view of the fault exceptions the resilient driver handles.
+// Anything else (logic errors, bad inputs) is not a fault and must
+// propagate unclassified.
+struct ClassifiedFault {
+  enum Kind : uint8_t {
+    kHostFailure,          // injected crash (comm::HostFailure)
+    kNetworkStalled,       // bounded receive expired (comm::NetworkStalled)
+    kSendRetriesExhausted, // retry budget spent (comm::SendRetriesExhausted)
+    kHostEvicted,          // traffic touched an evicted host (comm::HostEvicted)
+  };
+
+  Kind kind = kHostFailure;
+  std::string what;
+  // Faulty host where the exception names one (HostFailure::host,
+  // HostEvicted::host); comm::kAnyHost otherwise.
+  comm::HostId host = comm::kAnyHost;
+  uint32_t phase = 0;  // HostFailure only; 0 elsewhere
+
+  const char* kindName() const;
+};
+
+// Classifies the in-flight exception `ep`; nullopt if it is not one of the
+// four structured fault types (caller rethrows).
+std::optional<ClassifiedFault> classifyFault(std::exception_ptr ep);
+
+// Deterministically reassigns the evicted hosts' vertices and edges to the
+// survivors, given the complete set of phase-5 partitions `parts`
+// (parts[r] is rank r's DistGraph; all must share numHosts == parts.size()
+// and the same orientation). Rules:
+//  * a vertex mastered by an evicted rank moves to
+//    survivors[gid % numSurvivors] (sorted survivor order) — the same
+//    modulo family as the paper's pure master rules, so the reassignment
+//    is computable by every host without communication;
+//  * survivors keep the edges they own; an evicted rank's edges move to
+//    the new master of their stored row vertex (the source, or the
+//    destination for transposed partitions);
+//  * every survivor partition is rebuilt from scratch — masters then
+//    mirrors, each sorted by global id, rows canonically sorted — so the
+//    output is a valid partition set in its own right.
+//
+// compact=true renumbers hosts densely: output[i] is survivor i's
+// partition with hostId == i and numHosts == numSurvivors (what the driver
+// returns as the degraded PartitionResult). compact=false keeps the
+// original rank space: output has parts.size() slots, evicted slots hold
+// empty partitions, and master/mirror metadata stays indexed by original
+// rank (what an analytics engine running on the original Network with the
+// dead hosts evicted consumes).
+std::vector<DistGraph> redistributePartitions(
+    const std::vector<DistGraph>& parts,
+    const std::vector<uint32_t>& evictedRanks, bool compact);
+
+}  // namespace cusp::core

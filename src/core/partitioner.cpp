@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "core/checkpoint.h"
+#include "core/degraded.h"
 #include "support/bitset.h"
 #include "support/prefix_sum.h"
 #include "support/threading.h"
@@ -152,11 +153,17 @@ class PartitionJob {
     }
     saveCheckpoint(config_.resilience.checkpointDir, me_, numHosts(), phase,
                    payload);
+    if (config_.resilience.buddyReplication) {
+      // Mirror to the ring successor's store so this host's phase state
+      // survives the loss of its own (core/checkpoint.h).
+      saveCheckpointReplica(config_.resilience.checkpointDir, me_, numHosts(),
+                            phase, payload);
+    }
   }
 
   void restoreCheckpoint(uint32_t phase) {
-    auto payload = loadCheckpoint(config_.resilience.checkpointDir, me_,
-                                  numHosts(), phase);
+    auto payload = loadCheckpointOrReplica(config_.resilience.checkpointDir,
+                                           me_, numHosts(), phase);
     if (!payload) {
       // The agreement said every host has this phase; a vanished/corrupt
       // file between probe and load is a driver bug or live corruption.
@@ -1093,6 +1100,108 @@ PartitionResult runPipeline(
   return result;
 }
 
+// The reading split the pipeline will use for `numHosts` hosts; mirrors
+// phaseGraphReading so the driver can reason about old/new windows without
+// running a host.
+std::vector<ReadRange> readRangesFor(const graph::GraphFile& file,
+                                     const PartitionerConfig& config,
+                                     uint32_t numHosts) {
+  const bool defaultSplit =
+      config.readNodeWeight == 0.0 && config.readEdgeWeight == 1.0;
+  return defaultSplit ? graph::contiguousEbRanges(file, numHosts)
+                      : graph::computeReadRanges(file, numHosts,
+                                                 config.readNodeWeight,
+                                                 config.readEdgeWeight);
+}
+
+ReadRange intersectRanges(const ReadRange& a, const ReadRange& b) {
+  ReadRange r;
+  r.nodeBegin = std::max(a.nodeBegin, b.nodeBegin);
+  r.nodeEnd = std::max(r.nodeBegin, std::min(a.nodeEnd, b.nodeEnd));
+  r.edgeBegin = std::max(a.edgeBegin, b.edgeBegin);
+  r.edgeEnd = std::max(r.edgeBegin, std::min(a.edgeEnd, b.edgeEnd));
+  return r;
+}
+
+// Bytes a host reads from the graph file for window `r` (row offsets +
+// destinations + optional edge data) — the same arithmetic
+// phaseGraphReading charges to the simulated disk.
+uint64_t windowBytes(const ReadRange& r, bool withData) {
+  return (r.numNodes() + 1) * sizeof(uint64_t) +
+         r.numEdges() * sizeof(uint64_t) +
+         (withData ? r.numEdges() * sizeof(uint32_t) : 0);
+}
+
+// One Path A redistribution round (core/degraded.h): the survivors of the
+// current base run a membership agreement, each loads every rank's phase-5
+// state (buddy replicas for the dead), computes the identical
+// redistribution, and keeps its own compacted partition. Crossing-visible
+// like a pipeline run, so pending crashes can fire inside the round.
+PartitionResult runRedistributionRound(
+    const PartitionerConfig& baseConfig,
+    const std::shared_ptr<comm::FaultInjector>& injector,
+    const std::vector<uint32_t>& deadRanks) {
+  const uint32_t k = baseConfig.numHosts;
+  comm::Network net(k, baseConfig.networkCostModel);
+  if (injector) {
+    net.setFaultInjector(injector);
+  }
+  if (baseConfig.resilience.recvTimeoutSeconds > 0) {
+    net.setRecvTimeout(baseConfig.resilience.recvTimeoutSeconds);
+  }
+  net.setRetryPolicy(baseConfig.resilience.retry);
+  for (uint32_t d : deadRanks) {
+    net.evict(d);
+  }
+  std::vector<uint32_t> newRankOf(k, UINT32_MAX);
+  uint32_t numSurvivors = 0;
+  for (uint32_t r = 0; r < k; ++r) {
+    if (net.isAlive(r)) {
+      newRankOf[r] = numSurvivors++;
+    }
+  }
+  const std::string& dir = baseConfig.resilience.checkpointDir;
+  PartitionResult result;
+  result.partitions.resize(numSurvivors);
+  std::vector<support::PhaseTimes> hostTimes(k);
+  support::Timer total;
+  comm::runHosts(net, [&](comm::HostId me) {
+    const double cpu0 = support::threadCpuSeconds();
+    net.enterPhase(me, 0);
+    net.faultPoint(me);
+    const comm::MembershipView view = net.agreeMembership(me);
+    // Replicated computation (paper IV-D5): every survivor loads all k
+    // phase-5 states and derives the same redistribution locally; no
+    // partition data crosses the network.
+    std::vector<DistGraph> parts(k);
+    for (uint32_t h = 0; h < k; ++h) {
+      auto payload = view.isAlive(h)
+                         ? loadCheckpoint(dir, h, k, 5)
+                         : loadCheckpointReplica(dir, h, k, 5);
+      if (!payload) {
+        throw std::runtime_error("degraded: phase-5 state of host " +
+                                 std::to_string(h) +
+                                 " vanished during redistribution");
+      }
+      RecvBuffer buf(std::move(*payload));
+      parts[h] = deserializeDistGraph(buf);
+    }
+    std::vector<DistGraph> compacted =
+        redistributePartitions(parts, deadRanks, /*compact=*/true);
+    result.partitions[newRankOf[me]] = std::move(compacted[newRankOf[me]]);
+    hostTimes[me].add("Degraded Redistribution",
+                      support::threadCpuSeconds() - cpu0);
+    net.barrier(me);
+  });
+  result.wallSeconds = total.elapsedSeconds();
+  for (const auto& times : hostTimes) {
+    result.phaseTimes.maxWith(times);
+  }
+  result.totalSeconds = result.phaseTimes.total();
+  result.volume = net.statsSnapshot();
+  return result;
+}
+
 }  // namespace
 
 PartitionResult partitionGraph(const graph::GraphFile& file,
@@ -1112,52 +1221,234 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
     throw std::invalid_argument(
         "partitionGraphResilient: numHosts must be > 0");
   }
-  auto injector = makeInjector(config);
   const uint32_t maxAttempts =
       std::max(1u, config.resilience.maxRecoveryAttempts);
   if (report != nullptr) {
     *report = RecoveryReport{};
+    report->finalNumHosts = config.numHosts;
   }
   const bool checkpoints = config.resilience.enableCheckpoints &&
                            !config.resilience.checkpointDir.empty();
-  for (uint32_t attempt = 0;; ++attempt) {
-    if (report != nullptr) {
-      ++report->attempts;
-      // Mirror the agreement the hosts are about to compute (min over
-      // hosts of the latest valid checkpoint) for reporting.
-      uint32_t resume = 0;
-      if (checkpoints) {
-        resume = 5;
-        for (uint32_t h = 0; h < config.numHosts; ++h) {
-          resume = std::min(
-              resume, latestValidCheckpoint(config.resilience.checkpointDir,
-                                            h, config.numHosts, 5));
+  if (checkpoints) {
+    garbageCollectCheckpointTmp(config.resilience.checkpointDir);
+  }
+
+  // The current "base": the host set the pipeline runs over. Evictions
+  // shrink it; aliveOriginal[rank] is the ORIGINAL id of the host running
+  // as `rank` in the current base. The attempt budget resets per base.
+  PartitionerConfig baseConfig = config;
+  std::vector<comm::HostId> aliveOriginal(config.numHosts);
+  for (uint32_t r = 0; r < config.numHosts; ++r) {
+    aliveOriginal[r] = r;
+  }
+  auto baseInjector = makeInjector(baseConfig);
+  uint64_t epoch = 0;
+  // Path A state: base ranks evicted but with phase-5 state recoverable,
+  // awaiting a redistribution round; the matching replica payload bytes and
+  // the report index of each base rank's eviction record.
+  std::vector<uint32_t> pendingRedistribution;
+  uint64_t pendingReplicaBytes = 0;
+  std::map<uint32_t, size_t> recordIndexOfRank;
+
+  for (;;) {  // one iteration per base (membership epoch)
+    const bool baseCheckpoints =
+        baseConfig.resilience.enableCheckpoints &&
+        !baseConfig.resilience.checkpointDir.empty();
+    bool newBase = false;
+    for (uint32_t attempt = 0; !newBase;) {
+      if (report != nullptr) {
+        ++report->attempts;
+        // Mirror the agreement the hosts are about to compute (min over
+        // hosts of the latest valid checkpoint) for reporting.
+        uint32_t resume = 0;
+        if (baseCheckpoints && pendingRedistribution.empty()) {
+          resume = 5;
+          for (uint32_t h = 0; h < baseConfig.numHosts; ++h) {
+            resume = std::min(
+                resume,
+                latestValidCheckpoint(baseConfig.resilience.checkpointDir, h,
+                                      baseConfig.numHosts, 5));
+          }
         }
+        report->resumedFromPhase = resume;
       }
-      report->resumedFromPhase = resume;
-    }
-    try {
-      return runPipeline(file, policy, config, injector);
-    } catch (const comm::HostFailure& e) {
-      if (report != nullptr) {
-        report->failures.emplace_back(e.what());
-      }
-      if (attempt + 1 >= maxAttempts) {
-        throw;
-      }
-    } catch (const comm::NetworkStalled& e) {
-      if (report != nullptr) {
-        report->failures.emplace_back(e.what());
-      }
-      if (attempt + 1 >= maxAttempts) {
-        throw;
-      }
-    } catch (const comm::SendRetriesExhausted& e) {
-      if (report != nullptr) {
-        report->failures.emplace_back(e.what());
-      }
-      if (attempt + 1 >= maxAttempts) {
-        throw;
+      try {
+        PartitionResult result =
+            pendingRedistribution.empty()
+                ? runPipeline(file, policy, baseConfig, baseInjector)
+                : runRedistributionRound(baseConfig, baseInjector,
+                                         pendingRedistribution);
+        if (report != nullptr) {
+          report->finalNumHosts =
+              static_cast<uint32_t>(result.partitions.size());
+          if (!pendingRedistribution.empty()) {
+            report->replicaBytesRead += pendingReplicaBytes;
+            for (uint32_t d : pendingRedistribution) {
+              report->evictions[recordIndexOfRank.at(d)].redistributed = true;
+            }
+          }
+        }
+        return result;
+      } catch (...) {
+        const auto fault = classifyFault(std::current_exception());
+        if (!fault) {
+          throw;  // not a fault exception; never retried
+        }
+        if (report != nullptr) {
+          report->failures.emplace_back(fault->what);
+          report->failureKinds.emplace_back(fault->kindName());
+        }
+        const bool evictable =
+            baseConfig.resilience.degradedMode &&
+            fault->kind == ClassifiedFault::kHostFailure &&
+            baseInjector != nullptr && fault->host != comm::kAnyHost &&
+            baseInjector->isPermanentlyDown(fault->host) &&
+            baseConfig.numHosts > 1;
+        if (!evictable) {
+          if (++attempt >= maxAttempts) {
+            throw;
+          }
+          continue;  // plain retry: transient crash, stall, or lost sends
+        }
+
+        // --- membership eviction ------------------------------------------
+        // Every permanently-down base rank is evicted together (a second
+        // machine may have died in the same run).
+        std::vector<uint32_t> deadRanks;
+        for (uint32_t r = 0; r < baseConfig.numHosts; ++r) {
+          if (baseInjector->isPermanentlyDown(r)) {
+            deadRanks.push_back(r);
+          }
+        }
+        for (uint32_t d : deadRanks) {
+          if (recordIndexOfRank.count(d) != 0) {
+            continue;  // evicted earlier in this base
+          }
+          ++epoch;
+          recordIndexOfRank[d] =
+              report != nullptr ? report->evictions.size() : 0;
+          if (report != nullptr) {
+            report->evictions.push_back(
+                EvictionRecord{aliveOriginal[d], fault->phase, epoch,
+                               /*redistributed=*/false,
+                               /*replicaLost=*/false});
+          }
+          if (baseCheckpoints) {
+            // The dead machine's local store dies with it: its own
+            // checkpoints and every buddy replica it held for others.
+            removeHostCheckpointStore(baseConfig.resilience.checkpointDir, d,
+                                      baseConfig.numHosts, 5);
+          }
+        }
+
+        // Path A feasibility: every survivor still holds its own phase-5
+        // checkpoint AND every dead rank's phase-5 state is recoverable
+        // from its buddy replica.
+        bool feasible = baseCheckpoints &&
+                        baseConfig.resilience.buddyReplication &&
+                        deadRanks.size() < baseConfig.numHosts;
+        pendingReplicaBytes = 0;
+        if (feasible) {
+          std::vector<bool> dead(baseConfig.numHosts, false);
+          for (uint32_t d : deadRanks) {
+            dead[d] = true;
+          }
+          for (uint32_t r = 0; r < baseConfig.numHosts; ++r) {
+            if (!dead[r] &&
+                !loadCheckpoint(baseConfig.resilience.checkpointDir, r,
+                                baseConfig.numHosts, 5)) {
+              feasible = false;  // mid-pipeline loss: no complete p5 set
+            }
+          }
+          if (feasible) {
+            for (uint32_t d : deadRanks) {
+              const auto replica =
+                  loadCheckpointReplica(baseConfig.resilience.checkpointDir,
+                                        d, baseConfig.numHosts, 5);
+              if (!replica) {
+                feasible = false;  // buddy died too; replica gone with it
+                if (report != nullptr) {
+                  report->evictions[recordIndexOfRank.at(d)].replicaLost =
+                      true;
+                }
+              } else {
+                pendingReplicaBytes += replica->size();
+              }
+            }
+          }
+        }
+        if (feasible) {
+          pendingRedistribution = deadRanks;
+          continue;  // next try runs the redistribution round
+        }
+
+        // --- Path B: shrink the base and re-partition ---------------------
+        std::vector<bool> dead(baseConfig.numHosts, false);
+        for (uint32_t d : deadRanks) {
+          dead[d] = true;
+        }
+        std::vector<comm::HostId> newAlive;
+        std::vector<uint32_t> survivorOldRank;
+        for (uint32_t r = 0; r < baseConfig.numHosts; ++r) {
+          if (!dead[r]) {
+            newAlive.push_back(aliveOriginal[r]);
+            survivorOldRank.push_back(r);
+          }
+        }
+        if (newAlive.empty()) {
+          throw;  // every host is gone; nothing to degrade to
+        }
+        const uint32_t m = static_cast<uint32_t>(newAlive.size());
+        if (report != nullptr) {
+          // Adopted-window bookkeeping: the new m-way split re-reads the
+          // dead hosts' old windows; record which survivor re-reads which
+          // slice and the modeled bytes beyond each survivor's own old
+          // window.
+          const auto oldRanges =
+              readRangesFor(file, baseConfig, baseConfig.numHosts);
+          const auto newRanges = readRangesFor(file, baseConfig, m);
+          const bool withData = file.hasEdgeData();
+          for (uint32_t r = 0; r < m; ++r) {
+            const ReadRange& mine = newRanges[r];
+            for (uint32_t d : deadRanks) {
+              const ReadRange adopted = intersectRanges(mine, oldRanges[d]);
+              if (adopted.numNodes() == 0 && adopted.numEdges() == 0) {
+                continue;
+              }
+              report->adoptedRanges.push_back(AdoptedEdgeRange{
+                  newAlive[r], aliveOriginal[d], adopted.nodeBegin,
+                  adopted.nodeEnd, adopted.edgeBegin, adopted.edgeEnd});
+            }
+            const ReadRange keep =
+                intersectRanges(mine, oldRanges[survivorOldRank[r]]);
+            report->bytesReRead +=
+                windowBytes(mine, withData) - windowBytes(keep, withData);
+          }
+        }
+        aliveOriginal = std::move(newAlive);
+        baseConfig.numHosts = m;
+        if (checkpoints) {
+          // Old-base checkpoints carry numHosts == old size and would be
+          // rejected anyway (with a warning); the shrunk base gets its own
+          // epoch-stamped directory.
+          baseConfig.resilience.checkpointDir =
+              config.resilience.checkpointDir + "/e" + std::to_string(epoch);
+        }
+        if (config.resilience.faultPlan != nullptr) {
+          // Project the ORIGINAL plan onto the survivors: faults pinned to
+          // evicted hosts disappear; the rest follow their host to its new
+          // rank. (A transient crash that already fired may fire once more
+          // in the fresh injector — it is retryable and merely costs an
+          // attempt.)
+          baseConfig.resilience.faultPlan =
+              std::make_shared<comm::FaultPlan>(remapFaultPlan(
+                  *config.resilience.faultPlan, aliveOriginal));
+        }
+        baseInjector = makeInjector(baseConfig);
+        pendingRedistribution.clear();
+        pendingReplicaBytes = 0;
+        recordIndexOfRank.clear();
+        newBase = true;  // fresh attempt budget for the shrunk cluster
       }
     }
   }

@@ -58,6 +58,44 @@ struct ResilienceConfig {
 
   // Retry budget for dropped messages (Network::sendReliable).
   comm::RetryPolicy retry;
+
+  // Degraded completion after PERMANENT host loss (core/degraded.h): when a
+  // host that will never reboot crashes, evict it from the membership and
+  // finish on the survivors — either by redistributing phase-5 checkpoint
+  // state (buddyReplication below) or by re-partitioning over the shrunk
+  // host set — instead of rethrowing once the attempt budget is spent.
+  // Strictly opt-in: off, permanent crashes burn the retry budget exactly
+  // like transient ones and outputs are unchanged.
+  bool degradedMode = false;
+
+  // Mirror every checkpoint to the host's ring successor
+  // (h<buddy>.p<phase>.buddy<owner>.ckpt) so a dead host's phase state
+  // survives the loss of its local store. Needs enableCheckpoints. Off by
+  // default: no replica files are written and restores never consult them.
+  bool buddyReplication = false;
+};
+
+// One membership eviction performed by the degraded-mode driver.
+struct EvictionRecord {
+  uint32_t host = 0;   // ORIGINAL host id of the evicted host
+  uint32_t phase = 0;  // pipeline phase of the fatal failure (0 = outside)
+  uint64_t epoch = 0;  // driver membership epoch after this eviction
+  // Path A succeeded: survivors redistributed phase-5 checkpoint state
+  // instead of re-partitioning.
+  bool redistributed = false;
+  // The dead host's buddy replica was unavailable (typically because the
+  // buddy died too); the driver fell back to a full re-partition.
+  bool replicaLost = false;
+};
+
+// A slice of an evicted host's old read window that a survivor re-reads in
+// the degraded re-partition (Path B). Hosts are ORIGINAL ids; node/edge
+// bounds are global CSR coordinates.
+struct AdoptedEdgeRange {
+  uint32_t survivor = 0;
+  uint32_t evicted = 0;
+  uint64_t nodeBegin = 0, nodeEnd = 0;
+  uint64_t edgeBegin = 0, edgeEnd = 0;
 };
 
 // What partitionGraphResilient did to produce its result.
@@ -65,9 +103,26 @@ struct RecoveryReport {
   uint32_t attempts = 0;  // pipeline runs, including the successful one
   // what() of every fault exception that triggered a re-run, in order.
   std::vector<std::string> failures;
+  // Classified kind of each entry of `failures` (parallel vector):
+  // "HostFailure" | "NetworkStalled" | "SendRetriesExhausted" |
+  // "HostEvicted" (core/degraded.h).
+  std::vector<std::string> failureKinds;
   // Resume phase of the final attempt: the pipeline restarted after this
   // phase (0 = ran from scratch).
   uint32_t resumedFromPhase = 0;
+
+  // Degraded mode only (empty/zero otherwise):
+  std::vector<EvictionRecord> evictions;
+  std::vector<AdoptedEdgeRange> adoptedRanges;
+  // Modeled bytes of graph file re-read by survivors beyond their own old
+  // windows during degraded re-partitions (row offsets + destinations +
+  // edge data of the newly adopted slices).
+  uint64_t bytesReRead = 0;
+  // Bytes of buddy-replica checkpoint payloads consumed by Path A.
+  uint64_t replicaBytesRead = 0;
+  // Host count of the returned partition set (== config.numHosts unless
+  // evictions shrank the cluster).
+  uint32_t finalNumHosts = 0;
 };
 
 struct PartitionerConfig {
@@ -180,6 +235,15 @@ PartitionResult partitionGraphCsc(const graph::GraphFile& cscFile,
 // config.resilience.maxRecoveryAttempts runs and rethrows the last fault.
 // For deterministic policies the recovered result is bit-identical to a
 // fault-free run.
+//
+// With resilience.degradedMode on, a PERMANENT crash (HostCrash::permanent)
+// is handled by eviction instead: the dead host leaves the membership and
+// the survivors finish — redistributing phase-5 checkpoint state when buddy
+// replicas make that possible (Path A), or re-partitioning over the shrunk
+// host set with the dead host's edge window re-read and split across the
+// survivors (Path B). The result then spans fewer hosts than
+// config.numHosts; the report's evictions/adoptedRanges/finalNumHosts
+// describe what happened.
 PartitionResult partitionGraphResilient(const graph::GraphFile& file,
                                         const PartitionPolicy& policy,
                                         const PartitionerConfig& config,

@@ -13,6 +13,7 @@
 #include "analytics/engine.h"
 #include "analytics/reference.h"
 #include "comm/network.h"
+#include "core/degraded.h"
 #include "core/dist_graph.h"
 #include "core/partitioner.h"
 #include "core/policies.h"

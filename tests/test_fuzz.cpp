@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
+#include <system_error>
 
 #include <unistd.h>
 
@@ -163,10 +165,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFuzz,
                          ::testing::Range<uint64_t>(0, 16));
 
 // Fault-plan fuzzing: under seeded-random drop/duplicate/delay/crash
-// schedules, every resilient run must either complete with valid,
-// fault-free-identical partitions or fail with one of the structured fault
-// errors — never hang (the recv timeout backstop turns hangs into
-// NetworkStalled) and never return a wrong answer.
+// schedules — including PERMANENT crashes and repeated delay faults — every
+// resilient run must either complete with valid partitions (possibly over a
+// shrunk host set when degraded mode evicted a permanently-lost host) or
+// fail with one of the structured fault errors — never hang (the recv
+// timeout backstop turns hangs into NetworkStalled) and never return a
+// wrong answer.
 class FaultPlanFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FaultPlanFuzz, CompletesValidlyOrFailsStructured) {
@@ -188,10 +192,6 @@ TEST_P(FaultPlanFuzz, CompletesValidlyOrFailsStructured) {
   config.messageBufferThreshold = rng.nextBounded(8 << 10);
   config.threadsPerHost = 1 + static_cast<unsigned>(rng.nextBounded(2));
 
-  SCOPED_TRACE("policy=" + policyName + " hosts=" + std::to_string(hosts) +
-               " nodes=" + std::to_string(g.numNodes()) +
-               " edges=" + std::to_string(g.numEdges()));
-
   const graph::GraphFile file = graph::GraphFile::fromCsr(g);
   const core::PartitionPolicy policy = core::makePolicy(policyName);
   const auto baseline = core::partitionGraph(file, policy, config);
@@ -200,25 +200,54 @@ TEST_P(FaultPlanFuzz, CompletesValidlyOrFailsStructured) {
   const char* dir = ::mkdtemp(tmpl);
   ASSERT_NE(dir, nullptr);
 
-  config.resilience.faultPlan = std::make_shared<comm::FaultPlan>(
-      comm::randomFaultPlan(seed, hosts));
+  // Up to two crashes, roughly a third of them permanent; repeated delay
+  // faults (repeat > 1) are part of the random plan space too.
+  auto plan = std::make_shared<comm::FaultPlan>(comm::randomFaultPlan(
+      seed, hosts, /*maxMessageFaults=*/6, /*maxCrashes=*/2,
+      /*allowPermanent=*/true));
+  config.resilience.faultPlan = plan;
   config.resilience.enableCheckpoints = rng.nextBounded(4) != 0;
   config.resilience.checkpointDir = dir;
   config.resilience.recvTimeoutSeconds = 5.0;  // turns any hang into a stall
   config.resilience.maxRecoveryAttempts =
       1 + static_cast<uint32_t>(rng.nextBounded(3));
+  config.resilience.degradedMode = rng.nextBounded(2) == 1;
+  config.resilience.buddyReplication =
+      config.resilience.enableCheckpoints && rng.nextBounded(2) == 1;
+
+  bool hasPermanent = false;
+  for (const auto& crash : plan->crashes) {
+    hasPermanent = hasPermanent || crash.permanent;
+  }
+  SCOPED_TRACE("policy=" + policyName + " hosts=" + std::to_string(hosts) +
+               " nodes=" + std::to_string(g.numNodes()) +
+               " edges=" + std::to_string(g.numEdges()) + " degraded=" +
+               std::to_string(config.resilience.degradedMode) +
+               " permanent=" + std::to_string(hasPermanent));
 
   try {
+    core::RecoveryReport report;
     const auto result =
-        core::partitionGraphResilient(file, policy, config);
+        core::partitionGraphResilient(file, policy, config, &report);
     // Completed: the result must be valid — injected faults may cost time,
-    // never correctness. For deterministic policies (pure master rule, no
-    // edge state — the stateful ones assign by asynchronously synchronized
-    // scores, so their outcome is timing-dependent even without faults) it
-    // must further be bit-identical to the fault-free run.
+    // never correctness. Degraded completions legitimately span fewer
+    // hosts; otherwise the host count must match, and for deterministic
+    // policies (pure master rule, no edge state — the stateful ones assign
+    // by asynchronously synchronized scores, so their outcome is
+    // timing-dependent even without faults) the full-membership result must
+    // further be bit-identical to the fault-free run.
     ASSERT_NO_THROW(core::validatePartitions(g, result.partitions));
-    ASSERT_EQ(result.partitions.size(), baseline.partitions.size());
-    if (policy.master.isPure() && !policy.edge.usesState) {
+    ASSERT_EQ(result.partitions.size(), hosts - report.evictions.size());
+    if (!report.evictions.empty()) {
+      EXPECT_TRUE(config.resilience.degradedMode);
+      EXPECT_TRUE(hasPermanent);
+      // Shrunk but still correct end to end.
+      if (g.numNodes() > 0) {
+        const uint64_t source = analytics::maxOutDegreeNode(g);
+        EXPECT_EQ(analytics::runBfs(result.partitions, source),
+                  analytics::bfsReference(g, source));
+      }
+    } else if (policy.master.isPure() && !policy.edge.usesState) {
       for (size_t h = 0; h < baseline.partitions.size(); ++h) {
         support::SendBuffer a;
         support::SendBuffer b;
@@ -230,13 +259,12 @@ TEST_P(FaultPlanFuzz, CompletesValidlyOrFailsStructured) {
   } catch (const comm::HostFailure&) {      // structured: crash budget spent
   } catch (const comm::NetworkStalled&) {   // structured: bounded wait
   } catch (const comm::SendRetriesExhausted&) {  // structured: retry budget
+  } catch (const comm::HostEvicted&) {      // structured: membership change
   }
   // Any other exception type escapes and fails the test.
 
-  for (uint32_t h = 0; h < hosts; ++h) {
-    core::removeCheckpoints(dir, h, 5);
-  }
-  ::rmdir(dir);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // epoch subdirs + replicas too
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultPlanFuzz,
