@@ -1,0 +1,257 @@
+// Chaos pipeline bench: what the resilience stack costs.
+//
+//  (a) CRC framing overhead — fault-free partition + BFS wall time with
+//      framing off vs on (no injector; setCrcFraming forced), plus the
+//      footer bytes as a fraction of payload bytes. Expected: per-message
+//      cost of one CRC32 pass over the payload, low single-digit percent
+//      at partitioner message sizes.
+//  (b) Superstep checkpoint cadence — resilient PageRank wall time under a
+//      mid-run transient crash, sweeping checkpointInterval (1/2/4/8 and
+//      checkpoints off). Finer cadence pays more per-superstep I/O but
+//      rolls back less work; "off" restarts the whole run.
+//  (c) Full chaos pipeline — partition -> BFS under the test suite's mixed
+//      schedule (drops, duplicates, delays, corruptions, one transient and
+//      one permanent crash) vs the clean pipeline, end to end.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include <unistd.h>
+
+#include "analytics/reference.h"
+#include "analytics/resilient.h"
+#include "bench_common.h"
+#include "comm/fault.h"
+#include "support/random.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace cusp;
+
+std::string makeTempDir() {
+  char tmpl[] = "/tmp/cusp_bench_chaos_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  return dir;
+}
+
+void removeTree(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+// Same noise generator as tests/test_chaos_pipeline.cpp.
+void addMessageNoise(comm::FaultPlan& plan, uint64_t seed, uint64_t count) {
+  support::Rng rng(seed * 0x2545F4914F6CDD1Dull + 11);
+  for (uint64_t i = 0; i < count; ++i) {
+    comm::MessageFault fault;
+    fault.occurrence = rng.nextBounded(120);
+    fault.repeat = 1 + static_cast<uint32_t>(rng.nextBounded(2));
+    switch (rng.nextBounded(4)) {
+      case 0: fault.action = comm::FaultAction::kDrop; break;
+      case 1: fault.action = comm::FaultAction::kDuplicate; break;
+      case 2: fault.action = comm::FaultAction::kCorrupt; break;
+      default:
+        fault.action = comm::FaultAction::kDelay;
+        fault.delayScans = 2 + static_cast<uint32_t>(rng.nextBounded(4));
+        break;
+    }
+    plan.messageFaults.push_back(fault);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t hosts = 8;
+  const uint64_t edges = 250'000;
+  const auto& g = bench::standIn("kron", edges);
+  const graph::GraphFile file = graph::GraphFile::fromCsr(g);
+  const uint64_t source = analytics::maxOutDegreeNode(g);
+
+  // --- (a) CRC framing overhead, fault-free -------------------------------
+  bench::printHeader("(a) CRC framing overhead, fault-free, kron, 8 hosts");
+  std::printf("%-8s %12s %12s %10s %14s\n", "framing", "part (s)", "bfs (s)",
+              "overhead", "footer/payload");
+  // Framing follows the injector: a plan whose single fault never matches
+  // attaches an injector (framing on) without perturbing any message, so
+  // the on/off delta isolates the CRC cost. Both legs go through the
+  // resilient drivers so the wrapper cost cancels.
+  auto neverMatchingPlan = [] {
+    auto plan = std::make_shared<comm::FaultPlan>();
+    plan->messageFaults.push_back({comm::kAnyHost, comm::kAnyHost,
+                                   comm::kAnyTag,
+                                   /*occurrence=*/UINT64_MAX});
+    return plan;
+  };
+  double plainPart = 0.0;
+  double plainBfs = 0.0;
+  const int kReps = 5;  // best-of-N: the runs are short, scheduling noise
+                        // at this scale exceeds the CRC cost otherwise
+  for (const bool framed : {false, true}) {
+    core::PartitionerConfig config = bench::benchConfig();
+    config.numHosts = hosts;
+    if (framed) {
+      config.resilience.faultPlan = neverMatchingPlan();
+    }
+    double partSeconds = 1e30;
+    double bfsSeconds = 1e30;
+    uint64_t framingBytes = 0;
+    uint64_t totalBytes = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      support::Timer partTimer;
+      core::RecoveryReport partReport;
+      const auto result = core::partitionGraphResilient(
+          file, bench::benchPolicy("EEC"), config, &partReport);
+      partSeconds = std::min(partSeconds, partTimer.elapsedSeconds());
+      framingBytes = result.volume.framingBytes;
+      totalBytes = result.volume.totalBytes();
+
+      analytics::ResilienceOptions options;
+      options.costModel = bench::benchCostModel();
+      if (framed) {
+        options.faultPlan = neverMatchingPlan();
+      }
+      support::Timer bfsTimer;
+      const auto dist =
+          analytics::runBfsResilient(result.partitions, source, options);
+      bfsSeconds = std::min(bfsSeconds, bfsTimer.elapsedSeconds());
+      (void)dist;
+    }
+
+    if (!framed) {
+      plainPart = partSeconds;
+      plainBfs = bfsSeconds;
+      std::printf("%-8s %12.3f %12.3f %10s %14s\n", "off", partSeconds,
+                  bfsSeconds, "-", "-");
+    } else {
+      const double overhead =
+          100.0 * ((partSeconds + bfsSeconds) / (plainPart + plainBfs) - 1.0);
+      const double footerFrac =
+          totalBytes > 0 ? 100.0 * static_cast<double>(framingBytes) /
+                               static_cast<double>(totalBytes)
+                         : 0.0;
+      std::printf("%-8s %12.3f %12.3f %9.1f%% %13.2f%%\n", "on", partSeconds,
+                  bfsSeconds, overhead, footerFrac);
+    }
+  }
+
+  // --- (b) checkpoint cadence under a transient crash ---------------------
+  bench::printHeader(
+      "(b) Superstep checkpoint cadence, pagerank + transient crash");
+  std::printf("%-10s %12s %10s %12s %10s\n", "interval", "wall (s)",
+              "ckpts", "resumed@", "attempts");
+  analytics::PageRankParams params;
+  params.maxIterations = 30;
+  params.tolerance = 0.0;  // run all 30 supersteps: cadence dominates
+  core::PartitionerConfig config = bench::benchConfig();
+  config.numHosts = hosts;
+  const auto parts =
+      core::partitionGraph(file, bench::benchPolicy("EEC"), config);
+  for (const uint32_t interval : {0u, 1u, 2u, 4u, 8u}) {
+    const std::string dir = makeTempDir();
+    auto plan = std::make_shared<comm::FaultPlan>();
+    plan->crashes.push_back({/*host=*/1, /*phase=*/0,
+                             /*opsIntoPhase=*/500, /*permanent=*/false});
+    analytics::ResilienceOptions options;
+    options.faultPlan = plan;
+    options.recvTimeoutSeconds = 30.0;
+    if (interval > 0) {
+      options.checkpointDir = dir;
+      options.enableCheckpoints = true;
+      options.checkpointInterval = interval;
+    }
+    analytics::ResilienceReport report;
+    support::Timer timer;
+    const auto ranks = analytics::runPageRankResilient(parts.partitions,
+                                                       params, options,
+                                                       &report);
+    const double seconds = timer.elapsedSeconds();
+    (void)ranks;
+    std::printf("%-10s %12.3f %10u %12u %10u\n",
+                interval == 0 ? "off" : std::to_string(interval).c_str(),
+                seconds, report.checkpointsSaved,
+                report.resumedFromSuperstep, report.attempts);
+    removeTree(dir);
+  }
+
+  // --- (c) full chaos pipeline vs clean -----------------------------------
+  bench::printHeader("(c) Full pipeline: clean vs chaos schedule");
+  std::printf("%-8s %12s %12s %14s %10s\n", "mode", "part (s)", "bfs (s)",
+              "corrupt rec.", "evicted");
+  {
+    support::Timer partTimer;
+    const auto clean =
+        core::partitionGraph(file, bench::benchPolicy("HVC"), config);
+    const double partSeconds = partTimer.elapsedSeconds();
+    support::Timer bfsTimer;
+    analytics::ResilienceOptions options;
+    options.costModel = bench::benchCostModel();
+    const auto dist =
+        analytics::runBfsResilient(clean.partitions, source, options);
+    (void)dist;
+    std::printf("%-8s %12.3f %12.3f %14s %10s\n", "clean", partSeconds,
+                bfsTimer.elapsedSeconds(), "-", "-");
+  }
+  {
+    const std::string partDir = makeTempDir();
+    const std::string bfsDir = makeTempDir();
+    core::PartitionerConfig chaosConfig = config;
+    auto partPlan = std::make_shared<comm::FaultPlan>();
+    addMessageNoise(*partPlan, /*seed=*/7, /*count=*/10);
+    partPlan->crashes.push_back({/*host=*/1, /*phase=*/3,
+                                 /*opsIntoPhase=*/0, /*permanent=*/false});
+    chaosConfig.resilience.faultPlan = partPlan;
+    chaosConfig.resilience.checkpointDir = partDir;
+    chaosConfig.resilience.enableCheckpoints = true;
+    chaosConfig.resilience.recvTimeoutSeconds = 30.0;
+
+    support::Timer partTimer;
+    core::RecoveryReport partReport;
+    const auto result = core::partitionGraphResilient(
+        file, bench::benchPolicy("HVC"), chaosConfig, &partReport);
+    const double partSeconds = partTimer.elapsedSeconds();
+
+    auto bfsPlan = std::make_shared<comm::FaultPlan>();
+    addMessageNoise(*bfsPlan, /*seed=*/8, /*count=*/10);
+    bfsPlan->crashes.push_back({/*host=*/2, /*phase=*/0,
+                                /*opsIntoPhase=*/30, /*permanent=*/true});
+    analytics::ResilienceOptions options;
+    options.costModel = bench::benchCostModel();
+    options.faultPlan = bfsPlan;
+    options.checkpointDir = bfsDir;
+    options.enableCheckpoints = true;
+    options.checkpointInterval = 2;
+    options.buddyReplication = true;
+    options.degradedMode = true;
+    options.recvTimeoutSeconds = 30.0;
+
+    support::Timer bfsTimer;
+    analytics::ResilienceReport report;
+    const auto dist = analytics::runBfsResilient(result.partitions, source,
+                                                 options, &report);
+    const double bfsSeconds = bfsTimer.elapsedSeconds();
+
+    const bool exact = dist == analytics::bfsReference(g, source);
+    std::printf("%-8s %12.3f %12.3f %14llu %10zu\n", "chaos", partSeconds,
+                bfsSeconds,
+                static_cast<unsigned long long>(
+                    result.volume.corruptionsRecovered +
+                    report.corruptionsRecovered),
+                report.evictions.size());
+    std::printf("chaos BFS output vs single-host reference: %s\n",
+                exact ? "EXACT MATCH" : "MISMATCH");
+    removeTree(partDir);
+    removeTree(bfsDir);
+  }
+  return 0;
+}

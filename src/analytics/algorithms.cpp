@@ -114,11 +114,14 @@ std::vector<uint64_t> minPropagate(
   return value;
 }
 
+}  // namespace
+
 // Global out-degrees at every proxy: local degrees add-reduced to masters,
 // then broadcast. Needed by pagerank (a vertex-cut splits a node's
 // out-edges across hosts).
-std::vector<uint64_t> globalOutDegrees(comm::Network& net, comm::HostId me,
-                                       const DistGraph& part) {
+std::vector<uint64_t> globalOutDegreesOnHost(comm::Network& net,
+                                             comm::HostId me,
+                                             const DistGraph& part) {
   SyncContext sync(net, me, part);
   const uint64_t numLocal = part.numLocalNodes();
   std::vector<uint64_t> degree(numLocal);
@@ -143,6 +146,8 @@ std::vector<uint64_t> globalOutDegrees(comm::Network& net, comm::HostId me,
   sync.broadcastToMirrors<uint64_t>(degree, allMasters, mirrorUpdated);
   return degree;
 }
+
+namespace {
 
 // Runs hostMain on every host of a fresh Network over `partitions` and
 // gathers the master values into a global array.
@@ -237,7 +242,7 @@ std::vector<double> pageRankOnHost(comm::Network& net, comm::HostId me,
   double clusterSeconds = 0.0;
   double cpu0 = support::threadCpuSeconds();
   double comm0 = net.modeledCommSeconds(me);
-  const std::vector<uint64_t> degree = globalOutDegrees(net, me, part);
+  const std::vector<uint64_t> degree = globalOutDegreesOnHost(net, me, part);
   clusterSeconds += net.allReduceMax(
       me, (support::threadCpuSeconds() - cpu0) +
               (net.modeledCommSeconds(me) - comm0));
@@ -316,7 +321,7 @@ std::vector<uint64_t> kCoreOnHost(comm::Network& net, comm::HostId me,
   double cpu0 = support::threadCpuSeconds();
   double comm0 = net.modeledCommSeconds(me);
   // Degrees start at the global (symmetric) degree of every proxy.
-  std::vector<uint64_t> degree = globalOutDegrees(net, me, part);
+  std::vector<uint64_t> degree = globalOutDegreesOnHost(net, me, part);
   clusterSeconds += net.allReduceMax(
       me, (support::threadCpuSeconds() - cpu0) +
               (net.modeledCommSeconds(me) - comm0));
@@ -403,7 +408,7 @@ uint64_t triangleCountOnHost(comm::Network& net, comm::HostId me,
   // (deg(u), gid(u)) < (deg(v), gid(v)). Both endpoints of every local
   // edge are local proxies with synced degrees, so orientation is
   // computable everywhere.
-  const std::vector<uint64_t> degree = globalOutDegrees(net, me, part);
+  const std::vector<uint64_t> degree = globalOutDegreesOnHost(net, me, part);
   auto orderKey = [&](uint64_t lid) {
     return std::make_pair(degree[lid], part.globalId(lid));
   };

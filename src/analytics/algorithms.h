@@ -122,4 +122,13 @@ uint64_t runTriangleCount(std::span<const core::DistGraph> partitions,
 // The paper's source choice for bfs and sssp: highest out-degree node.
 uint64_t maxOutDegreeNode(const graph::CsrGraph& graph);
 
+// Global out-degree of every local proxy: local degrees add-reduced to
+// masters and broadcast back (a vertex-cut splits a node's out-edges
+// across hosts). Collective — every host must call. Used internally by
+// pagerank/k-core/tc and by the resilient driver to rebuild derived state
+// after a rollback.
+std::vector<uint64_t> globalOutDegreesOnHost(comm::Network& net,
+                                             comm::HostId me,
+                                             const core::DistGraph& part);
+
 }  // namespace cusp::analytics

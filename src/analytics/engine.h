@@ -227,6 +227,11 @@ class SyncContext {
       throw SyncRoundFailed(op, round, me_, e.what());
     } catch (const comm::NetworkStalled& e) {
       throw SyncRoundFailed(op, round, me_, e.what());
+    } catch (const comm::MessageCorrupt& e) {
+      // Only reaches here once sendReliable's retransmissions are exhausted
+      // (persistent corruption on the channel) — recoverable by rollback,
+      // like the other transport faults.
+      throw SyncRoundFailed(op, round, me_, e.what());
     }
   }
 

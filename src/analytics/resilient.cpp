@@ -1,0 +1,542 @@
+#include "analytics/resilient.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "analytics/engine.h"
+#include "core/checkpoint.h"
+#include "core/degraded.h"
+#include "support/bitset.h"
+
+namespace cusp::analytics {
+
+namespace {
+
+using core::DistGraph;
+using support::DynamicBitset;
+
+// Checkpoints of different membership epochs must never mix: a snapshot at
+// superstep s written before an eviction and one written after describe
+// different layouts under the same phase number. Each epoch gets its own
+// subdirectory.
+std::string epochDir(const std::string& dir, uint32_t epoch) {
+  return dir + "/e" + std::to_string(epoch);
+}
+
+// A superstep-structured vertex program the resilient driver can roll back:
+// init seeds values + frontier, superstep runs one BSP round (local compute
+// + sync + termination vote) and returns whether more work remains. Both
+// programs below reproduce the exact round structure of their algorithms.cpp
+// counterparts, so a fault-free resilient run is the plain run, byte for
+// byte.
+struct MinPropProgram {
+  using Value = uint64_t;
+
+  MinPropProgram(comm::Network& net, comm::HostId me, const DistGraph& part,
+                 std::function<uint64_t(uint64_t lid, uint64_t gid)> init,
+                 std::function<uint64_t(uint64_t value, uint64_t edge)> cand)
+      : net(net),
+        me(me),
+        part(part),
+        sync(net, me, part),
+        initFn(std::move(init)),
+        candidate(std::move(cand)) {}
+
+  void init(std::vector<uint64_t>& value, DynamicBitset& frontier) {
+    const uint64_t numLocal = part.numLocalNodes();
+    value.resize(numLocal);
+    frontier = DynamicBitset(numLocal);
+    for (uint64_t lid = 0; lid < numLocal; ++lid) {
+      value[lid] = initFn(lid, part.globalId(lid));
+      if (value[lid] != kInfinity) {
+        frontier.set(lid);
+      }
+    }
+  }
+
+  bool superstep(uint32_t, std::vector<uint64_t>& value,
+                 DynamicBitset& frontier) {
+    const uint64_t numLocal = part.numLocalNodes();
+    DynamicBitset dirty(numLocal);
+    std::vector<uint64_t> active;
+    frontier.collectSetBits(active);
+    frontier.resetAll();
+    for (uint64_t u : active) {
+      if (value[u] == kInfinity) {
+        continue;
+      }
+      for (uint64_t e = part.graph.edgeBegin(u); e < part.graph.edgeEnd(u);
+           ++e) {
+        const uint64_t v = part.graph.edgeDst(e);
+        const uint64_t proposal = candidate(value[u], e);
+        if (proposal < value[v]) {
+          value[v] = proposal;
+          dirty.set(v);
+        }
+      }
+    }
+    auto combineMin = [](uint64_t& acc, uint64_t in) {
+      if (in < acc) {
+        acc = in;
+        return true;
+      }
+      return false;
+    };
+    DynamicBitset masterChanged(numLocal);
+    sync.reduceToMasters<uint64_t>(value, dirty, combineMin, masterChanged);
+    std::vector<uint64_t> dirtyMasters;
+    dirty.collectSetBits(dirtyMasters);
+    for (uint64_t lid : dirtyMasters) {
+      if (part.isMaster(lid)) {
+        masterChanged.set(lid);
+      }
+      frontier.set(lid);
+    }
+    DynamicBitset mirrorUpdated(numLocal);
+    sync.broadcastToMirrors<uint64_t>(value, masterChanged, mirrorUpdated);
+    std::vector<uint64_t> updated;
+    masterChanged.collectSetBits(updated);
+    mirrorUpdated.collectSetBits(updated);
+    for (uint64_t lid : updated) {
+      frontier.set(lid);
+    }
+    return net.allReduceOr(me, frontier.any());
+  }
+
+  comm::Network& net;
+  comm::HostId me;
+  const DistGraph& part;
+  SyncContext sync;
+  std::function<uint64_t(uint64_t, uint64_t)> initFn;
+  std::function<uint64_t(uint64_t, uint64_t)> candidate;
+};
+
+struct PageRankProgram {
+  using Value = double;
+
+  PageRankProgram(comm::Network& net, comm::HostId me, const DistGraph& part,
+                  const PageRankParams& params)
+      : net(net),
+        me(me),
+        part(part),
+        sync(net, me, part),
+        params(params),
+        // Derived state is recomputed at the start of every attempt (it is
+        // cheap and layout-dependent), never checkpointed.
+        degree(globalOutDegreesOnHost(net, me, part)),
+        allMasters(part.numLocalNodes()) {
+    for (uint64_t lid = 0; lid < part.numMasters; ++lid) {
+      allMasters.set(lid);
+    }
+  }
+
+  void init(std::vector<double>& value, DynamicBitset& frontier) {
+    const uint64_t numLocal = part.numLocalNodes();
+    const double n = static_cast<double>(part.numGlobalNodes);
+    value.assign(numLocal, n > 0 ? 1.0 / n : 0.0);
+    frontier = DynamicBitset(numLocal);  // unused: pagerank is topological
+  }
+
+  bool superstep(uint32_t iter, std::vector<double>& value, DynamicBitset&) {
+    const uint64_t numLocal = part.numLocalNodes();
+    const double n = static_cast<double>(part.numGlobalNodes);
+    std::vector<double> accum(numLocal, 0.0);
+    DynamicBitset contributed(numLocal);
+    for (uint64_t u = 0; u < numLocal; ++u) {
+      if (degree[u] == 0 || part.graph.outDegree(u) == 0) {
+        continue;
+      }
+      const double share = value[u] / static_cast<double>(degree[u]);
+      for (uint64_t e = part.graph.edgeBegin(u); e < part.graph.edgeEnd(u);
+           ++e) {
+        const uint64_t v = part.graph.edgeDst(e);
+        accum[v] += share;
+        contributed.set(v);
+      }
+    }
+    DynamicBitset unusedChanged(numLocal);
+    sync.reduceToMasters<double>(
+        accum, contributed,
+        [](double& acc, double in) {
+          acc += in;
+          return true;
+        },
+        unusedChanged);
+    double localDelta = 0.0;
+    for (uint64_t lid = 0; lid < part.numMasters; ++lid) {
+      const double updated =
+          (1.0 - params.damping) / n + params.damping * accum[lid];
+      localDelta = std::max(localDelta, std::abs(updated - value[lid]));
+      value[lid] = updated;
+    }
+    DynamicBitset mirrorUpdated(numLocal);
+    sync.broadcastToMirrors<double>(value, allMasters, mirrorUpdated);
+    const double globalDelta = net.allReduceMax(me, localDelta);
+    return iter + 1 < params.maxIterations && globalDelta >= params.tolerance;
+  }
+
+  comm::Network& net;
+  comm::HostId me;
+  const DistGraph& part;
+  SyncContext sync;
+  PageRankParams params;
+  std::vector<uint64_t> degree;
+  DynamicBitset allMasters;
+};
+
+void atomicMax(std::atomic<uint32_t>& target, uint32_t value) {
+  uint32_t current = target.load(std::memory_order_relaxed);
+  while (current < value &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// The resilient driver. `makeProgram(net, me, part)` builds the per-host
+// program instance inside each attempt (its constructor may communicate,
+// e.g. pagerank's degree exchange, and is covered by the same fault
+// handling as the supersteps).
+template <typename T, typename MakeProgram>
+std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
+                                const ResilienceOptions& options,
+                                ResilienceReport* reportOut,
+                                MakeProgram&& makeProgram) {
+  ResilienceReport report;
+  auto publish = [&] {
+    if (reportOut != nullptr) {
+      *reportOut = report;
+    }
+  };
+  if (partitions.empty()) {
+    publish();
+    return {};
+  }
+  const uint32_t k = static_cast<uint32_t>(partitions.size());
+  for (uint32_t r = 0; r < k; ++r) {
+    if (partitions[r].hostId != r || partitions[r].numHosts != k) {
+      throw std::invalid_argument(
+          "runResilient: partitions must be a complete rank-indexed family");
+    }
+  }
+  const uint64_t numGlobalNodes = partitions.front().numGlobalNodes;
+
+  std::shared_ptr<comm::FaultInjector> injector;
+  if (options.faultPlan && !options.faultPlan->empty()) {
+    injector = std::make_shared<comm::FaultInjector>(*options.faultPlan);
+  }
+  const bool checkpoints =
+      options.enableCheckpoints && !options.checkpointDir.empty();
+  const uint32_t interval = std::max(1u, options.checkpointInterval);
+  if (checkpoints) {
+    core::garbageCollectCheckpointTmp(options.checkpointDir);
+  }
+
+  // Membership-epoch bookkeeping. evictedAtEpochStart[e] is the (sorted)
+  // set of ranks already evicted when epoch e began — the complement is the
+  // participant set whose snapshots a restore from epoch e must load.
+  uint32_t epoch = 0;
+  std::vector<uint32_t> evictedRanks;
+  std::vector<std::vector<uint32_t>> evictedAtEpochStart{{}};
+  std::vector<uint32_t> maxPhaseByEpoch{0};
+  std::atomic<uint32_t> maxPhaseSaved{0};
+  std::atomic<uint32_t> checkpointsSaved{0};
+  uint32_t failuresThisEpoch = 0;
+
+  auto participants = [&](uint32_t e) {
+    std::vector<uint32_t> out;
+    const auto& evicted = evictedAtEpochStart[e];
+    for (uint32_t r = 0; r < k; ++r) {
+      if (std::find(evicted.begin(), evicted.end(), r) == evicted.end()) {
+        out.push_back(r);
+      }
+    }
+    return out;
+  };
+
+  // The family the current attempt runs over: the caller's partitions, or —
+  // after evictions — the deterministic survivor redistribution in the
+  // ORIGINAL rank space (evicted slots empty; the membership-aware engine
+  // skips them).
+  std::vector<DistGraph> degradedParts;
+
+  for (;;) {
+    ++report.attempts;
+    comm::Network net(k, options.costModel);
+    if (injector) {
+      net.setFaultInjector(injector);
+    }
+    net.setRetryPolicy(options.retry);
+    if (options.recvTimeoutSeconds > 0) {
+      net.setRecvTimeout(options.recvTimeoutSeconds);
+    }
+    for (uint32_t r : evictedRanks) {
+      net.evict(r);
+    }
+    const std::span<const DistGraph> parts =
+        degradedParts.empty() ? partitions
+                              : std::span<const DistGraph>(degradedParts);
+
+    // Rollback agreement: newest epoch first, the last superstep EVERY
+    // participant of that epoch can still recover (min over participants of
+    // the latest valid checkpoint, buddy replicas consulted).
+    maxPhaseByEpoch[epoch] =
+        std::max(maxPhaseByEpoch[epoch], maxPhaseSaved.load());
+    uint32_t resumeEpoch = epoch;
+    uint32_t resumePhase = 0;
+    if (checkpoints) {
+      for (uint32_t e = epoch + 1; e-- > 0 && resumePhase == 0;) {
+        const uint32_t cap = maxPhaseByEpoch[e];
+        if (cap == 0) {
+          continue;
+        }
+        const std::string dir = epochDir(options.checkpointDir, e);
+        uint32_t agreed = UINT32_MAX;
+        for (uint32_t r : participants(e)) {
+          agreed =
+              std::min(agreed, core::latestValidCheckpoint(dir, r, k, cap));
+        }
+        if (agreed != UINT32_MAX && agreed > 0) {
+          resumeEpoch = e;
+          resumePhase = agreed;
+        }
+      }
+    }
+    report.resumedFromSuperstep =
+        std::max(report.resumedFromSuperstep, resumePhase);
+
+    std::vector<T> global(numGlobalNodes);
+    std::atomic<uint32_t> superstepsRun{0};
+    try {
+      comm::runHosts(net, [&](comm::HostId me) {
+        net.enterPhase(me, 0);
+        const DistGraph& part = parts[me];
+        auto program = makeProgram(net, me, part);
+        std::vector<T> value;
+        DynamicBitset frontier;
+        program.init(value, frontier);
+        if (resumePhase > 0) {
+          // Replicated restore: every host loads every participant's
+          // snapshot of the agreed superstep and applies the gids it holds
+          // (masters AND mirrors — mirrors take their master's canonical
+          // value). The frontier union is a superset of the live frontier,
+          // which is harmless for monotone programs and unused by pagerank.
+          const std::string dir =
+              epochDir(options.checkpointDir, resumeEpoch);
+          for (uint32_t r : participants(resumeEpoch)) {
+            auto payload =
+                core::loadCheckpointOrReplica(dir, r, k, resumePhase);
+            if (!payload) {
+              throw std::runtime_error(
+                  "runResilient: agreed checkpoint of host " +
+                  std::to_string(r) + " phase " + std::to_string(resumePhase) +
+                  " disappeared between agreement and restore");
+            }
+            support::RecvBuffer buf(std::move(*payload));
+            uint64_t snapSuperstep = 0;
+            std::vector<uint64_t> gids;
+            std::vector<T> vals;
+            std::vector<uint64_t> frontierGids;
+            support::deserializeAll(buf, snapSuperstep, gids, vals,
+                                    frontierGids);
+            for (size_t i = 0; i < gids.size(); ++i) {
+              if (auto lid = part.localIdOf(gids[i])) {
+                value[*lid] = vals[i];
+              }
+            }
+            for (uint64_t gid : frontierGids) {
+              if (auto lid = part.localIdOf(gid)) {
+                frontier.set(*lid);
+              }
+            }
+          }
+        }
+        uint32_t s = resumePhase;  // next superstep index (0-based)
+        for (;;) {
+          const bool more = program.superstep(s, value, frontier);
+          if (checkpoints && ((s + 1) % interval == 0 || !more)) {
+            support::SendBuffer payload;
+            const uint64_t superstep = s;
+            std::vector<uint64_t> gids;
+            std::vector<T> vals;
+            gids.reserve(part.numMasters);
+            vals.reserve(part.numMasters);
+            for (uint64_t lid = 0; lid < part.numMasters; ++lid) {
+              gids.push_back(part.globalId(lid));
+              vals.push_back(value[lid]);
+            }
+            std::vector<uint64_t> frontierGids;
+            std::vector<uint64_t> frontierLids;
+            frontier.collectSetBits(frontierLids);
+            frontierGids.reserve(frontierLids.size());
+            for (uint64_t lid : frontierLids) {
+              frontierGids.push_back(part.globalId(lid));
+            }
+            support::serializeAll(payload, superstep, gids, vals,
+                                  frontierGids);
+            const std::string dir = epochDir(options.checkpointDir, epoch);
+            const uint32_t phase = s + 1;
+            core::saveCheckpoint(dir, me, k, phase, payload);
+            if (options.buddyReplication) {
+              core::saveCheckpointReplica(dir, me, k, phase, payload);
+            }
+            checkpointsSaved.fetch_add(1, std::memory_order_relaxed);
+            atomicMax(maxPhaseSaved, phase);
+          }
+          ++s;
+          if (!more) {
+            break;
+          }
+        }
+        atomicMax(superstepsRun, s);
+        // Masters hold the canonical values; master gid sets are disjoint
+        // across alive ranks, so concurrent writes land on distinct slots.
+        for (uint64_t lid = 0; lid < part.numMasters; ++lid) {
+          global[part.globalId(lid)] = value[lid];
+        }
+      });
+      const comm::VolumeStats volume = net.statsSnapshot();
+      report.corruptionsDetected += volume.corruptionsDetected;
+      report.corruptionsRecovered += volume.corruptionsRecovered;
+      report.supersteps = superstepsRun.load();
+      report.checkpointsSaved = checkpointsSaved.load();
+      report.finalAliveHosts = net.numAliveHosts();
+      publish();
+      return global;
+    } catch (...) {
+      const comm::VolumeStats volume = net.statsSnapshot();
+      report.corruptionsDetected += volume.corruptionsDetected;
+      report.corruptionsRecovered += volume.corruptionsRecovered;
+      report.checkpointsSaved = checkpointsSaved.load();
+      const std::exception_ptr ep = std::current_exception();
+      std::string kind;
+      std::string what;
+      try {
+        std::rethrow_exception(ep);
+      } catch (const SyncRoundFailed& e) {
+        kind = "SyncRoundFailed";
+        what = e.what();
+      } catch (...) {
+        const auto classified = core::classifyFault(std::current_exception());
+        if (!classified) {
+          publish();
+          throw;  // not a fault (logic error, bad input): propagate as-is
+        }
+        kind = classified->kindName();
+        what = classified->what;
+      }
+      report.failures.push_back(what);
+      report.failureKinds.push_back(kind);
+
+      // Permanent losses turn into evictions (degraded mode): drop the dead
+      // hosts' checkpoint stores, reassign their masters to the survivors,
+      // open a fresh epoch with a fresh attempt budget.
+      std::vector<uint32_t> newlyDown;
+      if (injector) {
+        for (comm::HostId h : injector->permanentlyDownHosts()) {
+          if (std::find(evictedRanks.begin(), evictedRanks.end(), h) ==
+              evictedRanks.end()) {
+            newlyDown.push_back(h);
+          }
+        }
+      }
+      if (options.degradedMode && !newlyDown.empty()) {
+        maxPhaseByEpoch[epoch] =
+            std::max(maxPhaseByEpoch[epoch], maxPhaseSaved.load());
+        for (uint32_t h : newlyDown) {
+          report.evictions.push_back(h);
+          evictedRanks.push_back(h);
+          if (checkpoints) {
+            for (uint32_t e = 0; e <= epoch; ++e) {
+              core::removeHostCheckpointStore(
+                  epochDir(options.checkpointDir, e), h, k,
+                  maxPhaseByEpoch[e]);
+            }
+          }
+        }
+        if (evictedRanks.size() >= k) {
+          publish();
+          std::rethrow_exception(ep);  // no survivors
+        }
+        std::sort(evictedRanks.begin(), evictedRanks.end());
+        std::vector<DistGraph> family(partitions.begin(), partitions.end());
+        degradedParts =
+            core::redistributePartitions(family, evictedRanks,
+                                         /*compact=*/false);
+        ++epoch;
+        evictedAtEpochStart.push_back(evictedRanks);
+        maxPhaseByEpoch.push_back(0);
+        maxPhaseSaved.store(0);
+        failuresThisEpoch = 0;
+        continue;
+      }
+      if (++failuresThisEpoch >= std::max(1u, options.maxRecoveryAttempts)) {
+        publish();
+        std::rethrow_exception(ep);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<uint64_t> runBfsResilient(std::span<const DistGraph> partitions,
+                                      uint64_t sourceGid,
+                                      const ResilienceOptions& options,
+                                      ResilienceReport* report) {
+  return runResilientImpl<uint64_t>(
+      partitions, options, report,
+      [&](comm::Network& net, comm::HostId me, const DistGraph& part) {
+        return MinPropProgram(
+            net, me, part,
+            [sourceGid](uint64_t, uint64_t gid) {
+              return gid == sourceGid ? 0ull : kInfinity;
+            },
+            [](uint64_t value, uint64_t) { return value + 1; });
+      });
+}
+
+std::vector<uint64_t> runSsspResilient(std::span<const DistGraph> partitions,
+                                       uint64_t sourceGid,
+                                       const ResilienceOptions& options,
+                                       ResilienceReport* report) {
+  return runResilientImpl<uint64_t>(
+      partitions, options, report,
+      [&](comm::Network& net, comm::HostId me, const DistGraph& part) {
+        return MinPropProgram(
+            net, me, part,
+            [sourceGid](uint64_t, uint64_t gid) {
+              return gid == sourceGid ? 0ull : kInfinity;
+            },
+            [&part](uint64_t value, uint64_t edge) {
+              return value + part.graph.edgeData(edge);
+            });
+      });
+}
+
+std::vector<uint64_t> runCcResilient(std::span<const DistGraph> partitions,
+                                     const ResilienceOptions& options,
+                                     ResilienceReport* report) {
+  return runResilientImpl<uint64_t>(
+      partitions, options, report,
+      [&](comm::Network& net, comm::HostId me, const DistGraph& part) {
+        return MinPropProgram(
+            net, me, part,
+            [](uint64_t, uint64_t gid) { return gid; },
+            [](uint64_t value, uint64_t) { return value; });
+      });
+}
+
+std::vector<double> runPageRankResilient(
+    std::span<const DistGraph> partitions, const PageRankParams& params,
+    const ResilienceOptions& options, ResilienceReport* report) {
+  return runResilientImpl<double>(
+      partitions, options, report,
+      [&](comm::Network& net, comm::HostId me, const DistGraph& part) {
+        return PageRankProgram(net, me, part, params);
+      });
+}
+
+}  // namespace cusp::analytics

@@ -16,6 +16,15 @@ SendRetriesExhausted::SendRetriesExhausted(HostId from, HostId to, Tag tag,
       tag(tag),
       attempts(attempts) {}
 
+MessageCorrupt::MessageCorrupt(HostId from, HostId to, Tag tag)
+    : std::runtime_error("message " + std::to_string(from) + " -> " +
+                         std::to_string(to) + " on " + tagName(tag) +
+                         " failed CRC32 frame verification (corrupt in "
+                         "flight); frame discarded"),
+      from(from),
+      to(to),
+      tag(tag) {}
+
 HostEvicted::HostEvicted(HostId from, HostId host, Tag tag, uint64_t epoch)
     : std::runtime_error("host " + std::to_string(host) +
                          " was evicted (membership epoch " +
@@ -76,6 +85,7 @@ std::optional<FaultInjector::SendDecision> FaultInjector::onSend(HostId from,
       case FaultAction::kDrop: ++stats_.dropped; break;
       case FaultAction::kDuplicate: ++stats_.duplicated; break;
       case FaultAction::kDelay: ++stats_.delayed; break;
+      case FaultAction::kCorrupt: ++stats_.corrupted; break;
     }
   }
   return decision;
@@ -169,9 +179,10 @@ FaultPlan randomFaultPlan(uint64_t seed, uint32_t numHosts,
     fault.tag = kFuzzTags[rng.nextBounded(std::size(kFuzzTags))];
     fault.occurrence = rng.nextBounded(24);
     fault.repeat = 1 + static_cast<uint32_t>(rng.nextBounded(6));
-    switch (rng.nextBounded(3)) {
+    switch (rng.nextBounded(4)) {
       case 0: fault.action = FaultAction::kDrop; break;
       case 1: fault.action = FaultAction::kDuplicate; break;
+      case 2: fault.action = FaultAction::kCorrupt; break;
       default:
         fault.action = FaultAction::kDelay;
         // Repeated delays (the whole occurrence run of a channel held back)

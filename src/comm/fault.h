@@ -22,6 +22,10 @@
 //   HostEvicted          — traffic addressed to (or issued by) a host the
 //                          membership view has evicted; fails fast instead
 //                          of burning the retry budget.
+//   MessageCorrupt       — a CRC-framed message failed verification at the
+//                          receiving mailbox (wire corruption); the frame is
+//                          discarded and the sender notified, so
+//                          sendReliable can retransmit transparently.
 //
 // Crashes come in two flavors: transient (the default — the host "reboots"
 // and the crash fires exactly once for the injector's lifetime) and
@@ -51,6 +55,8 @@ enum class FaultAction : uint8_t {
   kDrop,       // message never delivered; the sender observes the loss
   kDuplicate,  // a second copy is delivered; receivers must deduplicate
   kDelay,      // delivery deferred by `delayScans` receiver scan cycles
+  kCorrupt,    // deterministic byte flip on the framed payload in flight;
+               // caught by the CRC32 frame check at the receiving mailbox
 };
 
 // Matches the `occurrence`-th (0-based) cross-host send seen with this
@@ -102,6 +108,8 @@ struct FaultStats {
   uint64_t duplicated = 0;
   uint64_t duplicatesSuppressed = 0;
   uint64_t delayed = 0;
+  uint64_t corrupted = 0;  // injected byte flips (detections are counted in
+                           // VolumeStats::corruptionsDetected)
   uint64_t retries = 0;
   uint64_t crashesFired = 0;
 };
@@ -146,6 +154,21 @@ class HostEvicted : public std::runtime_error {
   HostId host;
   Tag tag;
   uint64_t epoch;
+};
+
+// A CRC-framed message whose frame failed verification at the receiving
+// mailbox (wire corruption). The corrupt frame is discarded — it never
+// reaches the application — and the error surfaces on the SENDER side like
+// a link-layer NACK, so sendReliable can retransmit a clean copy
+// transparently. Escapes to the caller only once the retry budget is spent
+// (or on a bare send()).
+class MessageCorrupt : public std::runtime_error {
+ public:
+  MessageCorrupt(HostId from, HostId to, Tag tag);
+
+  HostId from;
+  HostId to;
+  Tag tag;
 };
 
 // Human-readable name of a message tag (for stall reports and errors).
@@ -198,7 +221,7 @@ class FaultInjector {
 };
 
 // Seeded random fault plan for the fuzzer: a handful of drop/duplicate/
-// delay faults over the partitioner's tags plus at most `maxCrashes`
+// delay/corrupt faults over the partitioner's tags plus at most `maxCrashes`
 // scheduled host crashes. With `allowPermanent`, roughly a third of the
 // generated crashes are permanent (the host never reboots), exercising the
 // degraded-mode eviction path.

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 #include <sstream>
 #include <thread>
+
+#include "support/crc32.h"
+#include "support/random.h"
 
 namespace cusp::comm {
 
@@ -134,14 +138,50 @@ bool Network::send(HostId from, HostId to, Tag tag,
   if (decision && decision->action == FaultAction::kDrop) {
     return false;  // sender-visible loss; no volume accounted
   }
-  accountSend(from, to, tag, buffer.size());
+  // CRC framing: wrap the payload in a CRC32 footer, let an injected
+  // corruption flip a byte of the framed message in flight, and verify the
+  // frame at the mailbox boundary (the receiver NIC). The frame is stripped
+  // before the payload is queued, so the receive path never sees footers.
+  std::vector<uint8_t> wire = buffer.release();
+  const size_t payloadBytes = wire.size();
+  const bool framed = from != to && crcFraming_.load(std::memory_order_relaxed);
+  if (framed) {
+    support::appendCrcFooter(wire);
+    if (decision && decision->action == FaultAction::kCorrupt) {
+      // Deterministic in-flight byte flip: position derived from the message
+      // identity so a given plan replays identically.
+      const uint64_t h = support::hashU64(
+          (static_cast<uint64_t>(from) << 48) ^
+          (static_cast<uint64_t>(to) << 32) ^
+          (static_cast<uint64_t>(tag) << 8) ^ wire.size());
+      wire[h % wire.size()] ^= 0xA5;
+    }
+  }
+  accountSend(from, to, tag, payloadBytes,
+              framed ? wire.size() - payloadBytes : 0);
+  if (framed) {
+    // We framed this message ourselves, so anything but kVerified — a bad
+    // checksum, or a footer whose magic the flip destroyed — is detected
+    // corruption: discard the frame and NACK the sender.
+    if (support::verifyAndStripCrcFooter(wire) !=
+        support::CrcFooterStatus::kVerified) {
+      {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.corruptionsDetected;
+      }
+      throw MessageCorrupt(from, to, tag);
+    }
+  }
   Mailbox& box = *mailboxes_[to];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
     Queued entry;
-    entry.msg = Message{from, tag, support::RecvBuffer(buffer.release())};
+    entry.msg = Message{from, tag, support::RecvBuffer(std::move(wire))};
     if (injector_) {
-      entry.seq = ++box.nextSeq[{from, tag}];
+      ChannelState& channel = box.channels[{from, tag}];
+      entry.seq = ++channel.nextSeq;
+      channel.lastUse = ++box.channelUseCounter;
+      compactChannelsLocked(box);
       if (decision && decision->action == FaultAction::kDelay) {
         entry.delayScans = std::max(1u, decision->delayScans);
       }
@@ -162,6 +202,7 @@ void Network::sendReliable(HostId from, HostId to, Tag tag,
     return;
   }
   const uint32_t attempts = std::max(1u, retryPolicy_.maxAttempts);
+  bool sawCorruption = false;
   for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
     const bool last = attempt + 1 == attempts;
     support::SendBuffer offer;
@@ -170,7 +211,23 @@ void Network::sendReliable(HostId from, HostId to, Tag tag,
     } else {
       offer.appendBytes(buffer.data(), buffer.size());
     }
-    if (send(from, to, tag, std::move(offer))) {
+    bool delivered = false;
+    try {
+      delivered = send(from, to, tag, std::move(offer));
+    } catch (const MessageCorrupt&) {
+      // The frame failed verification at the receiving mailbox (a link-layer
+      // NACK). Retransmit a clean copy like a drop; each retry is a new
+      // occurrence for the injector, so single-shot faults do not re-fire.
+      if (last) {
+        throw;  // retry budget spent; surface the structured error
+      }
+      sawCorruption = true;
+    }
+    if (delivered) {
+      if (sawCorruption) {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.corruptionsRecovered;
+      }
       return;
     }
     if (!last) {
@@ -195,8 +252,9 @@ std::optional<Message> Network::scanLocked(Mailbox& box, Tag tag,
   for (auto it = box.queue.begin(); it != box.queue.end();) {
     const ChannelKey channel{it->msg.from, it->msg.tag};
     if (injector_ && it->seq != 0) {
-      const auto last = box.lastDelivered.find(channel);
-      if (last != box.lastDelivered.end() && it->seq <= last->second) {
+      const auto state = box.channels.find(channel);
+      if (state != box.channels.end() &&
+          it->seq <= state->second.lastDelivered) {
         injector_->countDuplicateSuppressed();
         it = box.queue.erase(it);
         continue;
@@ -213,7 +271,9 @@ std::optional<Message> Network::scanLocked(Mailbox& box, Tag tag,
     }
     if (it->msg.tag == tag && (from == kAnyHost || it->msg.from == from)) {
       if (injector_ && it->seq != 0) {
-        box.lastDelivered[channel] = it->seq;
+        ChannelState& state = box.channels[channel];
+        state.lastDelivered = it->seq;
+        state.lastUse = ++box.channelUseCounter;
       }
       Message msg = std::move(it->msg);
       box.queue.erase(it);
@@ -222,6 +282,43 @@ std::optional<Message> Network::scanLocked(Mailbox& box, Tag tag,
     ++it;
   }
   return std::nullopt;
+}
+
+void Network::compactChannelsLocked(Mailbox& box) {
+  if (box.channels.size() <= kMaxDupFilterChannels) {
+    return;
+  }
+  // A queued message pins its channel: evicting the state of a channel with
+  // an in-flight duplicate could let the duplicate through once its original
+  // is delivered under a fresh watermark. Channels with an empty queue are
+  // safe to forget — sender counter and receiver watermark reset together,
+  // which is exactly a fresh channel's state.
+  std::set<ChannelKey> pinned;
+  for (const Queued& entry : box.queue) {
+    pinned.insert({entry.msg.from, entry.msg.tag});
+  }
+  std::vector<std::pair<uint64_t, ChannelKey>> evictable;  // (lastUse, key)
+  for (const auto& [key, state] : box.channels) {
+    if (pinned.find(key) == pinned.end()) {
+      evictable.push_back({state.lastUse, key});
+    }
+  }
+  std::sort(evictable.begin(), evictable.end());
+  for (const auto& [lastUse, key] : evictable) {
+    if (box.channels.size() <= kMaxDupFilterChannels) {
+      break;
+    }
+    box.channels.erase(key);
+  }
+}
+
+size_t Network::dupFilterChannels(HostId me) const {
+  if (me >= numHosts()) {
+    throw std::out_of_range("Network::dupFilterChannels: host id out of range");
+  }
+  Mailbox& box = *mailboxes_[me];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  return box.channels.size();
 }
 
 void Network::ageDelayedLocked(Mailbox& box) {
@@ -407,11 +504,13 @@ void Network::abort() {
   }
 }
 
-void Network::accountSend(HostId from, HostId to, Tag tag, size_t bytes) {
+void Network::accountSend(HostId from, HostId to, Tag tag, size_t bytes,
+                          size_t framingBytes) {
   if (from == to) {
     return;  // local delivery; nothing crosses the (simulated) wire
   }
   std::lock_guard<std::mutex> lock(statsMutex_);
+  stats_.framingBytes += framingBytes;
   if (tag < kTagCount) {
     stats_.bytes[tag] += bytes;
     stats_.messages[tag] += 1;

@@ -30,6 +30,22 @@
 //    NetworkStalled with a report naming each blocked host and its tag
 //    instead of hanging forever.
 //
+// Wire integrity (CRC framing; on automatically whenever an injector is
+// attached, switchable explicitly with setCrcFraming):
+//  * Every cross-host message is framed with a CRC32 footer
+//    (support/crc32.h) computed over the serialized payload. The frame is
+//    verified at the receiving mailbox — the simulation's equivalent of the
+//    receiver NIC's frame check — and stripped before the payload is
+//    queued, so applications always see verified bytes.
+//  * An injected kCorrupt fault flips a deterministic byte of the framed
+//    message in flight. The verification failure discards the frame and
+//    surfaces on the sender as MessageCorrupt (a link-layer NACK);
+//    sendReliable retransmits a clean copy transparently. Detected and
+//    retry-recovered corruptions are counted in VolumeStats.
+//  * Framing bytes are accounted separately (VolumeStats::framingBytes) so
+//    per-tag payload accounting stays byte-identical with framing on or
+//    off — and so the framing overhead itself is directly measurable.
+//
 // Membership (degraded mode; full membership by default, in which case
 // every code path below is byte-identical to a membership-free build):
 //  * The network maintains an epoch-based MembershipView: an epoch counter
@@ -130,6 +146,14 @@ struct VolumeStats {
   uint64_t collectiveBytes = 0;
   uint64_t collectiveMessages = 0;
 
+  // CRC framing overhead (footer bytes shipped with framed messages) and
+  // wire-corruption outcomes. Kept out of the per-tag payload counters and
+  // totalBytes() so volume accounting stays byte-identical with framing on
+  // or off.
+  uint64_t framingBytes = 0;
+  uint64_t corruptionsDetected = 0;   // frames that failed verification
+  uint64_t corruptionsRecovered = 0;  // detected, then retransmitted clean
+
   uint64_t totalBytes() const {
     uint64_t sum = collectiveBytes;
     for (uint64_t b : bytes) {
@@ -179,7 +203,9 @@ class Network {
   // delivered like any other message, but are NOT counted in the volume
   // statistics (no bytes cross the network). Returns false iff the attached
   // fault injector dropped the message (sender-visible loss); always true
-  // on a fault-free network.
+  // on a fault-free network. With CRC framing on, a message corrupted in
+  // flight fails frame verification at the receiving mailbox and throws
+  // MessageCorrupt (the link-layer NACK sendReliable retries on).
   bool send(HostId from, HostId to, Tag tag, support::SendBuffer&& buffer);
 
   // send() with bounded retry under the network RetryPolicy: a dropped
@@ -272,10 +298,22 @@ class Network {
   // occurrence counters persist. nullptr detaches (the default state).
   void setFaultInjector(std::shared_ptr<FaultInjector> injector) {
     injector_ = std::move(injector);
+    // A lossy interconnect without integrity checking is not a useful model:
+    // framing follows the injector automatically. setCrcFraming() afterwards
+    // overrides (e.g. to measure framing overhead on a clean network).
+    crcFraming_.store(injector_ != nullptr, std::memory_order_relaxed);
   }
   const std::shared_ptr<FaultInjector>& faultInjector() const {
     return injector_;
   }
+
+  // Explicitly enables/disables the CRC32 frame around cross-host messages
+  // (see "Wire integrity" above). Auto-enabled by setFaultInjector with a
+  // non-null injector.
+  void setCrcFraming(bool on) {
+    crcFraming_.store(on, std::memory_order_relaxed);
+  }
+  bool crcFraming() const { return crcFraming_.load(std::memory_order_relaxed); }
 
   // Bounds every blocking receive; <= 0 restores unbounded waits.
   void setRecvTimeout(double seconds) {
@@ -321,6 +359,19 @@ class Network {
   uint64_t bytesSent(Tag tag) const;
   uint64_t messagesSent(Tag tag) const;
 
+  // Number of (source, tag) channels currently tracked by `me`'s duplicate
+  // filter. Bounded by kMaxDupFilterChannels (see Mailbox below); exposed
+  // for the memory-bound regression test.
+  size_t dupFilterChannels(HostId me) const;
+
+  // Duplicate-filter memory bound: the per-channel sequence state is
+  // compacted once a mailbox tracks more than this many distinct
+  // (source, tag) channels. Only channels with no queued messages are
+  // evictable (a queued in-flight duplicate pins its channel, so filtering
+  // stays sound); eviction resets the channel's sender-side sequence and
+  // receiver-side watermark together.
+  static constexpr size_t kMaxDupFilterChannels = 1024;
+
  private:
   using ChannelKey = std::pair<HostId, Tag>;
 
@@ -334,20 +385,32 @@ class Network {
     uint64_t seq = 0;
   };
 
+  // Sequence state of one (source, tag) channel into this mailbox. The
+  // sender-assigned counter and the receiver's delivered watermark live
+  // together so compaction drops them atomically: a fresh channel restarts
+  // at seq 1 with watermark 0, which is exactly the initial state.
+  struct ChannelState {
+    uint64_t nextSeq = 0;        // assigned at send
+    uint64_t lastDelivered = 0;  // duplicate filter watermark
+    uint64_t lastUse = 0;        // LRU stamp for compaction
+  };
+
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable arrived;
     std::deque<Queued> queue;
-    std::map<ChannelKey, uint64_t> nextSeq;        // assigned at send
-    std::map<ChannelKey, uint64_t> lastDelivered;  // duplicate filter
+    std::map<ChannelKey, ChannelState> channels;  // duplicate-filter state
+    uint64_t channelUseCounter = 0;               // LRU clock
   };
 
   Message recvImpl(HostId me, Tag tag, HostId from);
   std::optional<Message> scanLocked(Mailbox& box, Tag tag, HostId from);
   void ageDelayedLocked(Mailbox& box);
+  void compactChannelsLocked(Mailbox& box);
   [[noreturn]] void throwStalled(HostId me, Tag tag, HostId from,
                                  double waitedSeconds);
-  void accountSend(HostId from, HostId to, Tag tag, size_t bytes);
+  void accountSend(HostId from, HostId to, Tag tag, size_t bytes,
+                   size_t framingBytes);
 
   NetworkCostModel costModel_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
@@ -363,6 +426,7 @@ class Network {
   std::mutex membershipMutex_;
 
   std::shared_ptr<FaultInjector> injector_;
+  std::atomic<bool> crcFraming_{false};
   RetryPolicy retryPolicy_;
   std::atomic<int64_t> recvTimeoutNanos_{0};
   // Stall registry: what each host is currently blocked on, packed as

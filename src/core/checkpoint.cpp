@@ -23,6 +23,16 @@ struct CheckpointHeader {
 };
 static_assert(sizeof(CheckpointHeader) == 24);
 
+// mkdir -p: epoch stores live in subdirectories of the configured
+// checkpoint dir (<dir>/e<N>), so a single-level mkdir is not enough.
+void makeDirs(const std::string& dir) {
+  for (size_t pos = 1; pos <= dir.size(); ++pos) {
+    if (pos == dir.size() || dir[pos] == '/') {
+      ::mkdir(dir.substr(0, pos).c_str(), 0777);  // fine if it exists
+    }
+  }
+}
+
 std::optional<std::vector<uint8_t>> readWholeFile(const std::string& path) {
   FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
@@ -127,7 +137,7 @@ std::string checkpointReplicaPath(const std::string& dir, uint32_t owner,
 
 void saveCheckpoint(const std::string& dir, uint32_t host, uint32_t numHosts,
                     uint32_t phase, const support::SendBuffer& payload) {
-  ::mkdir(dir.c_str(), 0777);  // fine if it already exists
+  makeDirs(dir);
   writeCheckpointFile(checkpointPath(dir, host, phase), host, numHosts, phase,
                       payload);
 }
@@ -135,7 +145,7 @@ void saveCheckpoint(const std::string& dir, uint32_t host, uint32_t numHosts,
 void saveCheckpointReplica(const std::string& dir, uint32_t owner,
                            uint32_t numHosts, uint32_t phase,
                            const support::SendBuffer& payload) {
-  ::mkdir(dir.c_str(), 0777);  // fine if it already exists
+  makeDirs(dir);
   writeCheckpointFile(checkpointReplicaPath(dir, owner, numHosts, phase),
                       owner, numHosts, phase, payload);
 }

@@ -13,6 +13,7 @@ const char* ClassifiedFault::kindName() const {
     case kNetworkStalled: return "NetworkStalled";
     case kSendRetriesExhausted: return "SendRetriesExhausted";
     case kHostEvicted: return "HostEvicted";
+    case kMessageCorrupt: return "MessageCorrupt";
   }
   return "unknown";
 }
@@ -32,6 +33,9 @@ std::optional<ClassifiedFault> classifyFault(std::exception_ptr ep) {
   } catch (const comm::HostEvicted& e) {
     return ClassifiedFault{ClassifiedFault::kHostEvicted, e.what(), e.host,
                            0};
+  } catch (const comm::MessageCorrupt& e) {
+    return ClassifiedFault{ClassifiedFault::kMessageCorrupt, e.what(),
+                           comm::kAnyHost, 0};
   } catch (...) {
     return std::nullopt;
   }

@@ -46,6 +46,8 @@ struct ClassifiedFault {
     kNetworkStalled,       // bounded receive expired (comm::NetworkStalled)
     kSendRetriesExhausted, // retry budget spent (comm::SendRetriesExhausted)
     kHostEvicted,          // traffic touched an evicted host (comm::HostEvicted)
+    kMessageCorrupt,       // CRC frame check failed past the retransmission
+                           // budget (comm::MessageCorrupt)
   };
 
   Kind kind = kHostFailure;
@@ -59,7 +61,7 @@ struct ClassifiedFault {
 };
 
 // Classifies the in-flight exception `ep`; nullopt if it is not one of the
-// four structured fault types (caller rethrows).
+// five structured fault types (caller rethrows).
 std::optional<ClassifiedFault> classifyFault(std::exception_ptr ep);
 
 // Deterministically reassigns the evicted hosts' vertices and edges to the

@@ -12,6 +12,7 @@
 #include "analytics/algorithms.h"
 #include "analytics/engine.h"
 #include "analytics/reference.h"
+#include "analytics/resilient.h"
 #include "comm/network.h"
 #include "core/degraded.h"
 #include "core/dist_graph.h"

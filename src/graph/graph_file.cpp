@@ -40,7 +40,34 @@ void readArray(std::FILE* f, T* data, size_t count, const std::string& path) {
     return;
   }
   if (std::fread(data, sizeof(T), count, f) != count) {
-    throw std::runtime_error("GraphFile: truncated file " + path);
+    throw GraphFileError(path, "truncated file");
+  }
+}
+
+// Actual byte size of an open file (seek to end, restore position).
+uint64_t fileSizeOf(std::FILE* f, const std::string& path) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) {
+    throw GraphFileError(path, "cannot determine file size");
+  }
+  const long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) {
+    throw GraphFileError(path, "cannot determine file size");
+  }
+  return static_cast<uint64_t>(end);
+}
+
+// Header preflight: rejects claimed element counts whose payload cannot
+// possibly fit in `available` bytes — BEFORE any buffer is sized from them.
+// A header of random bytes typically claims astronomical counts; without
+// this check the loader would attempt a multi-exabyte resize() (or, for
+// numNodes == UINT64_MAX, overflow numNodes + 1 to zero and then misindex
+// rowStart). Overflow-safe: divides instead of multiplying.
+void requireFits(uint64_t count, uint64_t elemSize, uint64_t available,
+                 const std::string& path, const char* what) {
+  if (count > available / elemSize) {
+    throw GraphFileError(path, std::string("header claims more ") + what +
+                                   " than the file can hold");
   }
 }
 
@@ -61,7 +88,11 @@ GraphFile GraphFile::fromCsr(const CsrGraph& graph) {
 GraphFile GraphFile::load(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) {
-    throw std::runtime_error("GraphFile: cannot open " + path);
+    throw GraphFileError(path, "cannot open");
+  }
+  const uint64_t fileBytes = fileSizeOf(f.get(), path);
+  if (fileBytes < 4 * sizeof(uint64_t)) {
+    throw GraphFileError(path, "truncated header");
   }
   uint32_t crc = 0;
   auto readChecked = [&](auto* data, size_t count) {
@@ -71,28 +102,38 @@ GraphFile GraphFile::load(const std::string& path) {
   uint64_t header[4];
   readChecked(header, 4);
   if (header[0] != kMagic) {
-    throw std::runtime_error("GraphFile: bad magic in " + path);
+    throw GraphFileError(path, "bad magic");
   }
   const uint64_t sizeofEdgeData = header[1];
   if (sizeofEdgeData != 0 && sizeofEdgeData != 4) {
-    throw std::runtime_error("GraphFile: unsupported edge data size in " +
-                             path);
+    throw GraphFileError(path, "unsupported edge data size");
   }
   GraphFile file;
   file.numNodes_ = header[2];
   file.numEdges_ = header[3];
+  // Validate the claimed counts against the real file size before sizing
+  // any buffer from them (see requireFits). numNodes + 1 row entries, so
+  // reject numNodes at the u64 ceiling outright.
+  const uint64_t payloadBytes = fileBytes - 4 * sizeof(uint64_t);
+  if (file.numNodes_ == UINT64_MAX) {
+    throw GraphFileError(path, "header claims more nodes than the file can hold");
+  }
+  requireFits(file.numNodes_ + 1, sizeof(uint64_t), payloadBytes, path,
+              "nodes");
+  requireFits(file.numEdges_, sizeof(uint64_t) + sizeofEdgeData,
+              payloadBytes - (file.numNodes_ + 1) * sizeof(uint64_t), path,
+              "edges");
   file.rowStart_.resize(file.numNodes_ + 1);
   readChecked(file.rowStart_.data(), file.rowStart_.size());
   if (file.rowStart_.front() != 0 || file.rowStart_.back() != file.numEdges_ ||
       !std::is_sorted(file.rowStart_.begin(), file.rowStart_.end())) {
-    throw std::runtime_error("GraphFile: corrupt row index in " + path);
+    throw GraphFileError(path, "corrupt row index");
   }
   file.dests_.resize(file.numEdges_);
   readChecked(file.dests_.data(), file.dests_.size());
   for (uint64_t dst : file.dests_) {
     if (dst >= file.numNodes_) {
-      throw std::runtime_error("GraphFile: destination out of range in " +
-                               path);
+      throw GraphFileError(path, "destination out of range");
     }
   }
   if (sizeofEdgeData == 4) {
@@ -105,7 +146,7 @@ GraphFile GraphFile::load(const std::string& path) {
   if (std::fread(footer, 1, sizeof(footer), f.get()) == sizeof(footer) &&
       footer[0] == support::kCrcFooterMagic &&
       footer[1] != static_cast<uint64_t>(crc)) {
-    throw std::runtime_error("GraphFile: checksum mismatch in " + path);
+    throw GraphFileError(path, "checksum mismatch");
   }
   return file;
 }
@@ -143,21 +184,35 @@ CsrGraph GraphFile::toCsr() const {
 GraphFile GraphFile::loadGalois(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) {
-    throw std::runtime_error("GraphFile: cannot open " + path);
+    throw GraphFileError(path, "cannot open");
+  }
+  const uint64_t fileBytes = fileSizeOf(f.get(), path);
+  if (fileBytes < 4 * sizeof(uint64_t)) {
+    throw GraphFileError(path, "truncated .gr header");
   }
   uint64_t header[4];
   readArray(f.get(), header, 4, path);
   if (header[0] != 1) {
-    throw std::runtime_error("GraphFile: unsupported .gr version in " + path);
+    throw GraphFileError(path, "unsupported .gr version");
   }
   const uint64_t sizeofEdgeData = header[1];
   if (sizeofEdgeData != 0 && sizeofEdgeData != 4) {
-    throw std::runtime_error("GraphFile: unsupported .gr edge data size in " +
-                             path);
+    throw GraphFileError(path, "unsupported .gr edge data size");
   }
   GraphFile file;
   file.numNodes_ = header[2];
   file.numEdges_ = header[3];
+  // Same preflight as load(): row index is numNodes u64s, dests numEdges
+  // u32s, edge data (if any) numEdges more u32s — all of which must fit
+  // the real file before any buffer is sized from the claimed counts.
+  const uint64_t payloadBytes = fileBytes - 4 * sizeof(uint64_t);
+  if (file.numNodes_ == UINT64_MAX) {
+    throw GraphFileError(path,
+                         "header claims more nodes than the file can hold");
+  }
+  requireFits(file.numNodes_, sizeof(uint64_t), payloadBytes, path, "nodes");
+  requireFits(file.numEdges_, sizeof(uint32_t) + sizeofEdgeData,
+              payloadBytes - file.numNodes_ * sizeof(uint64_t), path, "edges");
   // v1 stores row END offsets; rebuild our rowStart convention.
   std::vector<uint64_t> outIdx(file.numNodes_);
   readArray(f.get(), outIdx.data(), outIdx.size(), path);
@@ -167,15 +222,14 @@ GraphFile GraphFile::loadGalois(const std::string& path) {
   }
   if ((file.numNodes_ > 0 && file.rowStart_.back() != file.numEdges_) ||
       !std::is_sorted(file.rowStart_.begin(), file.rowStart_.end())) {
-    throw std::runtime_error("GraphFile: corrupt .gr index in " + path);
+    throw GraphFileError(path, "corrupt .gr index");
   }
   std::vector<uint32_t> dests32(file.numEdges_);
   readArray(f.get(), dests32.data(), dests32.size(), path);
   file.dests_.assign(dests32.begin(), dests32.end());
   for (uint64_t dst : file.dests_) {
     if (dst >= file.numNodes_) {
-      throw std::runtime_error("GraphFile: .gr destination out of range in " +
-                               path);
+      throw GraphFileError(path, ".gr destination out of range");
     }
   }
   if (sizeofEdgeData == 4) {

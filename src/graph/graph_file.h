@@ -21,12 +21,35 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "graph/csr_graph.h"
 
 namespace cusp::graph {
+
+// Structured error for every way a graph file can be unusable: missing,
+// truncated, bad magic, a header whose claimed node/edge counts cannot fit
+// in the actual file, a corrupt index, or a failed checksum. Loaders
+// validate the header against the real file size BEFORE sizing any buffer,
+// so a garbage header can never trigger a huge allocation or a read past
+// the end of the payload. Derives from std::runtime_error so existing
+// catch sites keep working; `path()`/`reason()` give callers the pieces.
+class GraphFileError : public std::runtime_error {
+ public:
+  GraphFileError(const std::string& path, const std::string& reason)
+      : std::runtime_error("GraphFile: " + reason + " [" + path + "]"),
+        path_(path),
+        reason_(reason) {}
+
+  const std::string& path() const { return path_; }
+  const std::string& reason() const { return reason_; }
+
+ private:
+  std::string path_;
+  std::string reason_;
+};
 
 class GraphFile {
  public:
@@ -35,7 +58,10 @@ class GraphFile {
   // Wraps an in-memory graph (no disk involved). The graph is copied.
   static GraphFile fromCsr(const CsrGraph& graph);
 
-  // Reads a .cgr file fully into memory, validating the header.
+  // Reads a .cgr file fully into memory, validating the header against the
+  // actual file size before any allocation. Throws GraphFileError on any
+  // malformed input (missing file, bad magic, counts that don't fit the
+  // file, corrupt index, checksum mismatch).
   static GraphFile load(const std::string& path);
 
   // Writes `graph` to `path` in .cgr format.

@@ -5,12 +5,16 @@
 # exactly the code most likely to hide races and lifetime bugs, so both
 # sanitizers are part of the pre-merge checklist.
 #
-# Usage: tests/run_sanitized.sh [asan-ubsan|tsan|tsan-degraded]  (default:
-# both full suites). `tsan-degraded` builds the TSan preset but runs only
-# the tests labeled `degraded` (eviction, buddy replication, degraded
-# recovery) — the membership machinery races against blocked receivers by
-# design, so it gets a focused TSan lane cheap enough to run on every
-# change.
+# Usage: tests/run_sanitized.sh [asan-ubsan|tsan|ubsan|tsan-degraded|
+# tsan-chaos]  (default: both full suites). `tsan-degraded` builds the TSan
+# preset but runs only the tests labeled `degraded` (eviction, buddy
+# replication, degraded recovery) — the membership machinery races against
+# blocked receivers by design, so it gets a focused TSan lane cheap enough
+# to run on every change. `tsan-chaos` is the same idea for the `chaos`
+# label (corruption recovery + mixed-fault pipeline runs): the rollback/
+# restart paths tear down and respawn host threads mid-run, which is where
+# TSan earns its keep. `ubsan` is a standalone UBSan build for when an ASan
+# report needs to be separated from a UB report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +31,9 @@ for preset in "${presets[@]}"; do
   if [ "$preset" = "tsan-degraded" ]; then
     build_preset="tsan"
     label_args=(-L degraded)
+  elif [ "$preset" = "tsan-chaos" ]; then
+    build_preset="tsan"
+    label_args=(-L chaos)
   fi
   echo "==== [$preset] configure ===="
   cmake --preset "$build_preset"

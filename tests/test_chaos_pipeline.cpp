@@ -1,0 +1,233 @@
+// Chaos pipeline: the full partition -> analytics pipeline runs under a
+// continuous seeded fault schedule — drops, duplicates, delays, corrupted
+// frames, one transient crash (partitioning leg) and one permanent crash
+// (analytics leg) — and the final BFS / PageRank outputs must still match
+// the single-host reference. This is the end-to-end acceptance test of the
+// resilience stack: wire framing, sendReliable retransmission, receiver
+// dedup, phase and superstep checkpointing, rollback, and degraded
+// continuation all firing in one run.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include <unistd.h>
+
+#include "analytics/reference.h"
+#include "analytics/resilient.h"
+#include "comm/fault.h"
+#include "core/dist_graph.h"
+#include "core/partitioner.h"
+#include "core/policies.h"
+#include "graph/generators.h"
+#include "graph/graph_file.h"
+#include "support/random.h"
+#include "testutil.h"
+
+namespace cusp {
+namespace {
+
+using comm::FaultAction;
+using comm::FaultPlan;
+using comm::kAnyHost;
+using comm::kAnyTag;
+
+class ChaosDir {
+ public:
+  ChaosDir() {
+    char tmpl[] = "/tmp/cusp_chaos_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    if (made == nullptr) {
+      throw std::runtime_error("mkdtemp failed");
+    }
+    path_ = made;
+  }
+  ~ChaosDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string sub(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+// Seeded message-fault noise: drops, duplicates, delays and corrupted
+// frames sprinkled over the whole tag space with assorted repeats.
+void addMessageNoise(FaultPlan& plan, uint64_t seed, uint64_t count) {
+  support::Rng rng(seed * 0x2545F4914F6CDD1Dull + 11);
+  for (uint64_t i = 0; i < count; ++i) {
+    comm::MessageFault fault;
+    fault.src = kAnyHost;
+    fault.dst = kAnyHost;
+    fault.tag = kAnyTag;
+    fault.occurrence = rng.nextBounded(120);
+    fault.repeat = 1 + static_cast<uint32_t>(rng.nextBounded(2));
+    switch (rng.nextBounded(4)) {
+      case 0:
+        fault.action = FaultAction::kDrop;
+        break;
+      case 1:
+        fault.action = FaultAction::kDuplicate;
+        break;
+      case 2:
+        fault.action = FaultAction::kCorrupt;
+        break;
+      default:
+        fault.action = FaultAction::kDelay;
+        fault.delayScans = 2 + static_cast<uint32_t>(rng.nextBounded(4));
+        break;
+    }
+    plan.messageFaults.push_back(fault);
+  }
+}
+
+struct ChaosOutcome {
+  core::PartitionResult partitions;
+  core::RecoveryReport partitionReport;
+};
+
+// Partitioning leg: message noise plus one TRANSIENT crash mid-pipeline,
+// recovered through phase checkpoints; the partitions that come out are
+// verified against the fault-free run bit for bit.
+ChaosOutcome partitionUnderChaos(const graph::GraphFile& file,
+                                 const std::string& policyName,
+                                 uint32_t hosts, uint64_t seed,
+                                 const std::string& checkpointDir) {
+  const auto policy = core::makePolicy(policyName);
+  core::PartitionerConfig config;
+  config.numHosts = hosts;
+  const core::PartitionResult baseline =
+      core::partitionGraph(file, policy, config);
+
+  auto plan = std::make_shared<FaultPlan>();
+  addMessageNoise(*plan, seed, /*count=*/10);
+  plan->crashes.push_back({/*host=*/1, /*phase=*/3, /*opsIntoPhase=*/0,
+                           /*permanent=*/false});
+  config.resilience.faultPlan = plan;
+  config.resilience.checkpointDir = checkpointDir;
+  config.resilience.enableCheckpoints = true;
+  config.resilience.recvTimeoutSeconds = 20.0;
+
+  ChaosOutcome outcome;
+  outcome.partitions = core::partitionGraphResilient(
+      file, policy, config, &outcome.partitionReport);
+
+  EXPECT_EQ(outcome.partitions.partitions.size(),
+            baseline.partitions.size());
+  for (size_t h = 0; h < baseline.partitions.size(); ++h) {
+    support::SendBuffer a;
+    support::SendBuffer b;
+    core::serializeDistGraph(a, baseline.partitions[h]);
+    core::serializeDistGraph(b, outcome.partitions.partitions[h]);
+    EXPECT_EQ(a.release(), b.release())
+        << "partition of host " << h << " diverged under chaos";
+  }
+  EXPECT_GE(outcome.partitionReport.attempts, 2u) << "crash must have fired";
+  return outcome;
+}
+
+// Analytics leg fault environment: message noise plus one PERMANENT crash;
+// degraded mode continues on the survivors from the superstep checkpoints.
+analytics::ResilienceOptions chaosAnalyticsOptions(
+    uint64_t seed, const std::string& checkpointDir) {
+  auto plan = std::make_shared<FaultPlan>();
+  addMessageNoise(*plan, seed + 1, /*count=*/10);
+  plan->crashes.push_back({/*host=*/2, /*phase=*/0, /*opsIntoPhase=*/30,
+                           /*permanent=*/true});
+  analytics::ResilienceOptions options;
+  options.faultPlan = plan;
+  options.checkpointDir = checkpointDir;
+  options.enableCheckpoints = true;
+  options.checkpointInterval = 2;
+  options.buddyReplication = true;
+  options.degradedMode = true;
+  options.recvTimeoutSeconds = 20.0;
+  return options;
+}
+
+TEST(ChaosPipelineTest, PartitionThenBfsMatchesReferenceExactly) {
+  const graph::CsrGraph g = graph::generateErdosRenyi(300, 1500, 23);
+  const graph::GraphFile file = graph::GraphFile::fromCsr(g);
+  const uint64_t seed = 7;
+  const uint32_t hosts = 4;
+  ChaosDir dir;
+
+  ChaosOutcome outcome =
+      partitionUnderChaos(file, "HVC", hosts, seed, dir.sub("part"));
+
+  const uint64_t source = analytics::maxOutDegreeNode(g);
+  analytics::ResilienceOptions options =
+      chaosAnalyticsOptions(seed, dir.sub("bfs"));
+  analytics::ResilienceReport report;
+  const auto got = analytics::runBfsResilient(
+      outcome.partitions.partitions, source, options, &report);
+
+  EXPECT_EQ(got, analytics::bfsReference(g, source))
+      << "chaos must cost time, never correctness";
+  EXPECT_EQ(report.evictions, std::vector<comm::HostId>{2});
+  EXPECT_EQ(report.finalAliveHosts, hosts - 1);
+  // The schedule's corrupt faults hit real traffic in at least one leg.
+  EXPECT_GT(outcome.partitions.volume.corruptionsRecovered +
+                report.corruptionsRecovered,
+            0u);
+}
+
+TEST(ChaosPipelineTest, PartitionThenPageRankMatchesReference) {
+  const graph::CsrGraph g = graph::generateErdosRenyi(300, 1500, 23);
+  const graph::GraphFile file = graph::GraphFile::fromCsr(g);
+  const uint64_t seed = 19;
+  const uint32_t hosts = 4;
+  ChaosDir dir;
+
+  ChaosOutcome outcome =
+      partitionUnderChaos(file, "EEC", hosts, seed, dir.sub("part"));
+
+  analytics::PageRankParams params;
+  params.maxIterations = 30;
+  params.tolerance = 1e-9;
+  const auto expected = analytics::pageRankReference(g, params);
+
+  analytics::ResilienceOptions options =
+      chaosAnalyticsOptions(seed, dir.sub("pr"));
+  analytics::ResilienceReport report;
+  const auto got = analytics::runPageRankResilient(
+      outcome.partitions.partitions, params, options, &report);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-10) << "node " << i;
+  }
+  EXPECT_EQ(report.evictions, std::vector<comm::HostId>{2});
+  EXPECT_EQ(report.finalAliveHosts, hosts - 1);
+}
+
+TEST(ChaosPipelineTest, SeededScheduleSweepStaysExactForBfs) {
+  // A small sweep of seeds over the full pipeline: different noise
+  // placements, same invariant.
+  const graph::CsrGraph g = graph::generateErdosRenyi(200, 900, 31);
+  const graph::GraphFile file = graph::GraphFile::fromCsr(g);
+  const uint64_t source = analytics::maxOutDegreeNode(g);
+  const auto expected = analytics::bfsReference(g, source);
+
+  for (uint64_t seed : {101ull, 202ull, 303ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ChaosDir dir;
+    ChaosOutcome outcome =
+        partitionUnderChaos(file, "CVC", 4, seed, dir.sub("part"));
+    analytics::ResilienceOptions options =
+        chaosAnalyticsOptions(seed, dir.sub("bfs"));
+    analytics::ResilienceReport report;
+    const auto got = analytics::runBfsResilient(
+        outcome.partitions.partitions, source, options, &report);
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(report.finalAliveHosts, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace cusp

@@ -584,5 +584,33 @@ TEST(FaultTest, CleanRunWithInjectorMatchesWithout) {
   EXPECT_EQ(clean.totalMessages(), injected.totalMessages());
 }
 
+TEST(FaultTest, DuplicateFilterMemoryIsBounded) {
+  // The per-mailbox duplicate filter keys channel state by (src, tag); a
+  // long-lived network that churns through many distinct tags must not
+  // grow it without bound. Idle channels are evicted LRU once the table
+  // exceeds kMaxDupFilterChannels.
+  FaultPlan plan;
+  plan.messageFaults.push_back({/*src=*/0, /*dst=*/1, /*tag=*/7,
+                                /*occurrence=*/0, /*repeat=*/1,
+                                FaultAction::kDuplicate});
+  auto injector = injectorWith(plan);
+  Network net(2);
+  net.setFaultInjector(injector);
+  const uint64_t kTags = 4 * Network::kMaxDupFilterChannels;
+  for (uint64_t t = 0; t < kTags; ++t) {
+    net.send(0, 1, /*tag=*/static_cast<Tag>(100 + t), bufferWith(t));
+    auto msg = net.recv(1, static_cast<Tag>(100 + t));
+    EXPECT_EQ(valueOf(msg), t);
+  }
+  EXPECT_LE(net.dupFilterChannels(1), Network::kMaxDupFilterChannels);
+  // Suppression still works after heavy channel churn: the duplicated
+  // message on tag 7 is delivered exactly once.
+  net.send(0, 1, /*tag=*/7, bufferWith(123));
+  auto msg = net.recv(1, 7);
+  EXPECT_EQ(valueOf(msg), 123u);
+  EXPECT_FALSE(net.tryRecv(1, 7).has_value());
+  EXPECT_EQ(injector->stats().duplicatesSuppressed, 1u);
+}
+
 }  // namespace
 }  // namespace cusp::comm

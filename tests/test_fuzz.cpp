@@ -7,6 +7,8 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <system_error>
 
 #include <unistd.h>
@@ -164,7 +166,7 @@ TEST_P(NetworkFuzz, RandomStormDeliversEverythingIntact) {
 INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFuzz,
                          ::testing::Range<uint64_t>(0, 16));
 
-// Fault-plan fuzzing: under seeded-random drop/duplicate/delay/crash
+// Fault-plan fuzzing: under seeded-random drop/duplicate/delay/corrupt/crash
 // schedules — including PERMANENT crashes and repeated delay faults — every
 // resilient run must either complete with valid partitions (possibly over a
 // shrunk host set when degraded mode evicted a permanently-lost host) or
@@ -260,6 +262,7 @@ TEST_P(FaultPlanFuzz, CompletesValidlyOrFailsStructured) {
   } catch (const comm::NetworkStalled&) {   // structured: bounded wait
   } catch (const comm::SendRetriesExhausted&) {  // structured: retry budget
   } catch (const comm::HostEvicted&) {      // structured: membership change
+  } catch (const comm::MessageCorrupt&) {   // structured: persistent corruption
   }
   // Any other exception type escapes and fails the test.
 
@@ -269,6 +272,76 @@ TEST_P(FaultPlanFuzz, CompletesValidlyOrFailsStructured) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultPlanFuzz,
                          ::testing::Range<uint64_t>(0, 32));
+
+// Graph-file fuzzing: seeded-random truncations and byte flips of valid
+// .cgr / .gr files must either load successfully or fail with the
+// structured GraphFileError — never crash, never allocate from a garbage
+// header, never throw anything else.
+class GraphFileFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphFileFuzz, MutatedFilesLoadOrFailStructured) {
+  const uint64_t seed = GetParam();
+  support::Rng rng(seed * 0x9E3779B97F4A7C15ull + 3);
+
+  char tmpl[] = "/tmp/cusp_gffuzz_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  const std::string cgrPath = std::string(dir) + "/g.cgr";
+  const std::string grPath = std::string(dir) + "/g.gr";
+
+  graph::CsrGraph g = graph::generateErdosRenyi(
+      40 + rng.nextBounded(200), rng.nextBounded(1500), seed);
+  if (rng.nextBounded(2) == 1) {
+    g = graph::withRandomWeights(g, 16, seed + 1);
+  }
+  graph::GraphFile::save(cgrPath, g);
+  graph::GraphFile::saveGalois(grPath, g);
+
+  auto readAll = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  };
+  auto mutateAndTry = [&](const std::string& p, bool galois) {
+    std::vector<char> bytes = readAll(p);
+    ASSERT_FALSE(bytes.empty());
+    // Truncate, flip bytes, or both — garbage headers included.
+    if (rng.nextBounded(2) == 0) {
+      bytes.resize(rng.nextBounded(bytes.size() + 1));
+    }
+    const uint64_t flips = rng.nextBounded(9);
+    for (uint64_t i = 0; i < flips && !bytes.empty(); ++i) {
+      bytes[rng.nextBounded(bytes.size())] ^=
+          static_cast<char>(1 + rng.nextBounded(255));
+    }
+    {
+      std::ofstream out(p, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    try {
+      if (galois) {
+        graph::GraphFile::loadGalois(p);
+      } else {
+        graph::GraphFile::load(p);
+      }
+      // A mutation the validation cannot distinguish from a legal file
+      // (e.g. flips confined to ignorable padding) may load; that is fine.
+    } catch (const graph::GraphFileError&) {  // the one allowed failure mode
+    }
+  };
+  for (int round = 0; round < 8; ++round) {
+    graph::GraphFile::save(cgrPath, g);
+    mutateAndTry(cgrPath, /*galois=*/false);
+    graph::GraphFile::saveGalois(grPath, g);
+    mutateAndTry(grPath, /*galois=*/true);
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFileFuzz,
+                         ::testing::Range<uint64_t>(0, 24));
 
 }  // namespace
 }  // namespace cusp

@@ -105,6 +105,93 @@ TEST_F(GraphFileTest, CorruptIndexThrows) {
   EXPECT_THROW(GraphFile::load(path("c.cgr")), std::runtime_error);
 }
 
+namespace {
+
+// Writes raw little-endian u64 words (a hand-built header + payload).
+void writeWords(const std::string& path, const std::vector<uint64_t>& words) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(words.data()),
+            static_cast<std::streamsize>(words.size() * sizeof(uint64_t)));
+}
+
+constexpr uint64_t kCgrMagic = 0x0000000031524743ULL;  // "CGR1"
+
+}  // namespace
+
+TEST_F(GraphFileTest, TruncatedHeaderIsStructuredError) {
+  writeWords(path("h.cgr"), {kCgrMagic, 0});  // only half a header
+  try {
+    GraphFile::load(path("h.cgr"));
+    FAIL() << "truncated header accepted";
+  } catch (const GraphFileError& e) {
+    EXPECT_EQ(e.path(), path("h.cgr"));
+    EXPECT_NE(e.reason().find("truncated"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(GraphFileTest, GarbageNodeCountRejectedBeforeAllocation) {
+  // A header claiming ~10^18 nodes in a 48-byte file must be rejected by
+  // the size preflight, not by attempting a multi-exabyte allocation.
+  writeWords(path("n.cgr"),
+             {kCgrMagic, 0, /*numNodes=*/1ull << 60, /*numEdges=*/0, 0, 0});
+  try {
+    GraphFile::load(path("n.cgr"));
+    FAIL() << "garbage node count accepted";
+  } catch (const GraphFileError& e) {
+    EXPECT_NE(e.reason().find("nodes"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(GraphFileTest, GarbageEdgeCountRejectedBeforeAllocation) {
+  writeWords(path("e2.cgr"),
+             {kCgrMagic, 4, /*numNodes=*/1, /*numEdges=*/1ull << 60, 0, 0});
+  try {
+    GraphFile::load(path("e2.cgr"));
+    FAIL() << "garbage edge count accepted";
+  } catch (const GraphFileError& e) {
+    EXPECT_NE(e.reason().find("edges"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(GraphFileTest, NodeCountAtU64CeilingDoesNotOverflow) {
+  // numNodes == UINT64_MAX would make the (numNodes + 1)-entry row index
+  // wrap to zero without the explicit ceiling check.
+  writeWords(path("m.cgr"), {kCgrMagic, 0, UINT64_MAX, 0, 0, 0});
+  EXPECT_THROW(GraphFile::load(path("m.cgr")), GraphFileError);
+}
+
+TEST_F(GraphFileTest, GaloisGarbageCountsRejectedBeforeAllocation) {
+  writeWords(path("g1.gr"),
+             {/*version=*/1, 0, /*numNodes=*/1ull << 60, /*numEdges=*/0, 0});
+  EXPECT_THROW(GraphFile::loadGalois(path("g1.gr")), GraphFileError);
+  writeWords(path("g2.gr"),
+             {/*version=*/1, 4, /*numNodes=*/1, /*numEdges=*/1ull << 60, 0});
+  EXPECT_THROW(GraphFile::loadGalois(path("g2.gr")), GraphFileError);
+  writeWords(path("g3.gr"), {1, 0});  // truncated header
+  EXPECT_THROW(GraphFile::loadGalois(path("g3.gr")), GraphFileError);
+}
+
+TEST_F(GraphFileTest, ChecksumMismatchIsStructuredError) {
+  const auto g = makePath(8);  // 8 nodes, 7 edges, dests start at word 13
+  GraphFile::save(path("x.cgr"), g);
+  // Rewrite dests[0] (edge 0 -> 1) to the equally-valid destination 3: the
+  // row index and range checks still pass, so the CRC footer is what
+  // catches the tamper.
+  std::fstream f(path("x.cgr"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp((4 + 9) * sizeof(uint64_t), std::ios::beg);
+  const uint64_t tweaked = 3;
+  f.write(reinterpret_cast<const char*>(&tweaked), sizeof(tweaked));
+  f.close();
+  try {
+    GraphFile::load(path("x.cgr"));
+    FAIL() << "tampered payload accepted";
+  } catch (const GraphFileError& e) {
+    EXPECT_EQ(e.path(), path("x.cgr"));
+    EXPECT_NE(e.reason().find("checksum"), std::string::npos) << e.what();
+  }
+}
+
 TEST_F(GraphFileTest, EmptyGraphRoundTrips) {
   const auto g = CsrGraph::fromEdges(0, std::vector<Edge>{});
   GraphFile::save(path("e.cgr"), g);
