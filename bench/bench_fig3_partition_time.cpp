@@ -6,12 +6,17 @@
 //  * EEC is the fastest CuSP policy (no communication; avg 4.7x vs others);
 //  * FennelEB policies (FEC/GVC/SVC) are slower than ContiguousEB ones
 //    (EEC/HVC/CVC) because of the master-assignment phase.
+//
+// --metrics-out=bench.json dumps the run's counters (per-tag bytes and
+// messages across every partitioning) and the phase timeline.
 #include <cstdio>
 
 #include "bench_common.h"
+#include "obs/obs.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cusp;
+  obs::MetricsCli metricsCli(argc, argv);
   const uint64_t edges = 250'000;
   const std::vector<uint32_t> hostCounts = {4, 8, 16};  // paper: 32/64/128
   bench::printHeader("Fig. 3: partitioning time (seconds)");

@@ -9,9 +9,11 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "obs/obs.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cusp;
+  obs::MetricsCli metricsCli(argc, argv);
   const uint64_t edges = 250'000;
   const uint32_t hosts = 16;  // paper: 128
   const std::vector<std::string> phases = {

@@ -8,6 +8,9 @@
 // policy plus the XtraPulp baseline, runs bfs / cc / pagerank / sssp on
 // each partition set, and prints a comparison of partitioning time,
 // replication factor, application time and sync traffic.
+//
+// With --metrics-out=run.json the whole pipeline's counters land in
+// run.json and a chrome://tracing timeline in run.trace.json.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -19,11 +22,13 @@
 #include "core/policies.h"
 #include "graph/generators.h"
 #include "graph/graph_file.h"
+#include "obs/obs.h"
 #include "xtrapulp/xtrapulp.h"
 
 using namespace cusp;
 
 int main(int argc, char** argv) {
+  obs::MetricsCli metricsCli(argc, argv);
   const uint64_t targetEdges =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 150'000;
   const uint32_t hosts = 4;

@@ -11,6 +11,8 @@
 //     --rounds <n>        state synchronization rounds (default 100)
 //     --node-weight <w>   reading-split node importance (default 0)
 //     --edge-weight <w>   reading-split edge importance (default 1)
+//     --metrics-out <p>   dump metrics JSON to <p> and a chrome://tracing
+//                         trace to <p minus .json>.trace.json
 //
 // Prints the paper-style phase breakdown, quality metrics and
 // communication volume. With --out, every partition is written as a .cdg
@@ -25,6 +27,7 @@
 #include "core/partitioner.h"
 #include "core/policies.h"
 #include "graph/graph_file.h"
+#include "obs/obs.h"
 #include "xtrapulp/xtrapulp.h"
 
 using namespace cusp;
@@ -35,13 +38,17 @@ int usage() {
   std::fprintf(stderr,
                "usage: partition_tool <in.cgr> <policy> <hosts> "
                "[--out prefix] [--csc] [--buffer MB] [--rounds N] "
-               "[--node-weight W] [--edge-weight W]\n");
+               "[--node-weight W] [--edge-weight W] "
+               "[--metrics-out out.json]\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Consumes --metrics-out and, when present, attaches the process-wide
+  // sink before any Network exists and dumps both exports at exit.
+  obs::MetricsCli metricsCli(argc, argv);
   if (argc < 4) {
     return usage();
   }

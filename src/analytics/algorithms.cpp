@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "analytics/engine.h"
+#include "obs/obs.h"
 #include "support/timer.h"
 
 namespace cusp::analytics {
@@ -13,6 +14,31 @@ namespace {
 
 using core::DistGraph;
 using support::DynamicBitset;
+
+// Per-algorithm-run observability, resolved once per host: a superstep
+// counter and frontier-size histogram labelled by algorithm, plus the trace
+// buffer for per-round spans. All members stay null without a sink.
+struct RoundObs {
+  std::shared_ptr<obs::TraceBuffer> trace;
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  obs::Counter* supersteps = nullptr;
+  obs::Histogram* frontier = nullptr;
+
+  explicit RoundObs(const char* algo) {
+    if (!obs::attached()) {
+      return;
+    }
+    const obs::Sink sink = obs::sink();
+    trace = sink.trace;
+    if (sink.metrics) {
+      metrics = sink.metrics;
+      supersteps = &metrics->counter("cusp.analytics.supersteps",
+                                     {{"algo", algo}});
+      frontier = &metrics->histogram("cusp.analytics.frontier_size",
+                                     {{"algo", algo}});
+    }
+  }
+};
 
 void requireCsrOrientation(const DistGraph& part) {
   if (part.isTransposed) {
@@ -52,13 +78,20 @@ std::vector<uint64_t> minPropagate(
   };
   uint32_t rounds = 0;
   double clusterSeconds = 0.0;  // sum over rounds of the slowest host
+  RoundObs robs("min_propagate");
   for (;;) {
+    obs::ScopedSpan roundSpan(robs.trace.get(), me,
+                              "superstep " + std::to_string(rounds));
     const double cpu0 = support::threadCpuSeconds();
     const double comm0 = net.modeledCommSeconds(me);
     // Local relaxation along out-edges.
     std::vector<uint64_t> active;
     frontier.collectSetBits(active);
     frontier.resetAll();
+    if (robs.supersteps != nullptr) {
+      robs.supersteps->add();
+      robs.frontier->observe(static_cast<double>(active.size()));
+    }
     for (uint64_t u : active) {
       if (value[u] == kInfinity) {
         continue;
@@ -254,7 +287,14 @@ std::vector<double> pageRankOnHost(comm::Network& net, comm::HostId me,
     allMasters.set(lid);
   }
   uint32_t rounds = 0;
+  RoundObs robs("pagerank");
   for (uint32_t iter = 0; iter < params.maxIterations; ++iter) {
+    obs::ScopedSpan roundSpan(robs.trace.get(), me,
+                              "superstep " + std::to_string(iter));
+    if (robs.supersteps != nullptr) {
+      robs.supersteps->add();
+      robs.frontier->observe(static_cast<double>(numLocal));
+    }
     cpu0 = support::threadCpuSeconds();
     comm0 = net.modeledCommSeconds(me);
     // Scatter contributions along local out-edges.
@@ -329,7 +369,15 @@ std::vector<uint64_t> kCoreOnHost(comm::Network& net, comm::HostId me,
   std::vector<uint8_t> alive(numLocal, 1);
   std::vector<uint64_t> decrement(numLocal, 0);
   uint32_t rounds = 0;
+  RoundObs robs("kcore");
   for (;;) {
+    obs::ScopedSpan roundSpan(robs.trace.get(), me,
+                              "superstep " + std::to_string(rounds));
+    if (robs.supersteps != nullptr) {
+      robs.supersteps->add();
+      robs.frontier->observe(static_cast<double>(
+          std::count(alive.begin(), alive.end(), uint8_t{1})));
+    }
     cpu0 = support::threadCpuSeconds();
     comm0 = net.modeledCommSeconds(me);
     // Peel: every proxy whose degree view dropped below k dies (master and

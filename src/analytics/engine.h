@@ -31,6 +31,7 @@
 
 #include "comm/network.h"
 #include "core/dist_graph.h"
+#include "obs/obs.h"
 #include "support/bitset.h"
 #include "support/serialize.h"
 
@@ -62,7 +63,14 @@ class SyncRoundFailed : public std::runtime_error {
 class SyncContext {
  public:
   SyncContext(comm::Network& net, comm::HostId me, const core::DistGraph& part)
-      : net_(net), me_(me), part_(part) {}
+      : net_(net), me_(me), part_(part) {
+    if (obs::attached()) {
+      if (const auto registry = obs::sink().metrics) {
+        metricsKeepAlive_ = registry;
+        syncRoundsCounter_ = &registry->counter("cusp.analytics.sync_rounds");
+      }
+    }
+  }
 
   // Ships dirty mirror values to their masters; combine(master, incoming)
   // returns true if the master value changed, in which case the master is
@@ -221,6 +229,9 @@ class SyncContext {
   template <typename Fn>
   void guarded(const char* op, Fn&& body) {
     const uint64_t round = ++rounds_;
+    if (syncRoundsCounter_ != nullptr) {
+      syncRoundsCounter_->add();
+    }
     try {
       body();
     } catch (const comm::SendRetriesExhausted& e) {
@@ -276,6 +287,10 @@ class SyncContext {
   comm::HostId me_;
   const core::DistGraph& part_;
   uint64_t rounds_ = 0;
+  // Resolved once at construction when a process-wide obs sink is attached;
+  // the shared_ptr keeps the cell alive across a later detach.
+  std::shared_ptr<obs::MetricsRegistry> metricsKeepAlive_;
+  obs::Counter* syncRoundsCounter_ = nullptr;
 };
 
 }  // namespace cusp::analytics

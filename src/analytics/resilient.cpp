@@ -9,6 +9,7 @@
 #include "analytics/engine.h"
 #include "core/checkpoint.h"
 #include "core/degraded.h"
+#include "obs/obs.h"
 #include "support/bitset.h"
 
 namespace cusp::analytics {
@@ -234,6 +235,25 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
     core::garbageCollectCheckpointTmp(options.checkpointDir);
   }
 
+  // Observability: attempt spans on the driver lane, superstep spans per
+  // host lane, and the superstep-level checkpoint counters (distinct from
+  // the file-level cusp.checkpoint.* counters the store maintains).
+  const obs::Sink obsSink = obs::sink();
+  obs::Counter* superstepsCtr = nullptr;
+  obs::Histogram* frontierHist = nullptr;
+  obs::Counter* ckptWrittenCtr = nullptr;
+  obs::Counter* ckptRestoredCtr = nullptr;
+  if (obsSink.metrics) {
+    superstepsCtr = &obsSink.metrics->counter("cusp.analytics.supersteps",
+                                              {{"algo", "resilient"}});
+    frontierHist = &obsSink.metrics->histogram("cusp.analytics.frontier_size",
+                                               {{"algo", "resilient"}});
+    ckptWrittenCtr =
+        &obsSink.metrics->counter("cusp.analytics.checkpoints_written");
+    ckptRestoredCtr =
+        &obsSink.metrics->counter("cusp.analytics.checkpoints_restored");
+  }
+
   // Membership-epoch bookkeeping. evictedAtEpochStart[e] is the (sorted)
   // set of ranks already evicted when epoch e began — the complement is the
   // participant set whose snapshots a restore from epoch e must load.
@@ -310,6 +330,9 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
     std::vector<T> global(numGlobalNodes);
     std::atomic<uint32_t> superstepsRun{0};
     try {
+      obs::ScopedSpan attemptSpan(obsSink.trace.get(), obs::kDriverLane,
+                                  "analytics attempt " +
+                                      std::to_string(report.attempts));
       comm::runHosts(net, [&](comm::HostId me) {
         net.enterPhase(me, 0);
         const DistGraph& part = parts[me];
@@ -334,6 +357,9 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
                   std::to_string(r) + " phase " + std::to_string(resumePhase) +
                   " disappeared between agreement and restore");
             }
+            if (ckptRestoredCtr != nullptr) {
+              ckptRestoredCtr->add();
+            }
             support::RecvBuffer buf(std::move(*payload));
             uint64_t snapSuperstep = 0;
             std::vector<uint64_t> gids;
@@ -355,6 +381,12 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
         }
         uint32_t s = resumePhase;  // next superstep index (0-based)
         for (;;) {
+          obs::ScopedSpan stepSpan(obsSink.trace.get(), me,
+                                   "superstep " + std::to_string(s));
+          if (superstepsCtr != nullptr) {
+            superstepsCtr->add();
+            frontierHist->observe(static_cast<double>(frontier.count()));
+          }
           const bool more = program.superstep(s, value, frontier);
           if (checkpoints && ((s + 1) % interval == 0 || !more)) {
             support::SendBuffer payload;
@@ -383,6 +415,9 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
               core::saveCheckpointReplica(dir, me, k, phase, payload);
             }
             checkpointsSaved.fetch_add(1, std::memory_order_relaxed);
+            if (ckptWrittenCtr != nullptr) {
+              ckptWrittenCtr->add();
+            }
             atomicMax(maxPhaseSaved, phase);
           }
           ++s;

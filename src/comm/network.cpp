@@ -6,6 +6,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/obs.h"
 #include "support/crc32.h"
 #include "support/random.h"
 
@@ -38,6 +39,30 @@ Network::Network(uint32_t numHosts, NetworkCostModel costModel)
     modeledCommNanos_.push_back(std::make_unique<std::atomic<int64_t>>(0));
     blockedOn_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
     alive_.push_back(std::make_unique<std::atomic<bool>>(true));
+  }
+  // Resolve obs registry cells once, here: attach the sink BEFORE creating
+  // the cluster. Each send then pays one null check (detached) or a few
+  // relaxed atomic adds (attached) — never a map lookup.
+  if (obs::attached()) {
+    const obs::Sink sink = obs::sink();
+    if (sink.metrics) {
+      obs_.registry = sink.metrics;
+      obs::MetricsRegistry& reg = *obs_.registry;
+      for (Tag t = 0; t < kTagCount; ++t) {
+        obs_.bytes[t] = &reg.counter("cusp.net.bytes", {{"tag", tagName(t)}});
+        obs_.messages[t] =
+            &reg.counter("cusp.net.messages", {{"tag", tagName(t)}});
+      }
+      obs_.collectiveBytes =
+          &reg.counter("cusp.net.bytes", {{"tag", "collective"}});
+      obs_.collectiveMessages =
+          &reg.counter("cusp.net.messages", {{"tag", "collective"}});
+      obs_.framingBytes = &reg.counter("cusp.net.framing_bytes");
+      obs_.corruptionsDetected = &reg.counter("cusp.net.corruptions_detected");
+      obs_.corruptionsRecovered =
+          &reg.counter("cusp.net.corruptions_recovered");
+      obs_.sendRetries = &reg.counter("cusp.net.send_retries");
+    }
   }
 }
 
@@ -165,9 +190,9 @@ bool Network::send(HostId from, HostId to, Tag tag,
     // corruption: discard the frame and NACK the sender.
     if (support::verifyAndStripCrcFooter(wire) !=
         support::CrcFooterStatus::kVerified) {
-      {
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        ++stats_.corruptionsDetected;
+      volume_.corruptionsDetected.fetch_add(1, std::memory_order_relaxed);
+      if (obs_.corruptionsDetected != nullptr) {
+        obs_.corruptionsDetected->add();
       }
       throw MessageCorrupt(from, to, tag);
     }
@@ -225,13 +250,18 @@ void Network::sendReliable(HostId from, HostId to, Tag tag,
     }
     if (delivered) {
       if (sawCorruption) {
-        std::lock_guard<std::mutex> lock(statsMutex_);
-        ++stats_.corruptionsRecovered;
+        volume_.corruptionsRecovered.fetch_add(1, std::memory_order_relaxed);
+        if (obs_.corruptionsRecovered != nullptr) {
+          obs_.corruptionsRecovered->add();
+        }
       }
       return;
     }
     if (!last) {
       injector_->countRetry();
+      if (obs_.sendRetries != nullptr) {
+        obs_.sendRetries->add();
+      }
       const double backoffMicros =
           retryPolicy_.backoffMicros * static_cast<double>(1u << attempt);
       if (backoffMicros > 0.0 && from != to && tag < kFirstReserved) {
@@ -509,35 +539,66 @@ void Network::accountSend(HostId from, HostId to, Tag tag, size_t bytes,
   if (from == to) {
     return;  // local delivery; nothing crosses the (simulated) wire
   }
-  std::lock_guard<std::mutex> lock(statsMutex_);
-  stats_.framingBytes += framingBytes;
+  if (framingBytes > 0) {
+    volume_.framingBytes.fetch_add(framingBytes, std::memory_order_relaxed);
+    if (obs_.framingBytes != nullptr) {
+      obs_.framingBytes->add(framingBytes);
+    }
+  }
   if (tag < kTagCount) {
-    stats_.bytes[tag] += bytes;
-    stats_.messages[tag] += 1;
+    volume_.bytes[tag].fetch_add(bytes, std::memory_order_relaxed);
+    volume_.messages[tag].fetch_add(1, std::memory_order_relaxed);
+    if (obs_.registry) {
+      obs_.bytes[tag]->add(bytes);
+      obs_.messages[tag]->add(1);
+    }
   } else {
-    stats_.collectiveBytes += bytes;
-    stats_.collectiveMessages += 1;
+    volume_.collectiveBytes.fetch_add(bytes, std::memory_order_relaxed);
+    volume_.collectiveMessages.fetch_add(1, std::memory_order_relaxed);
+    if (obs_.registry) {
+      obs_.collectiveBytes->add(bytes);
+      obs_.collectiveMessages->add(1);
+    }
   }
 }
 
 VolumeStats Network::statsSnapshot() const {
-  std::lock_guard<std::mutex> lock(statsMutex_);
-  return stats_;
+  VolumeStats snap;
+  for (Tag t = 0; t < kTagCount; ++t) {
+    snap.bytes[t] = volume_.bytes[t].load(std::memory_order_relaxed);
+    snap.messages[t] = volume_.messages[t].load(std::memory_order_relaxed);
+  }
+  snap.collectiveBytes = volume_.collectiveBytes.load(std::memory_order_relaxed);
+  snap.collectiveMessages =
+      volume_.collectiveMessages.load(std::memory_order_relaxed);
+  snap.framingBytes = volume_.framingBytes.load(std::memory_order_relaxed);
+  snap.corruptionsDetected =
+      volume_.corruptionsDetected.load(std::memory_order_relaxed);
+  snap.corruptionsRecovered =
+      volume_.corruptionsRecovered.load(std::memory_order_relaxed);
+  return snap;
 }
 
 void Network::resetStats() {
-  std::lock_guard<std::mutex> lock(statsMutex_);
-  stats_ = VolumeStats{};
+  for (Tag t = 0; t < kTagCount; ++t) {
+    volume_.bytes[t].store(0, std::memory_order_relaxed);
+    volume_.messages[t].store(0, std::memory_order_relaxed);
+  }
+  volume_.collectiveBytes.store(0, std::memory_order_relaxed);
+  volume_.collectiveMessages.store(0, std::memory_order_relaxed);
+  volume_.framingBytes.store(0, std::memory_order_relaxed);
+  volume_.corruptionsDetected.store(0, std::memory_order_relaxed);
+  volume_.corruptionsRecovered.store(0, std::memory_order_relaxed);
 }
 
 uint64_t Network::bytesSent(Tag tag) const {
-  std::lock_guard<std::mutex> lock(statsMutex_);
-  return tag < kTagCount ? stats_.bytes[tag] : stats_.collectiveBytes;
+  return (tag < kTagCount ? volume_.bytes[tag] : volume_.collectiveBytes)
+      .load(std::memory_order_relaxed);
 }
 
 uint64_t Network::messagesSent(Tag tag) const {
-  std::lock_guard<std::mutex> lock(statsMutex_);
-  return tag < kTagCount ? stats_.messages[tag] : stats_.collectiveMessages;
+  return (tag < kTagCount ? volume_.messages[tag] : volume_.collectiveMessages)
+      .load(std::memory_order_relaxed);
 }
 
 BufferedSender::BufferedSender(Network& net, HostId me, Tag tag,

@@ -75,6 +75,7 @@
 #include <vector>
 
 #include "comm/fault.h"
+#include "obs/metrics.h"
 #include "support/serialize.h"
 
 namespace cusp::comm {
@@ -348,7 +349,11 @@ class Network {
   void abort();
   bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
+  // Point-in-time view materialized from the per-Network atomic counters.
   VolumeStats statsSnapshot() const;
+  // Zeroes the per-Network counters. The process-wide obs registry (if one
+  // was attached at construction) is NOT reset: its counters are monotone
+  // and accumulate across resets and recovery attempts by design.
   void resetStats();
 
   // Accumulated modeled communication time charged to `host` as a sender
@@ -434,8 +439,36 @@ class Network {
   // without taking mailbox locks.
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> blockedOn_;
 
-  mutable std::mutex statsMutex_;
-  VolumeStats stats_;
+  // Volume counters: always-on per-Network atomics. statsSnapshot() is a
+  // view over them; plain relaxed adds replace the former mutex-guarded
+  // struct, taking a global lock off the send path.
+  struct AtomicVolume {
+    std::atomic<uint64_t> bytes[kTagCount] = {};
+    std::atomic<uint64_t> messages[kTagCount] = {};
+    std::atomic<uint64_t> collectiveBytes{0};
+    std::atomic<uint64_t> collectiveMessages{0};
+    std::atomic<uint64_t> framingBytes{0};
+    std::atomic<uint64_t> corruptionsDetected{0};
+    std::atomic<uint64_t> corruptionsRecovered{0};
+  };
+  AtomicVolume volume_;
+
+  // Registry cells resolved once at construction when a process-wide obs
+  // sink was attached (see obs/obs.h); all null otherwise, so the per-send
+  // cost without a sink is one pointer check. The shared_ptr keeps the
+  // cells alive even if the sink is detached while this Network lives.
+  struct ObsHandles {
+    std::shared_ptr<obs::MetricsRegistry> registry;
+    obs::Counter* bytes[kTagCount] = {};
+    obs::Counter* messages[kTagCount] = {};
+    obs::Counter* collectiveBytes = nullptr;
+    obs::Counter* collectiveMessages = nullptr;
+    obs::Counter* framingBytes = nullptr;
+    obs::Counter* corruptionsDetected = nullptr;
+    obs::Counter* corruptionsRecovered = nullptr;
+    obs::Counter* sendRetries = nullptr;
+  };
+  ObsHandles obs_;
 };
 
 // Accumulates serialized records per destination and ships each

@@ -7,12 +7,24 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "support/crc32.h"
 #include "support/logging.h"
 
 namespace cusp::core {
 
 namespace {
+
+// Checkpoint I/O is rare (a handful of files per run), so the store looks
+// the sink up per operation instead of caching cells like the network does.
+void countCheckpoint(const char* name, uint64_t n) {
+  if (!obs::attached()) {
+    return;
+  }
+  if (const auto registry = obs::sink().metrics) {
+    registry->counter(name).add(n);
+  }
+}
 
 struct CheckpointHeader {
   uint64_t magic = kCheckpointMagic;
@@ -66,6 +78,7 @@ std::optional<std::vector<uint8_t>> loadFromPath(const std::string& path,
   }
   if (support::verifyAndStripCrcFooter(*bytes) !=
       support::CrcFooterStatus::kVerified) {
+    countCheckpoint("cusp.checkpoint.crc_failures", 1);
     return std::nullopt;  // checkpoints always carry a footer; no legacy path
   }
   if (bytes->size() < sizeof(CheckpointHeader)) {
@@ -84,6 +97,7 @@ std::optional<std::vector<uint8_t>> loadFromPath(const std::string& path,
     return std::nullopt;
   }
   bytes->erase(bytes->begin(), bytes->begin() + sizeof(header));
+  countCheckpoint("cusp.checkpoint.bytes_read", bytes->size());
   return bytes;
 }
 
@@ -118,6 +132,8 @@ void writeCheckpointFile(const std::string& finalPath, uint32_t host,
     std::remove(tmpPath.c_str());
     throw std::runtime_error("saveCheckpoint: cannot rename to " + finalPath);
   }
+  countCheckpoint("cusp.checkpoint.files_written", 1);
+  countCheckpoint("cusp.checkpoint.bytes_written", bytes.size());
 }
 
 }  // namespace
@@ -148,6 +164,7 @@ void saveCheckpointReplica(const std::string& dir, uint32_t owner,
   makeDirs(dir);
   writeCheckpointFile(checkpointReplicaPath(dir, owner, numHosts, phase),
                       owner, numHosts, phase, payload);
+  countCheckpoint("cusp.checkpoint.replicas_written", 1);
 }
 
 std::optional<std::vector<uint8_t>> loadCheckpoint(const std::string& dir,

@@ -10,6 +10,7 @@
 
 #include "core/checkpoint.h"
 #include "core/degraded.h"
+#include "obs/obs.h"
 #include "support/bitset.h"
 #include "support/prefix_sum.h"
 #include "support/threading.h"
@@ -49,6 +50,11 @@ class PartitionJob {
       state_.enableNodeMasks();
     }
     state_.initialize(net.numHosts());
+    if (obs::attached()) {
+      const obs::Sink sink = obs::sink();
+      trace_ = sink.trace;
+      metrics_ = sink.metrics;
+    }
   }
 
   DistGraph run() {
@@ -99,6 +105,7 @@ class PartitionJob {
  private:
   template <typename Fn>
   void timedPhase(const char* name, Fn&& body) {
+    obs::ScopedSpan span(trace_.get(), me_, name);
     const double cpu0 = support::threadCpuSeconds();
     const double comm0 = net_.modeledCommSeconds(me_);
     const double disk0 = modeledDiskSeconds_;
@@ -159,6 +166,12 @@ class PartitionJob {
       saveCheckpointReplica(config_.resilience.checkpointDir, me_, numHosts(),
                             phase, payload);
     }
+    if (metrics_) {
+      metrics_
+          ->counter("cusp.partitioner.checkpoints_written",
+                    {{"phase", std::to_string(phase)}})
+          .add();
+    }
   }
 
   void restoreCheckpoint(uint32_t phase) {
@@ -170,6 +183,12 @@ class PartitionJob {
       throw std::runtime_error("partitioner: checkpoint for phase " +
                                std::to_string(phase) +
                                " disappeared on host " + std::to_string(me_));
+    }
+    if (metrics_) {
+      metrics_
+          ->counter("cusp.partitioner.checkpoints_restored",
+                    {{"phase", std::to_string(phase)}})
+          .add();
     }
     RecvBuffer buf(std::move(*payload));
     switch (phase) {
@@ -1013,6 +1032,10 @@ class PartitionJob {
   GraphProperties prop_;
   double modeledDiskSeconds_ = 0.0;
 
+  // Observability (null when no sink was attached at construction).
+  std::shared_ptr<obs::TraceBuffer> trace_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+
   // --- reading phase ---
   std::vector<ReadRange> ranges_;
   ReadRange myRange_;
@@ -1164,8 +1187,10 @@ PartitionResult runRedistributionRound(
   PartitionResult result;
   result.partitions.resize(numSurvivors);
   std::vector<support::PhaseTimes> hostTimes(k);
+  const std::shared_ptr<obs::TraceBuffer> trace = obs::sink().trace;
   support::Timer total;
   comm::runHosts(net, [&](comm::HostId me) {
+    obs::ScopedSpan span(trace.get(), me, "Degraded Redistribution");
     const double cpu0 = support::threadCpuSeconds();
     net.enterPhase(me, 0);
     net.faultPoint(me);
@@ -1232,6 +1257,10 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
   if (checkpoints) {
     garbageCollectCheckpointTmp(config.resilience.checkpointDir);
   }
+  // Driver-side observability: attempt spans land on the dedicated driver
+  // lane; eviction/re-read counters mirror the RecoveryReport fields.
+  const obs::Sink obsSink = obs::sink();
+  uint64_t totalAttempts = 0;
 
   // The current "base": the host set the pipeline runs over. Evictions
   // shrink it; aliveOriginal[rank] is the ORIGINAL id of the host running
@@ -1273,11 +1302,20 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
         report->resumedFromPhase = resume;
       }
       try {
+        ++totalAttempts;
+        obs::ScopedSpan attemptSpan(
+            obsSink.trace.get(), obs::kDriverLane,
+            (pendingRedistribution.empty() ? "attempt " : "redistribution ") +
+                std::to_string(totalAttempts));
         PartitionResult result =
             pendingRedistribution.empty()
                 ? runPipeline(file, policy, baseConfig, baseInjector)
                 : runRedistributionRound(baseConfig, baseInjector,
                                          pendingRedistribution);
+        if (!pendingRedistribution.empty() && obsSink.metrics) {
+          obsSink.metrics->counter("cusp.partitioner.replica_bytes_read")
+              .add(pendingReplicaBytes);
+        }
         if (report != nullptr) {
           report->finalNumHosts =
               static_cast<uint32_t>(result.partitions.size());
@@ -1325,6 +1363,9 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
             continue;  // evicted earlier in this base
           }
           ++epoch;
+          if (obsSink.metrics) {
+            obsSink.metrics->counter("cusp.partitioner.evictions").add();
+          }
           recordIndexOfRank[d] =
               report != nullptr ? report->evictions.size() : 0;
           if (report != nullptr) {
@@ -1399,7 +1440,7 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
           throw;  // every host is gone; nothing to degrade to
         }
         const uint32_t m = static_cast<uint32_t>(newAlive.size());
-        if (report != nullptr) {
+        if (report != nullptr || obsSink.metrics) {
           // Adopted-window bookkeeping: the new m-way split re-reads the
           // dead hosts' old windows; record which survivor re-reads which
           // slice and the modeled bytes beyond each survivor's own old
@@ -1408,6 +1449,7 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
               readRangesFor(file, baseConfig, baseConfig.numHosts);
           const auto newRanges = readRangesFor(file, baseConfig, m);
           const bool withData = file.hasEdgeData();
+          uint64_t bytesReRead = 0;
           for (uint32_t r = 0; r < m; ++r) {
             const ReadRange& mine = newRanges[r];
             for (uint32_t d : deadRanks) {
@@ -1415,14 +1457,23 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
               if (adopted.numNodes() == 0 && adopted.numEdges() == 0) {
                 continue;
               }
-              report->adoptedRanges.push_back(AdoptedEdgeRange{
-                  newAlive[r], aliveOriginal[d], adopted.nodeBegin,
-                  adopted.nodeEnd, adopted.edgeBegin, adopted.edgeEnd});
+              if (report != nullptr) {
+                report->adoptedRanges.push_back(AdoptedEdgeRange{
+                    newAlive[r], aliveOriginal[d], adopted.nodeBegin,
+                    adopted.nodeEnd, adopted.edgeBegin, adopted.edgeEnd});
+              }
             }
             const ReadRange keep =
                 intersectRanges(mine, oldRanges[survivorOldRank[r]]);
-            report->bytesReRead +=
+            bytesReRead +=
                 windowBytes(mine, withData) - windowBytes(keep, withData);
+          }
+          if (report != nullptr) {
+            report->bytesReRead += bytesReRead;
+          }
+          if (obsSink.metrics) {
+            obsSink.metrics->counter("cusp.partitioner.bytes_reread")
+                .add(bytesReRead);
           }
         }
         aliveOriginal = std::move(newAlive);

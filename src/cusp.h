@@ -6,6 +6,7 @@
 //   core::       the CuSP streaming partitioner, policies, DistGraph
 //   xtrapulp::   the offline label-propagation baseline
 //   analytics::  D-Galois-style BSP engine: bfs / cc / pagerank / sssp
+//   obs::        metrics registry, trace spans, JSON/chrome-trace exports
 //   support::    parallel loops, prefix sums, bitsets, serialization, RNG
 #pragma once
 
@@ -24,6 +25,10 @@
 #include "graph/edge_list.h"
 #include "graph/generators.h"
 #include "graph/graph_file.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "support/bitset.h"
 #include "support/logging.h"
 #include "support/prefix_sum.h"

@@ -1,0 +1,272 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cusp::obs::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (type != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : object) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+std::string quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value document() {
+    Value v = value();
+    skipSpace();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value value() {
+    skipSpace();
+    switch (peek()) {
+      case '{':
+        return objectValue();
+      case '[':
+        return arrayValue();
+      case '"': {
+        Value v;
+        v.type = Value::Type::kString;
+        v.str = stringLiteral();
+        return v;
+      }
+      default:
+        break;
+    }
+    Value v;
+    if (consumeLiteral("true")) {
+      v.type = Value::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consumeLiteral("false")) {
+      v.type = Value::Type::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (consumeLiteral("null")) {
+      return v;  // kNull
+    }
+    return numberValue();
+  }
+
+  Value objectValue() {
+    Value v;
+    v.type = Value::Type::kObject;
+    expect('{');
+    skipSpace();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skipSpace();
+      std::string key = stringLiteral();
+      skipSpace();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skipSpace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value arrayValue() {
+    Value v;
+    v.type = Value::Type::kArray;
+    expect('[');
+    skipSpace();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skipSpace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string stringLiteral() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+          }
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          const unsigned long code = std::strtoul(hex.c_str(), nullptr, 16);
+          // The exporters only escape control bytes; anything wider is
+          // stored as its low byte (good enough for schema validation).
+          out.push_back(static_cast<char>(code & 0xFF));
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Value numberValue() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("malformed number '" + token + "'");
+    }
+    Value v;
+    v.type = Value::Type::kNumber;
+    v.number = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).document(); }
+
+}  // namespace cusp::obs::json

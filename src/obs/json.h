@@ -1,0 +1,49 @@
+// Minimal JSON document model for the observability exports.
+//
+// The obs exporters (metrics document, chrome://tracing trace events) need a
+// writer, and the golden-schema tests need to parse the emitted documents
+// back to validate keys and values — without adding a third-party
+// dependency. This is a deliberately small recursive-descent implementation
+// covering exactly the JSON subset the exporters emit: objects, arrays,
+// strings (with escapes), finite numbers, booleans, null.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cusp::obs::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  // Insertion-ordered; duplicate keys are preserved as written.
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool isNull() const { return type == Type::kNull; }
+  bool isBool() const { return type == Type::kBool; }
+  bool isNumber() const { return type == Type::kNumber; }
+  bool isString() const { return type == Type::kString; }
+  bool isArray() const { return type == Type::kArray; }
+  bool isObject() const { return type == Type::kObject; }
+
+  // First member named `key`, or nullptr (also nullptr on non-objects).
+  const Value* find(std::string_view key) const;
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+};
+
+// Serializes `text` as a JSON string literal, quotes included.
+std::string quote(std::string_view text);
+
+// Parses a complete JSON document; throws std::runtime_error (with an
+// offset) on malformed input or trailing garbage.
+Value parse(std::string_view text);
+
+}  // namespace cusp::obs::json

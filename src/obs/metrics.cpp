@@ -1,0 +1,226 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace cusp::obs {
+
+namespace {
+
+// Formats a double the way the exporters want it: integers without a
+// fractional part (counter-like values stay grep-able), everything else with
+// enough digits to round-trip through the parser.
+std::string formatNumber(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v > -1e15 && v < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void appendLabels(std::string& out, const Labels& labels) {
+  out += "\"labels\":{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += json::quote(key);
+    out += ':';
+    out += json::quote(value);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t oldBits = sumBits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const double updated = std::bit_cast<double>(oldBits) + x;
+    if (sumBits_.compare_exchange_weak(oldBits, std::bit_cast<uint64_t>(updated),
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sumBits_.load(std::memory_order_relaxed));
+}
+
+std::vector<uint64_t> Histogram::bucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> defaultHistogramBounds() {
+  std::vector<double> bounds;
+  double b = 1.0;
+  for (int i = 0; i < 16; ++i) {  // 1, 4, 16, ... ~1.07e9
+    bounds.push_back(b);
+    b *= 4.0;
+  }
+  return bounds;
+}
+
+uint64_t MetricsSnapshot::counterValue(std::string_view name,
+                                       const Labels& labels) const {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& sample : counters) {
+    if (sample.name == name && sample.labels == sorted) {
+      return sample.value;
+    }
+  }
+  return 0;
+}
+
+MetricsRegistry::Key MetricsRegistry::makeKey(std::string_view name,
+                                              Labels&& labels) {
+  std::sort(labels.begin(), labels.end());
+  return Key{std::string(name), std::move(labels)};
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = counters_[makeKey(name, std::move(labels))];
+  if (!cell) {
+    cell = std::make_unique<Counter>();
+  }
+  return *cell;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = gauges_[makeKey(name, std::move(labels))];
+  if (!cell) {
+    cell = std::make_unique<Gauge>();
+  }
+  return *cell;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, Labels labels,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& cell = histograms_[makeKey(name, std::move(labels))];
+  if (!cell) {
+    cell = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *cell;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, cell] : counters_) {
+    snap.counters.push_back({key.name, key.labels, cell->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, cell] : gauges_) {
+    snap.gauges.push_back({key.name, key.labels, cell->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, cell] : histograms_) {
+    snap.histograms.push_back({key.name, key.labels, cell->bounds(),
+                               cell->bucketCounts(), cell->count(),
+                               cell->sum()});
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::toJson() const {
+  const MetricsSnapshot snap = snapshot();
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":\"cusp.metrics.v1\",\"counters\":[";
+  bool first = true;
+  for (const auto& sample : snap.counters) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":";
+    out += json::quote(sample.name);
+    out += ',';
+    appendLabels(out, sample.labels);
+    out += ",\"value\":";
+    out += formatNumber(static_cast<double>(sample.value));
+    out += '}';
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& sample : snap.gauges) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":";
+    out += json::quote(sample.name);
+    out += ',';
+    appendLabels(out, sample.labels);
+    out += ",\"value\":";
+    out += formatNumber(sample.value);
+    out += '}';
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& sample : snap.histograms) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":";
+    out += json::quote(sample.name);
+    out += ',';
+    appendLabels(out, sample.labels);
+    out += ",\"count\":";
+    out += formatNumber(static_cast<double>(sample.count));
+    out += ",\"sum\":";
+    out += formatNumber(sample.sum);
+    out += ",\"buckets\":[";
+    for (size_t i = 0; i < sample.bucketCounts.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += "{\"le\":";
+      if (i < sample.bounds.size()) {
+        out += formatNumber(sample.bounds[i]);
+      } else {
+        out += "\"inf\"";
+      }
+      out += ",\"count\":";
+      out += formatNumber(static_cast<double>(sample.bucketCounts[i]));
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace cusp::obs

@@ -1,0 +1,158 @@
+// cusp::obs::MetricsRegistry — the process-wide metrics model.
+//
+// A registry holds three metric kinds, each identified by a name plus a set
+// of named labels (host/phase/tag/...):
+//
+//   Counter    monotone uint64 accumulator (messages, bytes, retries).
+//   Gauge      last-write-wins double (frontier size, alive hosts).
+//   Histogram  fixed-bucket distribution with exact count and sum.
+//
+// Cell resolution (counter()/gauge()/histogram()) interns the (name, labels)
+// key under a mutex and returns a reference that stays valid for the life of
+// the registry; the returned cells are plain atomics, so the hot path —
+// Counter::add on every cross-host message — is a single relaxed
+// fetch_add with no lock. Instrumented components resolve their cells once
+// (at attach/construction time) and increment thereafter, which is what
+// keeps the overhead negligible next to the work being measured.
+//
+// snapshot() and toJson() produce a point-in-time view; the JSON document
+// (schema "cusp.metrics.v1") is the machine-readable export the benches and
+// tools dump behind --metrics-out. Counters only ever grow, so successive
+// snapshots of the same registry are monotone per key — a property the
+// golden-schema tests pin.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cusp::obs {
+
+// Label sets are small (1-2 entries); a sorted vector of pairs keeps them
+// cheap to intern and deterministic to export.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  // `bounds` are inclusive upper bucket bounds, strictly increasing; an
+  // implicit +inf bucket catches the rest.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  // One entry per bound plus the +inf bucket (non-cumulative counts).
+  std::vector<uint64_t> bucketCounts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sumBits_{0};  // double accumulated via CAS
+};
+
+// Default histogram bucketing: powers of four from 1 upward — wide enough
+// for byte sizes and frontier counts alike without per-metric tuning.
+std::vector<double> defaultHistogramBounds();
+
+struct CounterSample {
+  std::string name;
+  Labels labels;
+  uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  Labels labels;
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucketCounts;  // bounds.size() + 1 (+inf last)
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;    // sorted by (name, labels)
+  std::vector<GaugeSample> gauges;        // sorted by (name, labels)
+  std::vector<HistogramSample> histograms;
+
+  // Counter value by (name, labels); 0 when absent. Convenience for tests.
+  uint64_t counterValue(std::string_view name,
+                        const Labels& labels = {}) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Interns (name, labels) on first use; the reference stays valid for the
+  // registry's lifetime. Labels are canonicalized (sorted by key), so label
+  // order at the call site does not split cells.
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  // `bounds` applies on first registration of the key; later lookups with
+  // different bounds return the existing cell unchanged.
+  Histogram& histogram(std::string_view name, Labels labels = {},
+                       std::vector<double> bounds = defaultHistogramBounds());
+
+  MetricsSnapshot snapshot() const;
+
+  // The metrics JSON document (schema "cusp.metrics.v1"): one object with
+  // "counters" / "gauges" / "histograms" arrays, entries sorted by
+  // (name, labels) so identical registries serialize identically.
+  std::string toJson() const;
+
+ private:
+  struct Key {
+    std::string name;
+    Labels labels;
+    bool operator<(const Key& other) const {
+      if (name != other.name) {
+        return name < other.name;
+      }
+      return labels < other.labels;
+    }
+  };
+
+  static Key makeKey(std::string_view name, Labels&& labels);
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cusp::obs

@@ -1,0 +1,133 @@
+#include "obs/obs.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+namespace cusp::obs {
+
+namespace {
+
+// Function-local statics (the logging.h idiom) so the sink is usable from
+// static initializers in any translation unit.
+std::mutex& sinkMutex() {
+  static std::mutex m;
+  return m;
+}
+
+Sink& globalSink() {
+  static Sink s;
+  return s;
+}
+
+std::atomic<bool>& attachedFlag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+}  // namespace
+
+Sink makeSink() {
+  return Sink{std::make_shared<MetricsRegistry>(),
+              std::make_shared<TraceBuffer>()};
+}
+
+bool attached() { return attachedFlag().load(std::memory_order_acquire); }
+
+Sink sink() {
+  if (!attached()) {
+    return {};
+  }
+  std::lock_guard<std::mutex> lock(sinkMutex());
+  return globalSink();
+}
+
+void attach(Sink s) {
+  std::lock_guard<std::mutex> lock(sinkMutex());
+  const bool nowAttached = static_cast<bool>(s);
+  globalSink() = std::move(s);
+  attachedFlag().store(nowAttached, std::memory_order_release);
+}
+
+void detach() { attach({}); }
+
+ScopedObservability::ScopedObservability(Sink s)
+    : sink_(std::move(s)), previous_(obs::sink()) {
+  attach(sink_);
+}
+
+ScopedObservability::~ScopedObservability() { attach(previous_); }
+
+std::string traceExportPath(const std::string& metricsPath) {
+  static constexpr std::string_view kSuffix = ".json";
+  if (metricsPath.size() > kSuffix.size() &&
+      metricsPath.compare(metricsPath.size() - kSuffix.size(), kSuffix.size(),
+                          kSuffix) == 0) {
+    return metricsPath.substr(0, metricsPath.size() - kSuffix.size()) +
+           ".trace.json";
+  }
+  return metricsPath + ".trace.json";
+}
+
+bool writeExports(const Sink& s, const std::string& metricsPath,
+                  std::string* error) {
+  if (!s) {
+    if (error != nullptr) {
+      *error = "no sink attached";
+    }
+    return false;
+  }
+  const auto writeFile = [&](const std::string& path,
+                             const std::string& body) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << body << '\n';
+    if (!out.good()) {
+      if (error != nullptr) {
+        *error = "failed to write " + path;
+      }
+      return false;
+    }
+    return true;
+  };
+  return writeFile(metricsPath, s.metrics->toJson()) &&
+         writeFile(traceExportPath(metricsPath), s.trace->toChromeTraceJson());
+}
+
+MetricsCli::MetricsCli(int& argc, char** argv) {
+  static constexpr std::string_view kFlag = "--metrics-out";
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind(kFlag, 0) == 0 && arg.size() > kFlag.size() &&
+        arg[kFlag.size()] == '=') {
+      path_ = std::string(arg.substr(kFlag.size() + 1));
+      continue;
+    }
+    if (arg == kFlag && i + 1 < argc) {
+      path_ = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  if (!path_.empty()) {
+    scope_.emplace();
+  }
+}
+
+MetricsCli::~MetricsCli() {
+  if (!scope_.has_value()) {
+    return;
+  }
+  std::string error;
+  if (writeExports(scope_->sink(), path_, &error)) {
+    std::fprintf(stderr, "metrics written to %s (trace: %s)\n", path_.c_str(),
+                 traceExportPath(path_).c_str());
+  } else {
+    std::fprintf(stderr, "metrics export failed: %s\n", error.c_str());
+  }
+}
+
+}  // namespace cusp::obs

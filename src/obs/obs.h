@@ -1,0 +1,96 @@
+// cusp::obs — process-wide attachable observability sink.
+//
+// Instrumentation in comm/, core/, and analytics/ is compiled in always but
+// records nothing until a sink is attached. The sink is process-global and
+// consulted at natural construction points (Network ctor, PartitionJob
+// start, SyncContext ctor): components resolve their registry cells and
+// trace buffer once, hold shared_ptrs so a concurrent detach can never
+// invalidate them, and from then on pay one null-check per event when
+// detached and a relaxed atomic add when attached.
+//
+//   obs::ScopedObservability scope;          // attach a fresh sink
+//   ... partition / run analytics ...
+//   obs::writeExports(scope.sink(), "run.json");   // + run.trace.json
+//
+// Program mains get the same behavior from MetricsCli, which consumes a
+// --metrics-out=PATH flag and dumps both exports at scope exit.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cusp::obs {
+
+struct Sink {
+  std::shared_ptr<MetricsRegistry> metrics;
+  std::shared_ptr<TraceBuffer> trace;
+
+  explicit operator bool() const { return metrics != nullptr; }
+};
+
+// Creates a sink with a fresh registry and trace buffer.
+Sink makeSink();
+
+// True iff a sink is currently attached. Lock-free; the fast path for
+// instrumented code that wants to skip work entirely when detached.
+bool attached();
+
+// Copy of the current sink ({} when detached). Holders of the returned
+// shared_ptrs are unaffected by later detach/attach.
+Sink sink();
+
+// Replaces the process-wide sink. attach({}) is equivalent to detach().
+void attach(Sink s);
+void detach();
+
+// RAII attach of a fresh (or given) sink; restores the previous sink on
+// destruction so scopes nest.
+class ScopedObservability {
+ public:
+  ScopedObservability() : ScopedObservability(makeSink()) {}
+  explicit ScopedObservability(Sink s);
+  ScopedObservability(const ScopedObservability&) = delete;
+  ScopedObservability& operator=(const ScopedObservability&) = delete;
+  ~ScopedObservability();
+
+  MetricsRegistry& metrics() { return *sink_.metrics; }
+  TraceBuffer& trace() { return *sink_.trace; }
+  const Sink& sink() const { return sink_; }
+
+ private:
+  Sink sink_;
+  Sink previous_;
+};
+
+// "out.json" -> "out.trace.json"; paths without a ".json" suffix get
+// ".trace.json" appended.
+std::string traceExportPath(const std::string& metricsPath);
+
+// Writes the metrics JSON to `metricsPath` and the chrome://tracing JSON to
+// traceExportPath(metricsPath). Returns false (with *error set) on I/O
+// failure or an empty sink.
+bool writeExports(const Sink& s, const std::string& metricsPath,
+                  std::string* error = nullptr);
+
+// Handles the --metrics-out=PATH (or --metrics-out PATH) flag for program
+// mains: consumes the flag from argv so downstream parsers never see it,
+// attaches a fresh sink when present, and writes both exports on
+// destruction.
+class MetricsCli {
+ public:
+  MetricsCli(int& argc, char** argv);
+  ~MetricsCli();
+
+  bool enabled() const { return scope_.has_value(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::optional<ScopedObservability> scope_;
+};
+
+}  // namespace cusp::obs

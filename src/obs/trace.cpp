@@ -1,0 +1,74 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <set>
+
+#include "obs/json.h"
+
+namespace cusp::obs {
+
+uint64_t TraceBuffer::nowMicros() const {
+  const auto elapsed = std::chrono::steady_clock::now() - origin_;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+void TraceBuffer::record(uint32_t lane, std::string name, uint64_t startMicros,
+                         uint64_t durMicros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({std::move(name), lane, startMicros, durMicros});
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::string TraceBuffer::toChromeTraceJson() const {
+  const std::vector<TraceEvent> events = snapshot();
+
+  std::set<uint32_t> lanes;
+  for (const auto& e : events) {
+    lanes.insert(e.lane);
+  }
+
+  std::string out;
+  out.reserve(256 + events.size() * 96);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const uint32_t lane : lanes) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    const std::string laneName =
+        lane == kDriverLane ? "driver" : "host " + std::to_string(lane);
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(lane) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+           json::quote(laneName) + "}}";
+  }
+  for (const auto& e : events) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.lane) +
+           ",\"ts\":" + std::to_string(e.startMicros) +
+           ",\"dur\":" + std::to_string(e.durMicros) +
+           ",\"cat\":\"cusp\",\"name\":" + json::quote(e.name) + '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void ScopedSpan::close() {
+  if (buffer_ == nullptr) {
+    return;
+  }
+  const uint64_t end = buffer_->nowMicros();
+  buffer_->record(lane_, std::move(name_), startMicros_,
+                  end > startMicros_ ? end - startMicros_ : 0);
+  buffer_ = nullptr;
+}
+
+}  // namespace cusp::obs

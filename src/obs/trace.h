@@ -1,0 +1,93 @@
+// cusp::obs trace spans — a per-host timeline of what ran when.
+//
+// Each logical host (and the resilient driver, on its own lane) records
+// complete spans — phase 3 on host 2, superstep 7 on host 0, recovery
+// attempt 1 on the driver — into a shared TraceBuffer. The buffer keeps one
+// steady-clock origin so all lanes share a timebase, and exports the
+// chrome://tracing trace-event JSON format ("ph":"X" complete events plus
+// thread_name metadata), loadable directly in chrome://tracing or Perfetto.
+//
+// Spans are coarse (phases, supersteps, attempts — not per-message), so a
+// mutex-guarded vector is plenty; the hot message path never touches this.
+// ScopedSpan is null-safe: constructed with a null buffer it does nothing,
+// which is how instrumented code stays zero-cost with no sink attached.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cusp::obs {
+
+// Lane ids are logical host ids; the resilient/partition driver gets its own
+// lane so attempt-level spans do not collide with host work.
+inline constexpr uint32_t kDriverLane = 0xFFFFFFFFu;
+
+struct TraceEvent {
+  std::string name;
+  uint32_t lane = 0;        // logical host id, or kDriverLane
+  uint64_t startMicros = 0; // since the buffer's origin
+  uint64_t durMicros = 0;
+};
+
+class TraceBuffer {
+ public:
+  TraceBuffer() : origin_(std::chrono::steady_clock::now()) {}
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  // Microseconds since this buffer's origin (the shared timebase).
+  uint64_t nowMicros() const;
+
+  void record(uint32_t lane, std::string name, uint64_t startMicros,
+              uint64_t durMicros);
+
+  // Events in recording order (spans close innermost-first per lane).
+  std::vector<TraceEvent> snapshot() const;
+
+  // The chrome://tracing document: {"traceEvents":[...]} with one
+  // thread_name metadata event per lane plus a "ph":"X" complete event per
+  // span. Timestamps are the buffer-relative microseconds.
+  std::string toChromeTraceJson() const;
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+// RAII span: opens at construction, records into `buffer` at destruction.
+// A null buffer makes every operation a no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(TraceBuffer* buffer, uint32_t lane, std::string name)
+      : buffer_(buffer), lane_(lane), name_(std::move(name)),
+        startMicros_(buffer ? buffer->nowMicros() : 0) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept { *this = std::move(other); }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    close();
+    buffer_ = other.buffer_;
+    lane_ = other.lane_;
+    name_ = std::move(other.name_);
+    startMicros_ = other.startMicros_;
+    other.buffer_ = nullptr;
+    return *this;
+  }
+  ~ScopedSpan() { close(); }
+
+  // Ends the span early (idempotent).
+  void close();
+
+ private:
+  TraceBuffer* buffer_ = nullptr;
+  uint32_t lane_ = 0;
+  std::string name_;
+  uint64_t startMicros_ = 0;
+};
+
+}  // namespace cusp::obs

@@ -6,15 +6,18 @@
 # sanitizers are part of the pre-merge checklist.
 #
 # Usage: tests/run_sanitized.sh [asan-ubsan|tsan|ubsan|tsan-degraded|
-# tsan-chaos]  (default: both full suites). `tsan-degraded` builds the TSan
-# preset but runs only the tests labeled `degraded` (eviction, buddy
-# replication, degraded recovery) — the membership machinery races against
-# blocked receivers by design, so it gets a focused TSan lane cheap enough
-# to run on every change. `tsan-chaos` is the same idea for the `chaos`
-# label (corruption recovery + mixed-fault pipeline runs): the rollback/
-# restart paths tear down and respawn host threads mid-run, which is where
-# TSan earns its keep. `ubsan` is a standalone UBSan build for when an ASan
-# report needs to be separated from a UB report.
+# tsan-chaos|tsan-obs]  (default: both full suites). `tsan-degraded` builds
+# the TSan preset but runs only the tests labeled `degraded` (eviction,
+# buddy replication, degraded recovery) — the membership machinery races
+# against blocked receivers by design, so it gets a focused TSan lane cheap
+# enough to run on every change. `tsan-chaos` is the same idea for the
+# `chaos` label (corruption recovery + mixed-fault pipeline runs): the
+# rollback/restart paths tear down and respawn host threads mid-run, which
+# is where TSan earns its keep. `tsan-obs` runs the `obs` label under TSan:
+# the metrics registry and trace buffer are hammered concurrently by every
+# host thread, so their lock/atomic discipline gets its own cheap lane.
+# `ubsan` is a standalone UBSan build for when an ASan report needs to be
+# separated from a UB report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +37,9 @@ for preset in "${presets[@]}"; do
   elif [ "$preset" = "tsan-chaos" ]; then
     build_preset="tsan"
     label_args=(-L chaos)
+  elif [ "$preset" = "tsan-obs" ]; then
+    build_preset="tsan"
+    label_args=(-L obs)
   fi
   echo "==== [$preset] configure ===="
   cmake --preset "$build_preset"

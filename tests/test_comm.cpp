@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "comm/network.h"
+#include "obs/obs.h"
+#include "support/crc32.h"
 
 namespace cusp::comm {
 namespace {
@@ -582,6 +584,157 @@ TEST(FaultTest, CleanRunWithInjectorMatchesWithout) {
   const auto injected = runOnce(injectorWith(plan));
   EXPECT_EQ(clean.totalBytes(), injected.totalBytes());
   EXPECT_EQ(clean.totalMessages(), injected.totalMessages());
+}
+
+// ---------------------------------------------------------------------------
+// Volume conservation. VolumeStats is a point-in-time view over the
+// always-on atomic counters; these regressions pin down exactly what is and
+// is not accounted: payload bytes per tag, framing overhead separately, and
+// sender-side accounting that matches what the receiver can drain even when
+// the interconnect drops and duplicates messages.
+// ---------------------------------------------------------------------------
+
+TEST(VolumeConservation, PerTagPayloadSumsMatchTotals) {
+  Network net(3);
+  const uint64_t payload = bufferWith(0).size();
+  runHosts(net, [&](HostId me) {
+    if (me == 0) {
+      net.send(0, 1, kTagEdgeBatch, bufferWith(1));
+      net.send(0, 2, kTagEdgeBatch, bufferWith(2));
+      net.send(0, 1, kTagMirrorFlags, bufferWith(3));
+      net.send(0, 0, kTagEdgeBatch, bufferWith(4));  // self-send: free
+      net.recv(0, kTagEdgeBatch);
+    } else if (me == 1) {
+      net.recv(1, kTagEdgeBatch);
+      net.recv(1, kTagMirrorFlags);
+    } else {
+      net.recv(2, kTagEdgeBatch);
+    }
+  });
+  const VolumeStats stats = net.statsSnapshot();
+  EXPECT_EQ(stats.bytes[kTagEdgeBatch], 2 * payload);
+  EXPECT_EQ(stats.messages[kTagEdgeBatch], 2u);
+  EXPECT_EQ(stats.bytes[kTagMirrorFlags], payload);
+  // totalBytes is exactly the per-tag payload sum plus the collective
+  // bucket — no hidden contributions, no framing.
+  uint64_t tagSum = 0;
+  for (uint64_t b : stats.bytes) {
+    tagSum += b;
+  }
+  EXPECT_EQ(tagSum, 3 * payload);
+  EXPECT_EQ(stats.totalBytes(), tagSum + stats.collectiveBytes);
+  EXPECT_EQ(stats.framingBytes, 0u);
+  EXPECT_EQ(stats.corruptionsDetected, 0u);
+}
+
+TEST(VolumeConservation, FramingBytesExcludedFromPayloadAccounting) {
+  // Identical traffic with CRC framing off and on: per-tag payload
+  // accounting must be byte-identical, with the footer overhead visible
+  // only in framingBytes.
+  VolumeStats plain;
+  VolumeStats framed;
+  for (const bool framing : {false, true}) {
+    Network net(2);
+    net.setCrcFraming(framing);
+    runHosts(net, [&](HostId me) {
+      if (me == 0) {
+        for (uint64_t i = 0; i < 5; ++i) {
+          net.send(0, 1, kTagEdgeBatch, bufferWith(i));
+        }
+        net.send(0, 0, kTagEdgeBatch, bufferWith(99));  // self-send: unframed
+        net.recv(0, kTagEdgeBatch);
+      } else {
+        for (uint64_t i = 0; i < 5; ++i) {
+          auto msg = net.recv(1, kTagEdgeBatch);
+          // The footer is stripped before the payload is queued.
+          EXPECT_EQ(msg.payload.size(), bufferWith(i).size());
+        }
+      }
+    });
+    (framing ? framed : plain) = net.statsSnapshot();
+  }
+  for (size_t t = 0; t < kTagCount; ++t) {
+    EXPECT_EQ(plain.bytes[t], framed.bytes[t]) << "tag " << t;
+    EXPECT_EQ(plain.messages[t], framed.messages[t]) << "tag " << t;
+  }
+  EXPECT_EQ(plain.framingBytes, 0u);
+  EXPECT_EQ(framed.framingBytes, 5 * support::kCrcFooterSize);
+  EXPECT_EQ(plain.totalBytes(), framed.totalBytes());
+}
+
+TEST(VolumeConservation, SymmetricUnderDropsAndDuplicates) {
+  FaultPlan plan;
+  plan.messageFaults.push_back({/*src=*/0, /*dst=*/1, kTagEdgeBatch,
+                                /*occurrence=*/0, /*repeat=*/1,
+                                FaultAction::kDrop});
+  plan.messageFaults.push_back({/*src=*/0, /*dst=*/1, kTagEdgeBatch,
+                                /*occurrence=*/2, /*repeat=*/1,
+                                FaultAction::kDuplicate});
+  auto injector = injectorWith(plan);
+  Network net(2);
+  net.setFaultInjector(injector);
+  uint64_t receivedMessages = 0;
+  uint64_t receivedBytes = 0;
+  runHosts(net, [&](HostId me) {
+    if (me == 0) {
+      for (uint64_t i = 0; i < 4; ++i) {
+        net.sendReliable(0, 1, kTagEdgeBatch, bufferWith(i));
+      }
+    } else {
+      for (uint64_t i = 0; i < 4; ++i) {
+        auto msg = net.recv(1, kTagEdgeBatch);
+        ++receivedMessages;
+        receivedBytes += msg.payload.size();
+      }
+      // The duplicate's second copy is already queued (it rode along with
+      // the third send) and must be suppressed, not delivered.
+      EXPECT_FALSE(net.tryRecv(1, kTagEdgeBatch).has_value());
+    }
+  });
+  EXPECT_EQ(injector->stats().dropped, 1u);
+  EXPECT_EQ(injector->stats().duplicatesSuppressed, 1u);
+  const VolumeStats stats = net.statsSnapshot();
+  // Sender accounting is symmetric with what the receiver drained: the
+  // dropped attempt was never accounted and the duplicated message was
+  // accounted exactly once.
+  EXPECT_EQ(stats.messages[kTagEdgeBatch], receivedMessages);
+  EXPECT_EQ(stats.bytes[kTagEdgeBatch], receivedBytes);
+  // With an injector attached framing is on: one footer per accounted
+  // transmission, still excluded from the payload counters above.
+  EXPECT_EQ(stats.framingBytes, receivedMessages * support::kCrcFooterSize);
+}
+
+TEST(VolumeConservation, RegistryCountersMirrorSnapshotWhenSinkAttached) {
+  obs::ScopedObservability scope;
+  Network net(2);  // resolves its registry cells at construction
+  runHosts(net, [&](HostId me) {
+    if (me == 0) {
+      net.send(0, 1, kTagEdgeBatch, bufferWith(7));
+      net.send(0, 1, kTagMasterAssign, bufferWith(8));
+    } else {
+      net.recv(1, kTagEdgeBatch);
+      net.recv(1, kTagMasterAssign);
+    }
+    net.barrier(me);
+  });
+  const VolumeStats stats = net.statsSnapshot();
+  const auto snap = scope.metrics().snapshot();
+  EXPECT_EQ(snap.counterValue("cusp.net.bytes", {{"tag", "kTagEdgeBatch"}}),
+            stats.bytes[kTagEdgeBatch]);
+  EXPECT_EQ(snap.counterValue("cusp.net.messages",
+                              {{"tag", "kTagMasterAssign"}}),
+            stats.messages[kTagMasterAssign]);
+  EXPECT_EQ(snap.counterValue("cusp.net.bytes", {{"tag", "collective"}}),
+            stats.collectiveBytes);
+  EXPECT_EQ(snap.counterValue("cusp.net.messages", {{"tag", "collective"}}),
+            stats.collectiveMessages);
+  // resetStats zeroes the view but never the registry (monotone counters).
+  net.resetStats();
+  EXPECT_EQ(net.statsSnapshot().totalBytes(), 0u);
+  EXPECT_EQ(scope.metrics()
+                .snapshot()
+                .counterValue("cusp.net.bytes", {{"tag", "kTagEdgeBatch"}}),
+            stats.bytes[kTagEdgeBatch]);
 }
 
 TEST(FaultTest, DuplicateFilterMemoryIsBounded) {

@@ -1,0 +1,663 @@
+// Tests of the cusp::obs observability layer: the metrics registry model,
+// the trace span timeline, attach/detach semantics, both machine-readable
+// exporters (validated by parsing their output back), registry behavior
+// under concurrent hammering from host threads, end-to-end coverage of a
+// partition + BFS run, and determinism of the exported counters across
+// identical resilient runs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "analytics/algorithms.h"
+#include "analytics/reference.h"
+#include "comm/fault.h"
+#include "comm/network.h"
+#include "core/checkpoint.h"
+#include "core/partitioner.h"
+#include "core/policies.h"
+#include "graph/generators.h"
+#include "graph/graph_file.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "testutil.h"
+
+namespace cusp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON model (the exporters' writer and the tests' reader).
+// ---------------------------------------------------------------------------
+
+TEST(ObsJson, ParsesObjectsArraysStringsNumbers) {
+  const auto doc = obs::json::parse(
+      R"({"a": [1, 2.5, -3], "b": {"c": "x\"y"}, "t": true, "n": null})");
+  ASSERT_TRUE(doc.isObject());
+  const auto* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->isArray());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(a->array[2].number, -3.0);
+  const auto* b = doc.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->isObject());
+  EXPECT_EQ(b->find("c")->str, "x\"y");
+  EXPECT_TRUE(doc.find("t")->boolean);
+  EXPECT_TRUE(doc.find("n")->isNull());
+  EXPECT_FALSE(doc.has("missing"));
+}
+
+TEST(ObsJson, QuoteRoundTripsThroughParse) {
+  const std::string nasty = "a\"b\\c\nd\te\x01";
+  const auto doc = obs::json::parse(obs::json::quote(nasty));
+  ASSERT_TRUE(doc.isString());
+  EXPECT_EQ(doc.str, nasty);
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  EXPECT_THROW(obs::json::parse("{"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse(""), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Registry model.
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistry, InterningCanonicalizesLabelOrder) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("m", {{"x", "1"}, {"y", "2"}});
+  obs::Counter& b = reg.counter("m", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&a, &b) << "label order at the call site split the cell";
+  obs::Counter& c = reg.counter("m", {{"x", "1"}, {"y", "3"}});
+  EXPECT_NE(&a, &c);
+  a.add(5);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counterValue("m", {{"y", "2"}, {"x", "1"}}), 5u);
+  EXPECT_EQ(snap.counterValue("m", {{"x", "1"}, {"y", "3"}}), 0u);
+  EXPECT_EQ(snap.counterValue("absent"), 0u);
+}
+
+TEST(ObsRegistry, HistogramBucketsAndSumAreExact) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("sizes", {}, {1.0, 4.0, 16.0});
+  for (const double v : {0.5, 1.0, 3.0, 4.0, 10.0, 100.0}) {
+    h.observe(v);
+  }
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 118.5);
+  const auto buckets = h.bucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);  // three bounds + the +inf bucket
+  EXPECT_EQ(buckets[0], 2u);      // <= 1:  0.5, 1.0
+  EXPECT_EQ(buckets[1], 2u);      // <= 4:  3.0, 4.0
+  EXPECT_EQ(buckets[2], 1u);      // <= 16: 10.0
+  EXPECT_EQ(buckets[3], 1u);      // +inf:  100.0
+  // Re-registration with different bounds returns the existing cell.
+  obs::Histogram& again = reg.histogram("sizes", {}, {99.0});
+  EXPECT_EQ(&h, &again);
+}
+
+TEST(ObsRegistry, ConcurrentHammerFromHostThreadsHasExactTotals) {
+  // Eight "host" threads resolve cells through the interning path and bang
+  // on shared and per-host counters, a histogram, and gauges. Totals must
+  // come out exact — the property the whole layer's thread-safety rests on.
+  constexpr uint32_t kThreads = 8;
+  constexpr uint64_t kIters = 49'000;  // divisible by 7 for an exact sum
+  obs::MetricsRegistry reg;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      const std::string host = std::to_string(t);
+      obs::Counter& shared = reg.counter("hammer.shared");
+      obs::Counter& mine = reg.counter("hammer.per_host", {{"host", host}});
+      obs::Histogram& hist = reg.histogram("hammer.sizes");
+      for (uint64_t i = 0; i < kIters; ++i) {
+        shared.add();
+        mine.add(2);
+        hist.observe(static_cast<double>(i % 7));
+        // Re-resolving every iteration exercises interning under contention.
+        reg.gauge("hammer.progress", {{"host", host}})
+            .set(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counterValue("hammer.shared"), kThreads * kIters);
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.counterValue("hammer.per_host",
+                                {{"host", std::to_string(t)}}),
+              2 * kIters)
+        << "host " << t;
+  }
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, kThreads * kIters);
+  // Sum of i % 7 over a multiple of 7 iterations: (kIters / 7) * 21.
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum,
+                   static_cast<double>(kThreads * (kIters / 7) * 21));
+  EXPECT_EQ(snap.gauges.size(), kThreads);
+  for (const auto& g : snap.gauges) {
+    EXPECT_DOUBLE_EQ(g.value, static_cast<double>(kIters - 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Attach / detach semantics.
+// ---------------------------------------------------------------------------
+
+TEST(ObsSink, ScopedObservabilityAttachesAndRestores) {
+  EXPECT_FALSE(obs::attached());
+  EXPECT_FALSE(static_cast<bool>(obs::sink()));
+  {
+    obs::ScopedObservability outer;
+    EXPECT_TRUE(obs::attached());
+    EXPECT_EQ(obs::sink().metrics.get(), &outer.metrics());
+    {
+      obs::ScopedObservability inner;
+      EXPECT_EQ(obs::sink().metrics.get(), &inner.metrics());
+      EXPECT_NE(&inner.metrics(), &outer.metrics());
+    }
+    // Nested scope restored the outer sink, not detached.
+    EXPECT_TRUE(obs::attached());
+    EXPECT_EQ(obs::sink().metrics.get(), &outer.metrics());
+  }
+  EXPECT_FALSE(obs::attached());
+}
+
+TEST(ObsSink, DetachedHoldersSurviveDetach) {
+  obs::Sink held;
+  {
+    obs::ScopedObservability scope;
+    held = obs::sink();
+    held.metrics->counter("survivor").add(1);
+  }
+  EXPECT_FALSE(obs::attached());
+  held.metrics->counter("survivor").add(1);  // must not crash
+  EXPECT_EQ(held.metrics->snapshot().counterValue("survivor"), 2u);
+}
+
+TEST(ObsSink, NullSafeScopedSpanIsANoOp) {
+  obs::ScopedSpan nullSpan(nullptr, 0, "nothing");
+  nullSpan.close();  // no-op, no crash
+  obs::TraceBuffer buf;
+  {
+    obs::ScopedSpan span(&buf, 3, "real");
+    obs::ScopedSpan moved = std::move(span);
+    moved.close();
+    moved.close();  // idempotent: records exactly once
+  }
+  const auto events = buf.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "real");
+  EXPECT_EQ(events[0].lane, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden-schema tests: parse the exported documents back and validate them.
+// ---------------------------------------------------------------------------
+
+obs::Labels labelsOf(const obs::json::Value& entry) {
+  obs::Labels labels;
+  const auto* obj = entry.find("labels");
+  if (obj != nullptr) {
+    for (const auto& [k, v] : obj->object) {
+      labels.emplace_back(k, v.str);
+    }
+  }
+  return labels;
+}
+
+TEST(ObsExport, MetricsJsonMatchesSchema) {
+  obs::MetricsRegistry reg;
+  reg.counter("cusp.test.messages", {{"tag", "edge"}}).add(7);
+  reg.counter("cusp.test.messages", {{"tag", "master"}}).add(3);
+  reg.counter("cusp.test.bytes").add(1234);
+  reg.gauge("cusp.test.progress", {{"host", "0"}}).set(0.75);
+  obs::Histogram& h = reg.histogram("cusp.test.sizes", {}, {1.0, 4.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(50.0);
+
+  const std::string text = reg.toJson();
+  const auto doc = obs::json::parse(text);
+  ASSERT_TRUE(doc.isObject());
+  ASSERT_TRUE(doc.has("schema"));
+  EXPECT_EQ(doc.find("schema")->str, "cusp.metrics.v1");
+
+  // Counters: required keys, label sets, values.
+  const auto* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->isArray());
+  ASSERT_EQ(counters->array.size(), 3u);
+  std::vector<std::pair<std::string, obs::Labels>> order;
+  for (const auto& entry : counters->array) {
+    ASSERT_TRUE(entry.has("name"));
+    ASSERT_TRUE(entry.has("value"));
+    order.emplace_back(entry.find("name")->str, labelsOf(entry));
+  }
+  // Entries are sorted by (name, labels) — the determinism the exporter
+  // guarantees so identical registries serialize identically.
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  const auto& first = counters->array[0];
+  EXPECT_EQ(first.find("name")->str, "cusp.test.bytes");
+  EXPECT_DOUBLE_EQ(first.find("value")->number, 1234.0);
+  const auto& second = counters->array[1];
+  EXPECT_EQ(second.find("name")->str, "cusp.test.messages");
+  EXPECT_EQ(labelsOf(second), (obs::Labels{{"tag", "edge"}}));
+  EXPECT_DOUBLE_EQ(second.find("value")->number, 7.0);
+
+  // Gauges.
+  const auto* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_EQ(gauges->array.size(), 1u);
+  EXPECT_EQ(gauges->array[0].find("name")->str, "cusp.test.progress");
+  EXPECT_EQ(labelsOf(gauges->array[0]), (obs::Labels{{"host", "0"}}));
+  EXPECT_DOUBLE_EQ(gauges->array[0].find("value")->number, 0.75);
+
+  // Histograms: count, sum, and per-bucket entries ending in "inf"; bucket
+  // counts must add up to the total count.
+  const auto* histograms = doc.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_EQ(histograms->array.size(), 1u);
+  const auto& hist = histograms->array[0];
+  EXPECT_EQ(hist.find("name")->str, "cusp.test.sizes");
+  EXPECT_DOUBLE_EQ(hist.find("count")->number, 3.0);
+  EXPECT_DOUBLE_EQ(hist.find("sum")->number, 53.5);
+  const auto* buckets = hist.find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->array.size(), 3u);
+  double bucketTotal = 0.0;
+  for (const auto& bucket : buckets->array) {
+    ASSERT_TRUE(bucket.has("le"));
+    ASSERT_TRUE(bucket.has("count"));
+    bucketTotal += bucket.find("count")->number;
+  }
+  EXPECT_DOUBLE_EQ(bucketTotal, 3.0);
+  EXPECT_TRUE(buckets->array.back().find("le")->isString());
+  EXPECT_EQ(buckets->array.back().find("le")->str, "inf");
+  EXPECT_DOUBLE_EQ(buckets->array[0].find("le")->number, 1.0);
+}
+
+TEST(ObsExport, CountersAreMonotoneAcrossSnapshots) {
+  obs::MetricsRegistry reg;
+  reg.counter("grows", {{"k", "v"}}).add(1);
+  reg.counter("steady").add(10);
+  auto valuesOf = [](const std::string& text) {
+    std::map<std::string, double> values;
+    const auto doc = obs::json::parse(text);
+    for (const auto& entry : doc.find("counters")->array) {
+      std::string key = entry.find("name")->str;
+      for (const auto& [k, v] : labelsOf(entry)) {
+        key += "|" + k + "=" + v;
+      }
+      values[key] = entry.find("value")->number;
+    }
+    return values;
+  };
+  const auto before = valuesOf(reg.toJson());
+  reg.counter("grows", {{"k", "v"}}).add(5);
+  reg.counter("fresh").add(2);
+  const auto after = valuesOf(reg.toJson());
+  for (const auto& [key, value] : before) {
+    ASSERT_TRUE(after.count(key)) << "counter " << key << " disappeared";
+    EXPECT_GE(after.at(key), value) << "counter " << key << " went backwards";
+  }
+}
+
+// For every lane: any two spans must be disjoint or properly nested —
+// a partial overlap means the span stack was corrupted.
+void expectWellNestedPerLane(
+    const std::vector<std::tuple<uint32_t, uint64_t, uint64_t>>& spans) {
+  for (size_t i = 0; i < spans.size(); ++i) {
+    for (size_t j = i + 1; j < spans.size(); ++j) {
+      const auto& [laneA, beginA, endA] = spans[i];
+      const auto& [laneB, beginB, endB] = spans[j];
+      if (laneA != laneB) {
+        continue;
+      }
+      const bool disjoint = endA <= beginB || endB <= beginA;
+      const bool aInsideB = beginB <= beginA && endA <= endB;
+      const bool bInsideA = beginA <= beginB && endB <= endA;
+      EXPECT_TRUE(disjoint || aInsideB || bInsideA)
+          << "lane " << laneA << ": spans [" << beginA << "," << endA
+          << ") and [" << beginB << "," << endB << ") partially overlap";
+    }
+  }
+}
+
+TEST(ObsExport, ChromeTraceJsonMatchesSchema) {
+  obs::TraceBuffer buf;
+  buf.record(0, "outer", 0, 100);
+  buf.record(0, "inner", 10, 40);
+  buf.record(1, "other host", 5, 20);
+  buf.record(obs::kDriverLane, "attempt 1", 0, 150);
+
+  const auto doc = obs::json::parse(buf.toChromeTraceJson());
+  ASSERT_TRUE(doc.isObject());
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->isArray());
+
+  std::map<uint32_t, std::string> laneNames;
+  std::vector<std::tuple<uint32_t, uint64_t, uint64_t>> spans;
+  std::set<uint32_t> spanLanes;
+  for (const auto& e : events->array) {
+    ASSERT_TRUE(e.has("ph"));
+    const std::string ph = e.find("ph")->str;
+    ASSERT_TRUE(e.has("pid"));
+    ASSERT_TRUE(e.has("tid"));
+    const auto lane = static_cast<uint32_t>(e.find("tid")->number);
+    if (ph == "M") {
+      EXPECT_EQ(e.find("name")->str, "thread_name");
+      const auto* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      laneNames[lane] = args->find("name")->str;
+    } else {
+      ASSERT_EQ(ph, "X") << "unexpected event phase";
+      ASSERT_TRUE(e.has("name"));
+      ASSERT_TRUE(e.has("ts"));
+      ASSERT_TRUE(e.has("dur"));
+      EXPECT_EQ(e.find("cat")->str, "cusp");
+      const auto ts = static_cast<uint64_t>(e.find("ts")->number);
+      const auto dur = static_cast<uint64_t>(e.find("dur")->number);
+      spans.emplace_back(lane, ts, ts + dur);
+      spanLanes.insert(lane);
+    }
+  }
+  // Every lane with spans has a thread_name lane label.
+  EXPECT_EQ(laneNames[0], "host 0");
+  EXPECT_EQ(laneNames[1], "host 1");
+  EXPECT_EQ(laneNames[obs::kDriverLane], "driver");
+  for (const uint32_t lane : spanLanes) {
+    EXPECT_TRUE(laneNames.count(lane)) << "lane " << lane << " unnamed";
+  }
+  EXPECT_EQ(spans.size(), 4u);
+  expectWellNestedPerLane(spans);
+}
+
+// ---------------------------------------------------------------------------
+// File exports and the --metrics-out CLI hook.
+// ---------------------------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class TempMetricsFile {
+ public:
+  TempMetricsFile() {
+    char tmpl[] = "/tmp/cusp_obs_XXXXXX";
+    const int fd = ::mkstemp(tmpl);
+    if (fd < 0) {
+      throw std::runtime_error("mkstemp failed");
+    }
+    ::close(fd);
+    path_ = std::string(tmpl) + ".json";
+    ::remove(tmpl);
+  }
+  ~TempMetricsFile() {
+    ::remove(path_.c_str());
+    ::remove(obs::traceExportPath(path_).c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ObsExport, TraceExportPathDerivation) {
+  EXPECT_EQ(obs::traceExportPath("run.json"), "run.trace.json");
+  EXPECT_EQ(obs::traceExportPath("/a/b/metrics.json"), "/a/b/metrics.trace.json");
+  EXPECT_EQ(obs::traceExportPath("noext"), "noext.trace.json");
+}
+
+TEST(ObsExport, WriteExportsProducesBothParseableFiles) {
+  obs::Sink sink = obs::makeSink();
+  sink.metrics->counter("exported").add(42);
+  sink.trace->record(2, "span", 1, 2);
+  TempMetricsFile file;
+  std::string error;
+  ASSERT_TRUE(obs::writeExports(sink, file.path(), &error)) << error;
+  const auto metrics = obs::json::parse(slurp(file.path()));
+  EXPECT_EQ(metrics.find("schema")->str, "cusp.metrics.v1");
+  const auto trace = obs::json::parse(slurp(obs::traceExportPath(file.path())));
+  EXPECT_TRUE(trace.has("traceEvents"));
+  // Empty sink or unwritable path fail with an error, not silently.
+  std::string failError;
+  EXPECT_FALSE(obs::writeExports(obs::Sink{}, file.path(), &failError));
+  EXPECT_FALSE(failError.empty());
+  EXPECT_FALSE(
+      obs::writeExports(sink, "/nonexistent-dir/x.json", &failError));
+}
+
+TEST(ObsExport, MetricsCliConsumesFlagAndWritesOnExit) {
+  TempMetricsFile file;
+  const std::string flag = "--metrics-out=" + file.path();
+  std::string prog = "tool";
+  std::string positional = "input.cgr";
+  std::vector<char*> argv = {prog.data(), const_cast<char*>(flag.c_str()),
+                             positional.data(), nullptr};
+  int argc = 3;
+  {
+    obs::MetricsCli cli(argc, argv.data());
+    ASSERT_TRUE(cli.enabled());
+    EXPECT_EQ(cli.path(), file.path());
+    // The flag was consumed: downstream parsers only see the positional.
+    EXPECT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "input.cgr");
+    EXPECT_TRUE(obs::attached());
+    obs::sink().metrics->counter("cli").add(1);
+  }
+  EXPECT_FALSE(obs::attached());
+  const auto doc = obs::json::parse(slurp(file.path()));
+  bool found = false;
+  for (const auto& entry : doc.find("counters")->array) {
+    found = found || entry.find("name")->str == "cli";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsExport, MetricsCliWithoutFlagIsInert) {
+  std::string prog = "tool";
+  std::string positional = "x";
+  std::vector<char*> argv = {prog.data(), positional.data(), nullptr};
+  int argc = 2;
+  obs::MetricsCli cli(argc, argv.data());
+  EXPECT_FALSE(cli.enabled());
+  EXPECT_EQ(argc, 2);
+  EXPECT_FALSE(obs::attached());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: an 8-host partition + BFS run covers all five phases and the
+// analytics supersteps in the exports, with counters mirroring the
+// partitioner's own volume report.
+// ---------------------------------------------------------------------------
+
+TEST(ObsEndToEnd, PartitionAndBfsCoverPhasesAndSupersteps) {
+  const graph::CsrGraph g = graph::generateWebCrawl(
+      {.numNodes = 600, .avgOutDegree = 8.0, .seed = 23});
+  const graph::GraphFile file = graph::GraphFile::fromCsr(g);
+  core::PartitionerConfig config;
+  config.numHosts = 8;
+
+  obs::ScopedObservability scope;
+  const auto result =
+      core::partitionGraph(file, core::makePolicy("CVC"), config);
+  const uint64_t source = analytics::maxOutDegreeNode(g);
+  EXPECT_EQ(analytics::runBfs(result.partitions, source),
+            analytics::bfsReference(g, source));
+
+  // Counters mirror the partitioner's own volume report (BFS ran on a
+  // separate Network, so partition-tagged traffic is unchanged by it).
+  const auto snap = scope.metrics().snapshot();
+  EXPECT_EQ(snap.counterValue("cusp.net.bytes", {{"tag", "kTagEdgeBatch"}}),
+            result.volume.bytes[comm::kTagEdgeBatch]);
+  EXPECT_GT(snap.counterValue("cusp.net.messages", {{"tag", "collective"}}),
+            0u);
+  EXPECT_GT(snap.counterValue("cusp.analytics.supersteps",
+                              {{"algo", "min_propagate"}}),
+            0u);
+  EXPECT_GT(snap.counterValue("cusp.analytics.sync_rounds"), 0u);
+
+  // The trace covers all five phases on every one of the 8 host lanes, and
+  // the BFS supersteps.
+  const auto events = scope.trace().snapshot();
+  std::map<std::string, std::set<uint32_t>> lanesByPhase;
+  bool sawSuperstep = false;
+  for (const auto& e : events) {
+    lanesByPhase[e.name].insert(e.lane);
+    sawSuperstep = sawSuperstep || e.name.rfind("superstep ", 0) == 0;
+  }
+  for (const char* phase :
+       {"Graph Reading", "Master Assignment", "Edge Assignment",
+        "Graph Allocation", "Graph Construction"}) {
+    EXPECT_EQ(lanesByPhase[phase].size(), 8u)
+        << "phase " << phase << " missing from some host lane";
+  }
+  EXPECT_TRUE(sawSuperstep) << "no analytics superstep spans recorded";
+
+  // And the chrome export of that run parses with named lanes for all
+  // 8 hosts.
+  const auto doc = obs::json::parse(scope.trace().toChromeTraceJson());
+  std::set<std::string> laneNames;
+  for (const auto& e : doc.find("traceEvents")->array) {
+    if (e.find("ph")->str == "M") {
+      laneNames.insert(e.find("args")->find("name")->str);
+    }
+  }
+  for (uint32_t h = 0; h < 8; ++h) {
+    EXPECT_TRUE(laneNames.count("host " + std::to_string(h)))
+        << "missing lane label for host " << h;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: two identical resilient runs under the same (no-crash) fault
+// plan export identical counter and histogram values. Timings (trace
+// timestamps) are excluded by construction — only monotone event counts are
+// compared.
+// ---------------------------------------------------------------------------
+
+class TempCkptDir {
+ public:
+  TempCkptDir() {
+    char tmpl[] = "/tmp/cusp_obs_ckpt_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    if (made == nullptr) {
+      throw std::runtime_error("mkdtemp failed");
+    }
+    path_ = made;
+  }
+  ~TempCkptDir() {
+    for (uint32_t h = 0; h < 8; ++h) {
+      core::removeCheckpoints(path_, h, 5);
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ObsDeterminism, IdenticalResilientRunsExportIdenticalCounters) {
+  const graph::CsrGraph g = graph::generateErdosRenyi(250, 1500, 29);
+  const graph::GraphFile file = graph::GraphFile::fromCsr(g);
+  const auto policy = core::makePolicy("CVC");
+
+  // Drops (retried transparently) and an in-flight corruption (detected,
+  // retransmitted): lossy enough to exercise the retry/corruption counters,
+  // but crash-free so the volume accounting is deterministic.
+  auto plan = std::make_shared<comm::FaultPlan>();
+  plan->messageFaults.push_back({/*src=*/0, /*dst=*/1, comm::kTagEdgeBatch,
+                                 /*occurrence=*/0, /*repeat=*/2,
+                                 comm::FaultAction::kDrop});
+  // CVC on a 2x2 grid: host 1 is (row 0, col 1), so its edge batches can
+  // only target row-0 owners — corrupt its traffic to host 0.
+  plan->messageFaults.push_back({/*src=*/1, /*dst=*/0, comm::kTagEdgeBatch,
+                                 /*occurrence=*/0, /*repeat=*/1,
+                                 comm::FaultAction::kCorrupt});
+  plan->messageFaults.push_back({/*src=*/2, /*dst=*/0, comm::kTagMirrorFlags,
+                                 /*occurrence=*/0, /*repeat=*/1,
+                                 comm::FaultAction::kDuplicate});
+
+  auto runOnce = [&](std::vector<uint8_t>* partitionBytes) {
+    TempCkptDir dir;
+    core::PartitionerConfig config;
+    config.numHosts = 4;
+    config.resilience.faultPlan =
+        std::make_shared<comm::FaultPlan>(*plan);  // fresh occurrence state
+    config.resilience.checkpointDir = dir.path();
+    config.resilience.enableCheckpoints = true;
+    config.resilience.recvTimeoutSeconds = 20.0;
+    obs::ScopedObservability scope;
+    const auto result = core::partitionGraphResilient(file, policy, config);
+    support::SendBuffer buf;
+    for (const auto& part : result.partitions) {
+      core::serializeDistGraph(buf, part);
+    }
+    *partitionBytes = buf.release();
+    return scope.metrics().snapshot();
+  };
+
+  std::vector<uint8_t> bytesA;
+  std::vector<uint8_t> bytesB;
+  const auto a = runOnce(&bytesA);
+  const auto b = runOnce(&bytesB);
+
+  // The runs themselves were identical...
+  EXPECT_EQ(bytesA, bytesB) << "resilient runs diverged; counter comparison "
+                               "would be meaningless";
+
+  // ...and so is every exported counter: payload bytes and messages per
+  // tag, checkpoint writes per phase, retries, corruptions.
+  ASSERT_EQ(a.counters.size(), b.counters.size());
+  for (size_t i = 0; i < a.counters.size(); ++i) {
+    EXPECT_EQ(a.counters[i].name, b.counters[i].name) << "entry " << i;
+    EXPECT_EQ(a.counters[i].labels, b.counters[i].labels) << "entry " << i;
+    EXPECT_EQ(a.counters[i].value, b.counters[i].value)
+        << "counter " << a.counters[i].name << " diverged between runs";
+  }
+  ASSERT_EQ(a.histograms.size(), b.histograms.size());
+  for (size_t i = 0; i < a.histograms.size(); ++i) {
+    EXPECT_EQ(a.histograms[i].name, b.histograms[i].name);
+    EXPECT_EQ(a.histograms[i].count, b.histograms[i].count);
+    EXPECT_DOUBLE_EQ(a.histograms[i].sum, b.histograms[i].sum);
+    EXPECT_EQ(a.histograms[i].bucketCounts, b.histograms[i].bucketCounts);
+  }
+
+  // The interesting counters actually fired.
+  EXPECT_GT(a.counterValue("cusp.net.send_retries"), 0u);
+  EXPECT_GT(a.counterValue("cusp.net.corruptions_detected"), 0u);
+  EXPECT_GT(a.counterValue("cusp.net.corruptions_recovered"), 0u);
+  EXPECT_EQ(a.counterValue("cusp.partitioner.checkpoints_written",
+                           {{"phase", "1"}}),
+            4u);  // one per host
+  EXPECT_GT(a.counterValue("cusp.checkpoint.bytes_written"), 0u);
+  EXPECT_GT(a.counterValue("cusp.checkpoint.files_written"), 0u);
+}
+
+}  // namespace
+}  // namespace cusp

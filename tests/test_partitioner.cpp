@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <tuple>
 
@@ -19,6 +20,8 @@
 #include "core/policies.h"
 #include "graph/generators.h"
 #include "graph/graph_file.h"
+#include "obs/obs.h"
+#include "support/serialize.h"
 #include "support/timer.h"
 #include "testutil.h"
 
@@ -99,6 +102,88 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<SweepParam>& info) {
       return std::get<0>(info.param) + "_" + std::get<1>(info.param) + "_h" +
              std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Observability must not perturb partitioning. For every (policy, host
+// count) pair: the full invariant checker passes both with and without a
+// metrics/trace sink attached, and for the deterministic (pure) policies
+// the two runs produce bit-identical partitions (stateful FennelEB policies
+// are timing-dependent even without a sink — see
+// PurePoliciesDeterministicAcrossRuns — so byte comparison is restricted to
+// the pure ones).
+// ---------------------------------------------------------------------------
+
+std::string joinViolations(const std::vector<std::string>& violations) {
+  std::string out;
+  for (const auto& v : violations) {
+    out += "\n  - " + v;
+  }
+  return out;
+}
+
+using ObsSweepParam = std::tuple<std::string, uint32_t>;
+
+class ObservedPartitionSweep : public ::testing::TestWithParam<ObsSweepParam> {
+};
+
+TEST_P(ObservedPartitionSweep, InvariantsHoldAndSinkDoesNotPerturb) {
+  const auto& [policyName, hosts] = GetParam();
+  const graph::CsrGraph g = graph::generateWebCrawl(
+      {.numNodes = 400, .avgOutDegree = 8.0, .seed = 13});
+
+  ASSERT_FALSE(obs::attached()) << "leaked sink from another test";
+  const PartitionResult plain = partition(g, policyName, hosts);
+  const auto plainViolations =
+      testutil::partitionInvariantViolations(g, plain.partitions);
+  EXPECT_TRUE(plainViolations.empty())
+      << "without sink:" << joinViolations(plainViolations);
+
+  obs::Sink sink;
+  PartitionResult observed = [&] {
+    obs::ScopedObservability scope;
+    sink = scope.sink();
+    return partition(g, policyName, hosts);
+  }();
+  EXPECT_FALSE(obs::attached()) << "ScopedObservability failed to detach";
+  const auto observedViolations =
+      testutil::partitionInvariantViolations(g, observed.partitions);
+  EXPECT_TRUE(observedViolations.empty())
+      << "with sink:" << joinViolations(observedViolations);
+
+  // The sink really saw the run (phase spans + per-tag counters).
+  ASSERT_TRUE(sink.trace != nullptr);
+  EXPECT_FALSE(sink.trace->snapshot().empty());
+
+  if (policyName == "EEC" || policyName == "HVC" || policyName == "CVC") {
+    for (uint32_t h = 0; h < hosts; ++h) {
+      support::SendBuffer a;
+      support::SendBuffer b;
+      core::serializeDistGraph(a, plain.partitions[h]);
+      core::serializeDistGraph(b, observed.partitions[h]);
+      ASSERT_EQ(a.size(), b.size()) << "host " << h;
+      EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0)
+          << "host " << h << ": partition bytes differ with sink attached";
+    }
+  }
+}
+
+std::vector<ObsSweepParam> obsSweepParams() {
+  std::vector<ObsSweepParam> params;
+  for (const auto& policy : core::extendedPolicyCatalog()) {
+    for (uint32_t hosts : {2u, 4u, 8u}) {
+      params.emplace_back(policy, hosts);
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesHosts, ObservedPartitionSweep,
+    ::testing::ValuesIn(obsSweepParams()),
+    [](const ::testing::TestParamInfo<ObsSweepParam>& info) {
+      return std::get<0>(info.param) + "_h" +
+             std::to_string(std::get<1>(info.param));
     });
 
 // ---------------------------------------------------------------------------

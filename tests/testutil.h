@@ -1,10 +1,14 @@
 // Shared helpers for the CuSP test suite.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/dist_graph.h"
 #include "graph/csr_graph.h"
 #include "graph/generators.h"
 
@@ -40,6 +44,143 @@ inline std::vector<NamedGraph> testGraphCatalog() {
   }
   graphs.push_back({"er300", graph::generateErdosRenyi(300, 1200, 17)});
   return graphs;
+}
+
+// Checks every structural invariant a partition set must satisfy against
+// its input graph and returns a human-readable description of each
+// violation (empty vector == valid):
+//  * edge multiset — every input edge assigned to exactly one host;
+//  * master assignment — exactly one master per present vertex, and every
+//    proxy's masterHostOfLocal names the host actually holding the master;
+//  * proxy accounting — per-vertex proxy counts reassemble into exactly the
+//    totals and average replication factor reported by computeQuality.
+// Unlike core::validatePartitions (which throws on the first problem) this
+// collects everything, so a test failure shows the full picture.
+inline std::vector<std::string> partitionInvariantViolations(
+    const graph::CsrGraph& original,
+    std::span<const core::DistGraph> partitions) {
+  std::vector<std::string> violations;
+  constexpr size_t kMaxPerCategory = 5;
+  auto complain = [&](size_t& count, std::string msg) {
+    if (count++ < kMaxPerCategory) {
+      violations.push_back(std::move(msg));
+    }
+  };
+
+  // Every edge assigned exactly once: the concatenation of all hosts' edges
+  // (global endpoints, transpose already undone by edgesWithGlobalIds) must
+  // equal the input's edge multiset.
+  std::vector<graph::Edge> assigned;
+  for (const core::DistGraph& part : partitions) {
+    const auto edges = part.edgesWithGlobalIds();
+    assigned.insert(assigned.end(), edges.begin(), edges.end());
+  }
+  std::vector<graph::Edge> expected = original.toEdges();
+  std::sort(assigned.begin(), assigned.end());
+  std::sort(expected.begin(), expected.end());
+  if (assigned.size() != expected.size()) {
+    violations.push_back("edge multiset: hosts hold " +
+                         std::to_string(assigned.size()) + " edges, input has " +
+                         std::to_string(expected.size()));
+  } else if (assigned != expected) {
+    for (size_t i = 0; i < assigned.size(); ++i) {
+      if (!(assigned[i] == expected[i])) {
+        violations.push_back(
+            "edge multiset: first mismatch at sorted index " +
+            std::to_string(i) + ": assigned " +
+            std::to_string(assigned[i].src) + "->" +
+            std::to_string(assigned[i].dst) + " vs input " +
+            std::to_string(expected[i].src) + "->" +
+            std::to_string(expected[i].dst));
+        break;
+      }
+    }
+  }
+
+  // One pass over every proxy: count proxies and masters per vertex and
+  // remember which host claims each master.
+  std::vector<uint32_t> proxyCount(original.numNodes(), 0);
+  std::vector<uint32_t> masterCount(original.numNodes(), 0);
+  std::vector<uint32_t> masterHost(original.numNodes(), UINT32_MAX);
+  size_t rangeErrors = 0;
+  for (const core::DistGraph& part : partitions) {
+    for (uint64_t lid = 0; lid < part.numLocalNodes(); ++lid) {
+      const uint64_t gid = part.globalId(lid);
+      if (gid >= original.numNodes()) {
+        complain(rangeErrors, "host " + std::to_string(part.hostId) +
+                                  ": local node " + std::to_string(lid) +
+                                  " maps to out-of-range global id " +
+                                  std::to_string(gid));
+        continue;
+      }
+      ++proxyCount[gid];
+      if (part.isMaster(lid)) {
+        ++masterCount[gid];
+        masterHost[gid] = part.hostId;
+      }
+    }
+  }
+  size_t masterErrors = 0;
+  for (uint64_t v = 0; v < original.numNodes(); ++v) {
+    if (proxyCount[v] > 0 && masterCount[v] != 1) {
+      complain(masterErrors, "vertex " + std::to_string(v) + " has " +
+                                 std::to_string(masterCount[v]) +
+                                 " masters across hosts (expected 1)");
+    }
+  }
+  // Cross-host consistency: every host's view of where a vertex's master
+  // lives must match the host that actually holds it.
+  size_t viewErrors = 0;
+  for (const core::DistGraph& part : partitions) {
+    for (uint64_t lid = 0; lid < part.numLocalNodes(); ++lid) {
+      const uint64_t gid = part.globalId(lid);
+      if (gid >= original.numNodes() || masterHost[gid] == UINT32_MAX) {
+        continue;
+      }
+      if (part.masterHostOfLocal[lid] != masterHost[gid]) {
+        complain(viewErrors,
+                 "host " + std::to_string(part.hostId) + " believes vertex " +
+                     std::to_string(gid) + "'s master is on host " +
+                     std::to_string(part.masterHostOfLocal[lid]) +
+                     " but it is on host " + std::to_string(masterHost[gid]));
+      }
+    }
+  }
+
+  // Proxy counts must reassemble into exactly the replication factor the
+  // quality metrics report: total proxies, total masters and the average.
+  const core::PartitionQuality quality = core::computeQuality(partitions);
+  uint64_t totalProxies = 0;
+  uint64_t totalMasters = 0;
+  uint64_t verticesWithProxies = 0;
+  for (uint64_t v = 0; v < original.numNodes(); ++v) {
+    totalProxies += proxyCount[v];
+    totalMasters += masterCount[v];
+    verticesWithProxies += proxyCount[v] > 0 ? 1 : 0;
+  }
+  if (totalProxies != quality.totalProxies) {
+    violations.push_back("replication: counted " +
+                         std::to_string(totalProxies) +
+                         " proxies but computeQuality reports " +
+                         std::to_string(quality.totalProxies));
+  }
+  if (totalMasters != quality.totalMasters) {
+    violations.push_back("replication: counted " +
+                         std::to_string(totalMasters) +
+                         " masters but computeQuality reports " +
+                         std::to_string(quality.totalMasters));
+  }
+  if (verticesWithProxies > 0) {
+    const double factor = static_cast<double>(totalProxies) /
+                          static_cast<double>(verticesWithProxies);
+    if (std::abs(factor - quality.avgReplicationFactor) > 1e-9) {
+      violations.push_back(
+          "replication: per-vertex proxy counts give factor " +
+          std::to_string(factor) + " but computeQuality reports " +
+          std::to_string(quality.avgReplicationFactor));
+    }
+  }
+  return violations;
 }
 
 // A graph with isolated vertices and a self loop mixed in.
