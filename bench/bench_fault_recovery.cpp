@@ -11,16 +11,29 @@
 //      the resumed re-run. Expected: grows with P (later crashes waste
 //      more pre-crash work), while the re-run itself shrinks as the resume
 //      point advances; without checkpoints every crash pays a full re-run.
+//  (c) Straggler slowdown sweep — one host paces every network op by a
+//      sustained factor; soft straggler deadlines meter the blame it
+//      accrues, and at the top factor the hard deadline evicts it and the
+//      survivors re-partition. Expected: wall time grows with the factor
+//      while soft reports pile up on the laggard; the eviction row trades
+//      a recovery attempt for freedom from the slow host.
+//
+// --metrics-out=bench.json dumps the run's counters (checkpoint commits,
+// straggler soft reports and hard evictions, recovery attempts) alongside
+// the printed tables.
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <system_error>
 
 #include <unistd.h>
 
 #include "bench_common.h"
 #include "comm/fault.h"
 #include "core/checkpoint.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -42,13 +55,17 @@ void cleanupCheckpointDir(const std::string& dir, uint32_t hosts) {
   for (uint32_t h = 0; h < hosts; ++h) {
     cusp::core::removeCheckpoints(dir, h, 5);
   }
-  ::rmdir(dir.c_str());
+  // Degraded recovery writes per-epoch subdirectories (<dir>/e<N>); sweep
+  // whatever the per-host removal above did not cover.
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cusp;
+  obs::MetricsCli metricsCli(argc, argv);
   const uint64_t edges = 250'000;
   const uint32_t hosts = 8;
   const std::string input = "kron";
@@ -125,6 +142,66 @@ int main() {
                     recovered.totalSeconds, makespan,
                     makespan / baseline.totalSeconds);
       }
+    }
+  }
+
+  bench::printHeader("(c) Straggler slowdown sweep, " + input +
+                     ", CVC, 8 hosts");
+  {
+    // A smaller stand-in: the pacing sleeps are real wall time, so the
+    // sweep sizes the graph to keep the 10x row in bench territory.
+    const auto& sg = bench::standIn(input, 60'000);
+    const graph::GraphFile sfile = graph::GraphFile::fromCsr(sg);
+    const auto policy = bench::benchPolicy("CVC");
+    core::PartitionerConfig config = bench::benchConfig();
+    config.numHosts = hosts;
+    const double clean =
+        core::partitionGraph(sfile, policy, config).totalSeconds;
+    std::printf("fault-free total: %.4f s\n\n", clean);
+    std::printf("%-10s %-6s %10s %12s %13s %10s\n", "slowdown", "mode",
+                "total (s)", "vs clean", "soft reports", "evicted");
+
+    struct Row {
+      double factor;
+      bool hard;  // arm the hard deadline and let it evict
+    };
+    const Row rows[] = {{1.0, false}, {2.0, false}, {5.0, false},
+                        {10.0, false}, {10.0, true}};
+    for (const Row& row : rows) {
+      auto plan = std::make_shared<comm::FaultPlan>();
+      if (row.factor > 1.0) {
+        // Host 1 paces every network op from master assignment onward.
+        plan->slowdowns.push_back(comm::HostSlowdown{
+            /*host=*/1, row.factor, /*opMicros=*/200, /*fromPhase=*/1});
+      }
+      core::PartitionerConfig run = config;
+      run.resilience.faultPlan = plan;
+      run.resilience.recvTimeoutSeconds = 60.0;
+      run.resilience.straggler.softDeadlineSeconds = 0.01;
+      std::string dir;
+      if (row.hard) {
+        run.resilience.straggler.hardDeadlineSeconds = 0.25;
+        run.resilience.degradedMode = true;
+        dir = makeCheckpointDir();
+        run.resilience.checkpointDir = dir;
+        run.resilience.enableCheckpoints = true;
+      }
+
+      core::RecoveryReport report;
+      const auto result =
+          core::partitionGraphResilient(sfile, policy, run, &report);
+      if (row.hard) {
+        cleanupCheckpointDir(dir, hosts);
+      }
+      std::string evicted = "-";
+      if (!report.evictions.empty()) {
+        evicted = "host " + std::to_string(report.evictions[0].host);
+      }
+      std::printf("%9.0fx %-6s %10.4f %11.2fx %13llu %10s\n", row.factor,
+                  row.hard ? "hard" : "soft", result.totalSeconds,
+                  result.totalSeconds / clean,
+                  static_cast<unsigned long long>(report.stragglerSoftReports),
+                  evicted.c_str());
     }
   }
   return 0;

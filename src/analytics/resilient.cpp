@@ -11,6 +11,8 @@
 #include "core/degraded.h"
 #include "obs/obs.h"
 #include "support/bitset.h"
+#include "support/logging.h"
+#include "support/storage.h"
 
 namespace cusp::analytics {
 
@@ -228,6 +230,12 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
   if (options.faultPlan && !options.faultPlan->empty()) {
     injector = std::make_shared<comm::FaultInjector>(*options.faultPlan);
   }
+  // One blame ledger for the whole run, like the injector: blame and
+  // condemnation survive recovery attempts.
+  std::shared_ptr<comm::StragglerMonitor> stragglerMonitor;
+  if (options.straggler.enabled()) {
+    stragglerMonitor = std::make_shared<comm::StragglerMonitor>(k);
+  }
   const bool checkpoints =
       options.enableCheckpoints && !options.checkpointDir.empty();
   const uint32_t interval = std::max(1u, options.checkpointInterval);
@@ -265,6 +273,13 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
   std::atomic<uint32_t> checkpointsSaved{0};
   uint32_t failuresThisEpoch = 0;
 
+  // ENOSPC continuation mode: once any host's checkpoint write reports
+  // kNoSpace, the whole run stops checkpointing (the condition is
+  // persistent — retrying every interval would only churn) and continues
+  // with rollback protection degraded to restart-from-the-last-good-phase.
+  std::atomic<bool> checkpointingDisabled{false};
+  std::atomic<uint32_t> checkpointWriteFailures{0};
+
   auto participants = [&](uint32_t e) {
     std::vector<uint32_t> out;
     const auto& evicted = evictedAtEpochStart[e];
@@ -291,6 +306,10 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
     net.setRetryPolicy(options.retry);
     if (options.recvTimeoutSeconds > 0) {
       net.setRecvTimeout(options.recvTimeoutSeconds);
+    }
+    if (stragglerMonitor) {
+      net.setStragglerPolicy(options.straggler);
+      net.setStragglerMonitor(stragglerMonitor);
     }
     for (uint32_t r : evictedRanks) {
       net.evict(r);
@@ -352,10 +371,14 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
             auto payload =
                 core::loadCheckpointOrReplica(dir, r, k, resumePhase);
             if (!payload) {
-              throw std::runtime_error(
-                  "runResilient: agreed checkpoint of host " +
-                  std::to_string(r) + " phase " + std::to_string(resumePhase) +
-                  " disappeared between agreement and restore");
+              // Retryable: the next attempt's agreement round will settle
+              // on whatever is still recoverable (an earlier phase or
+              // epoch), or fall through to degraded re-partition.
+              throw support::StorageError(
+                  support::StorageError::Kind::kReadFailed,
+                  core::checkpointPath(dir, r, resumePhase),
+                  "agreed checkpoint disappeared between agreement and "
+                  "restore");
             }
             if (ckptRestoredCtr != nullptr) {
               ckptRestoredCtr->add();
@@ -388,7 +411,9 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
             frontierHist->observe(static_cast<double>(frontier.count()));
           }
           const bool more = program.superstep(s, value, frontier);
-          if (checkpoints && ((s + 1) % interval == 0 || !more)) {
+          if (checkpoints &&
+              !checkpointingDisabled.load(std::memory_order_relaxed) &&
+              ((s + 1) % interval == 0 || !more)) {
             support::SendBuffer payload;
             const uint64_t superstep = s;
             std::vector<uint64_t> gids;
@@ -410,15 +435,35 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
                                   frontierGids);
             const std::string dir = epochDir(options.checkpointDir, epoch);
             const uint32_t phase = s + 1;
-            core::saveCheckpoint(dir, me, k, phase, payload);
-            if (options.buddyReplication) {
-              core::saveCheckpointReplica(dir, me, k, phase, payload);
+            try {
+              core::saveCheckpoint(dir, me, k, phase, payload);
+              if (options.buddyReplication) {
+                core::saveCheckpointReplica(dir, me, k, phase, payload);
+              }
+              checkpointsSaved.fetch_add(1, std::memory_order_relaxed);
+              if (ckptWrittenCtr != nullptr) {
+                ckptWrittenCtr->add();
+              }
+              atomicMax(maxPhaseSaved, phase);
+            } catch (const support::StorageError& e) {
+              // A failed checkpoint write never fails the superstep: the
+              // run continues, at worst rolling further back on the next
+              // fault. ENOSPC additionally disables checkpointing for the
+              // rest of the run — a full disk does not fix itself, and
+              // retrying every interval would only churn.
+              checkpointWriteFailures.fetch_add(1, std::memory_order_relaxed);
+              if (e.kind == support::StorageError::Kind::kNoSpace &&
+                  !checkpointingDisabled.exchange(true,
+                                                  std::memory_order_relaxed)) {
+                CUSP_LOG_WARN()
+                    << "checkpointing disabled for the rest of the run: "
+                    << e.what();
+                if (obsSink.metrics) {
+                  obsSink.metrics->counter("cusp.checkpoint.disabled_enospc")
+                      .add();
+                }
+              }
             }
-            checkpointsSaved.fetch_add(1, std::memory_order_relaxed);
-            if (ckptWrittenCtr != nullptr) {
-              ckptWrittenCtr->add();
-            }
-            atomicMax(maxPhaseSaved, phase);
           }
           ++s;
           if (!more) {
@@ -437,6 +482,11 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
       report.corruptionsRecovered += volume.corruptionsRecovered;
       report.supersteps = superstepsRun.load();
       report.checkpointsSaved = checkpointsSaved.load();
+      report.checkpointWriteFailures = checkpointWriteFailures.load();
+      report.checkpointingDisabledByEnospc = checkpointingDisabled.load();
+      if (stragglerMonitor) {
+        report.stragglerSoftReports = stragglerMonitor->totalSoftReports();
+      }
       report.finalAliveHosts = net.numAliveHosts();
       publish();
       return global;
@@ -445,6 +495,11 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
       report.corruptionsDetected += volume.corruptionsDetected;
       report.corruptionsRecovered += volume.corruptionsRecovered;
       report.checkpointsSaved = checkpointsSaved.load();
+      report.checkpointWriteFailures = checkpointWriteFailures.load();
+      report.checkpointingDisabledByEnospc = checkpointingDisabled.load();
+      if (stragglerMonitor) {
+        report.stragglerSoftReports = stragglerMonitor->totalSoftReports();
+      }
       const std::exception_ptr ep = std::current_exception();
       std::string kind;
       std::string what;
@@ -465,14 +520,28 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
       report.failures.push_back(what);
       report.failureKinds.push_back(kind);
 
-      // Permanent losses turn into evictions (degraded mode): drop the dead
-      // hosts' checkpoint stores, reassign their masters to the survivors,
-      // open a fresh epoch with a fresh attempt budget.
+      // Permanent losses AND condemned stragglers turn into evictions
+      // (degraded mode): reassign their masters to the survivors, open a
+      // fresh epoch with a fresh attempt budget. A crashed host's
+      // checkpoint store dies with it; a condemned straggler's machine is
+      // merely slow, so its files stay readable for the restore path.
       std::vector<uint32_t> newlyDown;
+      std::vector<uint32_t> newlyCrashed;
       if (injector) {
         for (comm::HostId h : injector->permanentlyDownHosts()) {
           if (std::find(evictedRanks.begin(), evictedRanks.end(), h) ==
               evictedRanks.end()) {
+            newlyDown.push_back(h);
+            newlyCrashed.push_back(h);
+          }
+        }
+      }
+      if (stragglerMonitor) {
+        for (comm::HostId h : stragglerMonitor->condemnedHosts()) {
+          if (std::find(evictedRanks.begin(), evictedRanks.end(), h) ==
+                  evictedRanks.end() &&
+              std::find(newlyDown.begin(), newlyDown.end(), h) ==
+                  newlyDown.end()) {
             newlyDown.push_back(h);
           }
         }
@@ -483,7 +552,9 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
         for (uint32_t h : newlyDown) {
           report.evictions.push_back(h);
           evictedRanks.push_back(h);
-          if (checkpoints) {
+        }
+        if (checkpoints) {
+          for (uint32_t h : newlyCrashed) {
             for (uint32_t e = 0; e <= epoch; ++e) {
               core::removeHostCheckpointStore(
                   epochDir(options.checkpointDir, e), h, k,

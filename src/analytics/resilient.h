@@ -79,6 +79,12 @@ struct ResilienceOptions {
   // rethrowing once the attempt budget is spent.
   bool degradedMode = false;
 
+  // Straggler deadlines (comm::StragglerPolicy): receivers blocked on one
+  // slow peer past the soft deadline emit blame reports; a peer over the
+  // hard deadline is condemned and — with degradedMode on — evicted into
+  // the degraded continuation exactly like a permanent crash.
+  comm::StragglerPolicy straggler;
+
   comm::NetworkCostModel costModel;
 };
 
@@ -95,6 +101,13 @@ struct ResilienceReport {
   // Wire-corruption outcomes summed over every attempt's network.
   uint64_t corruptionsDetected = 0;
   uint64_t corruptionsRecovered = 0;
+  // Storage-fault outcomes: failed checkpoint writes are absorbed (the
+  // superstep continues uncheckpointed), and a persistent ENOSPC flips the
+  // run into an explicit checkpointing-disabled continuation mode.
+  uint32_t checkpointWriteFailures = 0;
+  bool checkpointingDisabledByEnospc = false;
+  // Soft straggler reports accumulated by the run's StragglerMonitor.
+  uint64_t stragglerSoftReports = 0;
 };
 
 // Resilient counterparts of runBfs/runSssp/runCc/runPageRank: same result

@@ -1,5 +1,9 @@
 #include "comm/fault.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "comm/network.h"
 #include "support/random.h"
 
@@ -24,6 +28,18 @@ MessageCorrupt::MessageCorrupt(HostId from, HostId to, Tag tag)
       from(from),
       to(to),
       tag(tag) {}
+
+StragglerDeadline::StragglerDeadline(HostId from, HostId laggard, Tag tag,
+                                     double blamedSeconds)
+    : std::runtime_error(
+          "host " + std::to_string(laggard) + " blew the hard straggler "
+          "deadline (" + std::to_string(blamedSeconds) + "s of blamed wait); "
+          "host " + std::to_string(from) + " gave up waiting on " +
+          tagName(tag)),
+      from(from),
+      laggard(laggard),
+      tag(tag),
+      blamedSeconds(blamedSeconds) {}
 
 HostEvicted::HostEvicted(HostId from, HostId host, Tag tag, uint64_t epoch)
     : std::runtime_error("host " + std::to_string(host) +
@@ -118,6 +134,23 @@ void FaultInjector::onCrossing(HostId host) {
     lock.unlock();
     throw HostFailure(host, phase);
   }
+  // Sustained pacing: a slowdown plan makes every crossing of this host
+  // genuinely cost extra wall-clock time, so its peers really do wait on
+  // it. The sleep happens outside the lock — a straggler must not slow the
+  // injector down for everyone else.
+  double paceMicros = 0.0;
+  for (const HostSlowdown& slow : plan_.slowdowns) {
+    if (slow.host == host && slow.factor > 1.0 && phase >= slow.fromPhase) {
+      paceMicros += (slow.factor - 1.0) * slow.opMicros;
+    }
+  }
+  if (paceMicros > 0.0) {
+    ++stats_.slowdownOps;
+    stats_.slowdownMicros += static_cast<uint64_t>(paceMicros);
+    lock.unlock();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(paceMicros)));
+  }
 }
 
 void FaultInjector::enterPhase(HostId host, uint32_t phase) {
@@ -157,9 +190,94 @@ FaultStats FaultInjector::stats() const {
   return stats_;
 }
 
+StragglerMonitor::StragglerMonitor(uint32_t numHosts)
+    : blame_(numHosts, 0.0),
+      softReports_(numHosts, 0),
+      condemned_(numHosts, false) {}
+
+void StragglerMonitor::recordBlame(HostId laggard, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (laggard >= blame_.size()) {
+    return;
+  }
+  blame_[laggard] += seconds;
+  ++softReports_[laggard];
+}
+
+double StragglerMonitor::blamedSeconds(HostId laggard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return laggard < blame_.size() ? blame_[laggard] : 0.0;
+}
+
+uint64_t StragglerMonitor::softReports(HostId laggard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return laggard < softReports_.size() ? softReports_[laggard] : 0;
+}
+
+uint64_t StragglerMonitor::totalSoftReports() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const uint64_t n : softReports_) {
+    total += n;
+  }
+  return total;
+}
+
+double StragglerMonitor::medianPeerBlame(HostId excluding) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> peers;
+  peers.reserve(blame_.size());
+  for (HostId h = 0; h < blame_.size(); ++h) {
+    if (h != excluding) {
+      peers.push_back(blame_[h]);
+    }
+  }
+  if (peers.empty()) {
+    return 0.0;
+  }
+  std::sort(peers.begin(), peers.end());
+  return peers[peers.size() / 2];
+}
+
+bool StragglerMonitor::overHardDeadline(HostId laggard,
+                                        const StragglerPolicy& policy) const {
+  if (!policy.hardEnabled()) {
+    return false;
+  }
+  // In the common case healthy peers carry ~0 blame, so the median factor
+  // term vanishes and the absolute floor decides; when everyone is equally
+  // slow the median is high and nobody is condemned.
+  return blamedSeconds(laggard) > policy.hardDeadlineSeconds &&
+         blamedSeconds(laggard) >
+             policy.hardDeadlineMedianFactor * medianPeerBlame(laggard);
+}
+
+void StragglerMonitor::markCondemned(HostId laggard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (laggard < condemned_.size()) {
+    condemned_[laggard] = true;
+  }
+}
+
+bool StragglerMonitor::isCondemned(HostId laggard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return laggard < condemned_.size() && condemned_[laggard];
+}
+
+std::vector<HostId> StragglerMonitor::condemnedHosts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HostId> hosts;
+  for (HostId h = 0; h < condemned_.size(); ++h) {
+    if (condemned_[h]) {
+      hosts.push_back(h);
+    }
+  }
+  return hosts;
+}
+
 FaultPlan randomFaultPlan(uint64_t seed, uint32_t numHosts,
                           uint32_t maxMessageFaults, uint32_t maxCrashes,
-                          bool allowPermanent) {
+                          bool allowPermanent, uint32_t maxSlowdowns) {
   support::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
   FaultPlan plan;
   static constexpr Tag kFuzzTags[] = {
@@ -202,6 +320,19 @@ FaultPlan randomFaultPlan(uint64_t seed, uint32_t numHosts,
     crash.permanent = allowPermanent && rng.nextBounded(3) == 0;
     plan.crashes.push_back(crash);
   }
+  // Slowdown draws come LAST so that plans for a given seed are unchanged
+  // when maxSlowdowns == 0 (the fuzzer's historical seeds keep replaying
+  // the exact schedules they always did).
+  const uint64_t numSlowdowns =
+      maxSlowdowns == 0 ? 0 : rng.nextBounded(maxSlowdowns + 1);
+  for (uint64_t i = 0; i < numSlowdowns; ++i) {
+    HostSlowdown slow;
+    slow.host = static_cast<HostId>(rng.nextBounded(numHosts));
+    slow.factor = 2.0 + static_cast<double>(rng.nextBounded(7));  // 2-8x
+    slow.opMicros = 20 + static_cast<uint32_t>(rng.nextBounded(60));
+    slow.fromPhase = static_cast<uint32_t>(rng.nextBounded(6));  // 0..5
+    plan.slowdowns.push_back(slow);
+  }
   return plan;
 }
 
@@ -232,6 +363,11 @@ FaultPlan remapFaultPlan(const FaultPlan& plan,
   for (HostCrash crash : plan.crashes) {
     if (translate(crash.host, &crash.host)) {
       remapped.crashes.push_back(crash);
+    }
+  }
+  for (HostSlowdown slow : plan.slowdowns) {
+    if (translate(slow.host, &slow.host)) {
+      remapped.slowdowns.push_back(slow);
     }
   }
   return remapped;

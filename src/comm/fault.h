@@ -33,6 +33,18 @@
 // crash fires, every later crossing of that host fails immediately, across
 // all recovery attempts sharing the injector). Permanent loss is what the
 // degraded-mode driver turns into a membership eviction.
+//
+// Stragglers are the third failure class, between "delayed message" and
+// "dead host": a HostSlowdown paces EVERY network crossing of one host by a
+// sustained factor (real sleep, distinct from kDelay's per-message scan
+// deferral), modeling a thermally throttled or oversubscribed machine. The
+// countermeasure lives in Network::recv + StragglerMonitor: peers blocked
+// past a soft deadline attribute the wait to the host they are blocked on
+// (a straggler report through obs), and once one host's accumulated blame
+// exceeds the hard deadline AND a multiple of the median peer's blame, the
+// waiter throws StragglerDeadline — which the resilient drivers turn into a
+// deliberate eviction through the existing degraded path, trading the
+// laggard's capacity for bounded forward progress.
 #pragma once
 
 #include <cstdint>
@@ -85,11 +97,26 @@ struct HostCrash {
   bool permanent = false;
 };
 
+// Sustained pacing of one host: every network crossing of `host` from phase
+// `fromPhase` onward costs an extra (factor - 1) * opMicros microseconds of
+// REAL wall-clock time (slept, not modeled), so a 10x straggler genuinely
+// makes its peers wait. Distinct from FaultAction::kDelay, which defers a
+// single message by receiver scan cycles.
+struct HostSlowdown {
+  HostId host = 0;
+  double factor = 1.0;     // >= 1; 1 = no slowdown
+  uint32_t opMicros = 50;  // simulated per-crossing work at factor 1
+  uint32_t fromPhase = 0;  // active once the host announces this phase
+};
+
 struct FaultPlan {
   std::vector<MessageFault> messageFaults;
   std::vector<HostCrash> crashes;
+  std::vector<HostSlowdown> slowdowns;
 
-  bool empty() const { return messageFaults.empty() && crashes.empty(); }
+  bool empty() const {
+    return messageFaults.empty() && crashes.empty() && slowdowns.empty();
+  }
 };
 
 // Bounded retry with (modeled) exponential backoff for sender-visible
@@ -112,6 +139,8 @@ struct FaultStats {
                            // VolumeStats::corruptionsDetected)
   uint64_t retries = 0;
   uint64_t crashesFired = 0;
+  uint64_t slowdownOps = 0;     // crossings that were paced
+  uint64_t slowdownMicros = 0;  // total injected pacing time
 };
 
 class HostFailure : public std::runtime_error {
@@ -171,8 +200,87 @@ class MessageCorrupt : public std::runtime_error {
   Tag tag;
 };
 
+// A receive waited past the hard straggler deadline on one specific peer
+// whose accumulated blame dwarfs the median. The resilient drivers treat
+// this like a permanent loss of `laggard`: evict it into the degraded path
+// so the job's forward progress is bounded by the healthy majority, not the
+// slowest machine.
+class StragglerDeadline : public std::runtime_error {
+ public:
+  StragglerDeadline(HostId from, HostId laggard, Tag tag,
+                    double blamedSeconds);
+
+  HostId from;
+  HostId laggard;
+  Tag tag;
+  double blamedSeconds;
+};
+
 // Human-readable name of a message tag (for stall reports and errors).
 std::string tagName(Tag tag);
+
+// Deadline policy for waits that are blocked on one specific peer.
+// Disabled by default; enable by setting softDeadlineSeconds > 0.
+//
+//  * Soft deadline: a receiver blocked on host H for longer than
+//    `softDeadlineSeconds` emits a straggler report (obs counter
+//    cusp.straggler.soft_reports{host=H}) and adds the waited time to H's
+//    blame tally in the run's StragglerMonitor, then keeps waiting.
+//  * Hard deadline: once H's accumulated blame exceeds
+//    `hardDeadlineSeconds` AND `hardDeadlineMedianFactor` x the median
+//    blame of its peers (so a globally slow run does not condemn anyone),
+//    the waiter throws StragglerDeadline. 0 disables the hard deadline
+//    (report-only mode).
+struct StragglerPolicy {
+  double softDeadlineSeconds = 0.0;
+  double hardDeadlineSeconds = 0.0;
+  double hardDeadlineMedianFactor = 4.0;
+
+  bool enabled() const { return softDeadlineSeconds > 0.0; }
+  bool hardEnabled() const {
+    return enabled() && hardDeadlineSeconds > 0.0;
+  }
+};
+
+// Per-run blame ledger for straggler detection. Shared (via shared_ptr) by
+// every Network of a resilient run — like the FaultInjector — so blame
+// accumulated before a recovery attempt survives into the next one, and a
+// host condemned once stays condemned.
+//
+// "Blame" is wall-clock seconds peers spent blocked on a host past the
+// soft deadline. The hard-deadline test is relative (vs the median peer's
+// blame), so uniform slowness — every host equally loaded — never
+// condemns; only a genuine outlier does.
+class StragglerMonitor {
+ public:
+  explicit StragglerMonitor(uint32_t numHosts);
+
+  // Peer spent `seconds` blocked on `laggard` past the soft deadline.
+  void recordBlame(HostId laggard, double seconds);
+
+  double blamedSeconds(HostId laggard) const;
+  uint64_t softReports(HostId laggard) const;
+  uint64_t totalSoftReports() const;
+
+  // Median blame over all hosts except `excluding`.
+  double medianPeerBlame(HostId excluding) const;
+
+  // Whether `laggard`'s blame satisfies the hard-deadline predicate.
+  bool overHardDeadline(HostId laggard, const StragglerPolicy& policy) const;
+
+  // Condemnation is sticky: the first waiter to cross the hard deadline
+  // marks the host, and every Network sharing the monitor fails fast on it
+  // until the driver completes the eviction.
+  void markCondemned(HostId laggard);
+  bool isCondemned(HostId laggard) const;
+  std::vector<HostId> condemnedHosts() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> blame_;
+  std::vector<uint64_t> softReports_;
+  std::vector<bool> condemned_;
+};
 
 // Runtime fault state. Thread-safe; shared (via shared_ptr) by every
 // Network of a resilient run so that occurrence counters and fired-crash
@@ -192,7 +300,9 @@ class FaultInjector {
   // A network crossing by `host` (send/recv/barrier entry or an explicit
   // fault point). Throws HostFailure if a scheduled crash is due, or — for
   // a host a permanent crash already took down — immediately (a dead
-  // machine does not boot for the next recovery attempt).
+  // machine does not boot for the next recovery attempt). If the plan paces
+  // `host` (HostSlowdown active in its current phase), the crossing sleeps
+  // the injected extra time before returning.
   void onCrossing(HostId host);
 
   // Partitioner phase announcements; resets the host's crossing counter.
@@ -224,19 +334,23 @@ class FaultInjector {
 // delay/corrupt faults over the partitioner's tags plus at most `maxCrashes`
 // scheduled host crashes. With `allowPermanent`, roughly a third of the
 // generated crashes are permanent (the host never reboots), exercising the
-// degraded-mode eviction path.
+// degraded-mode eviction path. With `maxSlowdowns > 0`, up to that many
+// hosts are additionally paced by a sustained 2-8x slowdown factor; the
+// slowdown draws come after the message/crash draws, so plans for a given
+// seed are unchanged when maxSlowdowns == 0.
 FaultPlan randomFaultPlan(uint64_t seed, uint32_t numHosts,
                           uint32_t maxMessageFaults = 6,
                           uint32_t maxCrashes = 1,
-                          bool allowPermanent = false);
+                          bool allowPermanent = false,
+                          uint32_t maxSlowdowns = 0);
 
 // Projects a fault plan onto a shrunk host set after evictions:
 // `survivors[newRank]` is the original id of the host now running as
-// `newRank`. Faults and crashes pinned to an evicted host are dropped;
-// the rest have their host ids remapped (kAnyHost stays wildcarded). The
-// degraded-mode driver feeds the result to the fresh injector of each
-// re-partition epoch, so a second permanent crash still fires at its
-// survivor rank.
+// `newRank`. Faults, crashes and slowdowns pinned to an evicted host are
+// dropped; the rest have their host ids remapped (kAnyHost stays
+// wildcarded). The degraded-mode driver feeds the result to the fresh
+// injector of each re-partition epoch, so a second permanent crash still
+// fires at its survivor rank.
 FaultPlan remapFaultPlan(const FaultPlan& plan,
                          const std::vector<HostId>& survivors);
 

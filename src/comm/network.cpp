@@ -23,6 +23,22 @@ uint64_t packBlocked(HostId from, Tag tag) {
          static_cast<uint64_t>(tag);
 }
 
+// Straggler reports are rare (at most one per soft-deadline window per
+// blocked receiver), so the cells are looked up per event instead of being
+// cached in ObsHandles like the per-send counters.
+void countStragglerReport(HostId laggard, bool hard) {
+  if (!obs::attached()) {
+    return;
+  }
+  if (const auto registry = obs::sink().metrics) {
+    registry
+        ->counter(hard ? "cusp.straggler.hard_evictions"
+                       : "cusp.straggler.soft_reports",
+                  {{"host", std::to_string(laggard)}})
+        .add(1);
+  }
+}
+
 }  // namespace
 
 Network::Network(uint32_t numHosts, NetworkCostModel costModel)
@@ -390,6 +406,32 @@ void Network::throwStalled(HostId me, Tag tag, HostId from,
   throw NetworkStalled(report.str());
 }
 
+HostId Network::chaseBlame(HostId me, HostId from) const {
+  // Attribute a stalled wait to its ROOT CAUSE, not the direct peer. In a
+  // gather/broadcast tree every host waits on the collective root while the
+  // root itself waits on the true laggard; blaming the direct peer condemns
+  // the innocent root alongside the straggler (and poisons the median-peer
+  // guard, since the other waiters accrue blame at the same rate). Follow
+  // the blocked-on chain until it ends at a host that is not itself blocked
+  // on a specific peer. Bounded hops plus a self-reference stop keep a
+  // genuine wait cycle (a deadlock, not a straggler) blaming the direct
+  // peer's chain tail rather than looping.
+  HostId culprit = from;
+  for (uint32_t hop = 0; hop < numHosts(); ++hop) {
+    const uint64_t packed = blockedOn_[culprit]->load(std::memory_order_acquire);
+    if ((packed & kBlockedActiveBit) == 0) {
+      break;  // chain tail: the culprit is running (slowly), not waiting
+    }
+    const HostId next = static_cast<HostId>((packed >> 32) & 0x7FFFFFFFu);
+    if (next == (kAnyHost & 0x7FFFFFFFu) || next == me || next == culprit ||
+        !isAlive(next)) {
+      break;  // unattributable wait, or the chain loops back to us
+    }
+    culprit = next;
+  }
+  return culprit;
+}
+
 Message Network::recvImpl(HostId me, Tag tag, HostId from) {
   if (!isAlive(me) || (from != kAnyHost && !isAlive(from))) {
     throw HostEvicted(me, isAlive(me) ? from : me, tag, membershipEpoch());
@@ -401,6 +443,15 @@ Message Network::recvImpl(HostId me, Tag tag, HostId from) {
   const int64_t timeoutNanos = recvTimeoutNanos_.load(std::memory_order_relaxed);
   const auto start = std::chrono::steady_clock::now();
   const auto deadline = start + std::chrono::nanoseconds(timeoutNanos);
+  // Straggler deadlines only apply to waits blocked on one SPECIFIC peer:
+  // that is the only case where slowness is attributable to a host rather
+  // than to the network at large.
+  const bool stragglerWatch = from != kAnyHost && stragglerMonitor_ &&
+                              stragglerPolicy_.enabled();
+  const auto softDur = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(stragglerPolicy_.softDeadlineSeconds));
+  auto lastBlameMark = start;  // start of the current blame window
   std::unique_lock<std::mutex> lock(box.mutex);
   for (;;) {
     if (auto msg = scanLocked(box, tag, from)) {
@@ -413,6 +464,12 @@ Message Network::recvImpl(HostId me, Tag tag, HostId from) {
       // The awaited peer was evicted while we were blocked (evict() wakes
       // all receivers): nothing more will ever arrive on this channel.
       throw HostEvicted(me, from, tag, membershipEpoch());
+    }
+    if (stragglerWatch && stragglerMonitor_->isCondemned(from)) {
+      // Another waiter already condemned this peer; fail fast instead of
+      // waiting for the driver's eviction to propagate.
+      throw StragglerDeadline(me, from, tag,
+                              stragglerMonitor_->blamedSeconds(from));
     }
     if (injector_) {
       // A failed scan ages delayed messages; one may have matured.
@@ -445,13 +502,51 @@ Message Network::recvImpl(HostId me, Tag tag, HostId from) {
         timedOut = timeoutNanos > 0 &&
                    std::chrono::steady_clock::now() >= deadline;
       }
-    } else if (timeoutNanos > 0) {
-      timedOut = box.arrived.wait_until(lock, deadline) ==
-                 std::cv_status::timeout;
+    } else if (timeoutNanos > 0 || stragglerWatch) {
+      // Wake at the earlier of the recv deadline and the next soft
+      // straggler mark; only an expired RECV deadline counts as a timeout.
+      auto waitDeadline = timeoutNanos > 0
+                              ? deadline
+                              : std::chrono::steady_clock::time_point::max();
+      if (stragglerWatch && lastBlameMark + softDur < waitDeadline) {
+        waitDeadline = lastBlameMark + softDur;
+      }
+      timedOut = box.arrived.wait_until(lock, waitDeadline) ==
+                     std::cv_status::timeout &&
+                 timeoutNanos > 0 &&
+                 std::chrono::steady_clock::now() >= deadline;
     } else {
       box.arrived.wait(lock);
     }
     blockedOn_[me]->store(0, std::memory_order_release);
+    if (stragglerWatch) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= lastBlameMark + softDur) {
+        if (auto msg = scanLocked(box, tag, from)) {
+          // The peer answered at the wire — slow, but within this wake.
+          return std::move(*msg);
+        }
+        // Blocked on `from` for a full soft-deadline window with nothing to
+        // show for it: chase the blocked-on chain to the root cause and
+        // attribute the wait there (see chaseBlame).
+        const double blamed =
+            std::chrono::duration<double>(now - lastBlameMark).count();
+        lastBlameMark = now;
+        const HostId culprit = chaseBlame(me, from);
+        stragglerMonitor_->recordBlame(culprit, blamed);
+        countStragglerReport(culprit, /*hard=*/false);
+        if (stragglerMonitor_->overHardDeadline(culprit, stragglerPolicy_)) {
+          stragglerMonitor_->markCondemned(culprit);
+          countStragglerReport(culprit, /*hard=*/true);
+          // Re-register as blocked so sibling stall reports still name us
+          // while this propagates toward the driver's eviction.
+          blockedOn_[me]->store(packBlocked(from, tag),
+                                std::memory_order_release);
+          throw StragglerDeadline(me, culprit, tag,
+                                  stragglerMonitor_->blamedSeconds(culprit));
+        }
+      }
+    }
     if (timedOut) {
       if (injector_) {
         ageDelayedLocked(box);

@@ -326,6 +326,24 @@ class Network {
   void setRetryPolicy(const RetryPolicy& policy) { retryPolicy_ = policy; }
   const RetryPolicy& retryPolicy() const { return retryPolicy_; }
 
+  // Straggler deadlines (see StragglerPolicy in fault.h). Both must be set
+  // before runHosts; the monitor is shared across the Networks of a
+  // resilient run — like the fault injector — so blame and condemnation
+  // persist across recovery attempts. A receive blocked on one SPECIFIC
+  // peer past the soft deadline attributes the wait to that peer (obs
+  // counter cusp.straggler.soft_reports{host}) and, once the peer's
+  // accumulated blame crosses the hard deadline, throws StragglerDeadline.
+  void setStragglerPolicy(const StragglerPolicy& policy) {
+    stragglerPolicy_ = policy;
+  }
+  const StragglerPolicy& stragglerPolicy() const { return stragglerPolicy_; }
+  void setStragglerMonitor(std::shared_ptr<StragglerMonitor> monitor) {
+    stragglerMonitor_ = std::move(monitor);
+  }
+  const std::shared_ptr<StragglerMonitor>& stragglerMonitor() const {
+    return stragglerMonitor_;
+  }
+
   // Partitioner phase announcements for phase-scheduled crashes; no-ops
   // without an injector.
   void enterPhase(HostId me, uint32_t phase) {
@@ -414,6 +432,7 @@ class Network {
   void compactChannelsLocked(Mailbox& box);
   [[noreturn]] void throwStalled(HostId me, Tag tag, HostId from,
                                  double waitedSeconds);
+  HostId chaseBlame(HostId me, HostId from) const;
   void accountSend(HostId from, HostId to, Tag tag, size_t bytes,
                    size_t framingBytes);
 
@@ -433,6 +452,8 @@ class Network {
   std::shared_ptr<FaultInjector> injector_;
   std::atomic<bool> crcFraming_{false};
   RetryPolicy retryPolicy_;
+  StragglerPolicy stragglerPolicy_;
+  std::shared_ptr<StragglerMonitor> stragglerMonitor_;
   std::atomic<int64_t> recvTimeoutNanos_{0};
   // Stall registry: what each host is currently blocked on, packed as
   // active(1) | from(31) | tag(32) so the stall reporter can read it

@@ -10,6 +10,7 @@
 #include "obs/obs.h"
 #include "support/crc32.h"
 #include "support/logging.h"
+#include "support/storage.h"
 
 namespace cusp::core {
 
@@ -45,23 +46,18 @@ void makeDirs(const std::string& dir) {
   }
 }
 
-std::optional<std::vector<uint8_t>> readWholeFile(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return std::nullopt;
+// A corrupt image (torn write, bit rot) is moved aside rather than deleted:
+// it stops shadowing the escalation ladder (buddy replica, earlier epoch)
+// while staying on disk for post-mortem inspection. A quarantined file also
+// never gets mistaken for a valid checkpoint again, so retry loops cannot
+// oscillate on it.
+void quarantineCorrupt(const std::string& path) {
+  const std::string quarantined = path + ".quarantined";
+  if (std::rename(path.c_str(), quarantined.c_str()) == 0) {
+    countCheckpoint("cusp.checkpoint.quarantined", 1);
+    CUSP_LOG_WARN() << "quarantined corrupt checkpoint " << path << " -> "
+                    << quarantined;
   }
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> bytes(size < 0 ? 0 : static_cast<size_t>(size));
-  const size_t got = bytes.empty()
-                         ? 0
-                         : std::fread(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (got != bytes.size()) {
-    return std::nullopt;
-  }
-  return bytes;
 }
 
 // Validates the file at `path` as a checkpoint of (host, numHosts, phase)
@@ -72,13 +68,23 @@ std::optional<std::vector<uint8_t>> loadFromPath(const std::string& path,
                                                  uint32_t host,
                                                  uint32_t numHosts,
                                                  uint32_t phase) {
-  auto bytes = readWholeFile(path);
+  std::optional<std::vector<uint8_t>> bytes;
+  try {
+    bytes = support::readFileBytes(path);
+  } catch (const support::StorageError&) {
+    // A failed read is indistinguishable from an absent checkpoint for the
+    // caller: report nullopt so the escalation ladder (replica, earlier
+    // epoch, re-partition) takes over.
+    countCheckpoint("cusp.checkpoint.read_failures", 1);
+    return std::nullopt;
+  }
   if (!bytes) {
     return std::nullopt;
   }
   if (support::verifyAndStripCrcFooter(*bytes) !=
       support::CrcFooterStatus::kVerified) {
     countCheckpoint("cusp.checkpoint.crc_failures", 1);
+    quarantineCorrupt(path);
     return std::nullopt;  // checkpoints always carry a footer; no legacy path
   }
   if (bytes->size() < sizeof(CheckpointHeader)) {
@@ -101,7 +107,11 @@ std::optional<std::vector<uint8_t>> loadFromPath(const std::string& path,
   return bytes;
 }
 
-// Atomic (tmp + rename) write of a header+payload+CRC checkpoint image.
+// Durable atomic write of a header+payload+CRC checkpoint image, via the
+// storage seam's full commit protocol (tmp + fflush + fsync + rename +
+// directory fsync). Throws support::StorageError on failure — callers
+// dispatch on its kind (ENOSPC disables checkpointing; anything else skips
+// this checkpoint and carries on).
 void writeCheckpointFile(const std::string& finalPath, uint32_t host,
                          uint32_t numHosts, uint32_t phase,
                          const support::SendBuffer& payload) {
@@ -116,21 +126,11 @@ void writeCheckpointFile(const std::string& finalPath, uint32_t host,
                 payload.size());
   }
   support::appendCrcFooter(bytes);
-
-  const std::string tmpPath = finalPath + ".tmp";
-  FILE* f = std::fopen(tmpPath.c_str(), "wb");
-  if (f == nullptr) {
-    throw std::runtime_error("saveCheckpoint: cannot open " + tmpPath);
-  }
-  const size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool flushed = std::fclose(f) == 0;
-  if (wrote != bytes.size() || !flushed) {
-    std::remove(tmpPath.c_str());
-    throw std::runtime_error("saveCheckpoint: short write to " + tmpPath);
-  }
-  if (std::rename(tmpPath.c_str(), finalPath.c_str()) != 0) {
-    std::remove(tmpPath.c_str());
-    throw std::runtime_error("saveCheckpoint: cannot rename to " + finalPath);
+  try {
+    support::atomicWriteFile(finalPath, bytes);
+  } catch (const support::StorageError&) {
+    countCheckpoint("cusp.checkpoint.write_failures", 1);
+    throw;
   }
   countCheckpoint("cusp.checkpoint.files_written", 1);
   countCheckpoint("cusp.checkpoint.bytes_written", bytes.size());
@@ -201,27 +201,35 @@ uint32_t latestValidCheckpoint(const std::string& dir, uint32_t host,
   return 0;
 }
 
+namespace {
+
+// A checkpoint leaves up to three artifacts: the image itself, an aborted
+// tmp, and a quarantined corrupt copy — remove all of them together.
+void removeCheckpointArtifacts(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  std::remove((path + ".quarantined").c_str());
+}
+
+}  // namespace
+
 void removeCheckpoints(const std::string& dir, uint32_t host,
                        uint32_t maxPhase) {
   for (uint32_t phase = 1; phase <= maxPhase; ++phase) {
-    std::remove(checkpointPath(dir, host, phase).c_str());
-    std::remove((checkpointPath(dir, host, phase) + ".tmp").c_str());
+    removeCheckpointArtifacts(checkpointPath(dir, host, phase));
   }
 }
 
 void removeHostCheckpointStore(const std::string& dir, uint32_t host,
                                uint32_t numHosts, uint32_t maxPhase) {
   for (uint32_t phase = 1; phase <= maxPhase; ++phase) {
-    std::remove(checkpointPath(dir, host, phase).c_str());
-    std::remove((checkpointPath(dir, host, phase) + ".tmp").c_str());
+    removeCheckpointArtifacts(checkpointPath(dir, host, phase));
     for (uint32_t owner = 0; owner < numHosts; ++owner) {
       if ((owner + 1) % numHosts != host) {
         continue;  // only replicas physically stored on `host`
       }
-      const std::string replica =
-          checkpointReplicaPath(dir, owner, numHosts, phase);
-      std::remove(replica.c_str());
-      std::remove((replica + ".tmp").c_str());
+      removeCheckpointArtifacts(
+          checkpointReplicaPath(dir, owner, numHosts, phase));
     }
   }
 }

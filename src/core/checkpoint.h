@@ -4,10 +4,17 @@
 // pipeline phase as `<dir>/h<host>.p<phase>.ckpt`. A checkpoint is a small
 // header (magic, host, numHosts, phase) followed by an opaque payload the
 // partitioner serializes with the support/serialize.h machinery, and a
-// CRC32 footer (support/crc32.h). Writes are atomic (tmp file + rename) so
-// a crash mid-checkpoint can never leave a truncated file that passes
-// validation; any file that fails the magic/identity/CRC checks is treated
-// as absent.
+// CRC32 footer (support/crc32.h). Writes go through the storage seam's
+// durable commit protocol (support/storage.h: tmp + fflush + fsync +
+// rename + directory fsync) so a crash mid-checkpoint can never leave a
+// truncated file that passes validation, and a crash right after the
+// rename cannot lose the committed bytes. Any file that fails the
+// magic/identity/CRC checks is treated as absent; a file failing CRC is
+// additionally QUARANTINED (renamed to `<path>.quarantined`) so it stops
+// shadowing the escalation ladder and stays available for post-mortems.
+// An injected or real read failure is also reported as absent (counted in
+// obs), pushing the caller down the same ladder: local file -> buddy
+// replica -> earlier epoch -> degraded re-partition.
 //
 // Hosts keep every phase's file (not just the latest): after a crash the
 // recovery driver agrees on min-over-hosts of the latest valid phase, so
@@ -39,8 +46,12 @@ inline constexpr uint64_t kCheckpointMagic = 0x0000000031504B43ULL;  // "CKP1"
 std::string checkpointPath(const std::string& dir, uint32_t host,
                            uint32_t phase);
 
-// Atomically writes `payload` as host `host`'s checkpoint for `phase`.
-// Creates `dir` if missing. Throws std::runtime_error on I/O failure.
+// Durably and atomically writes `payload` as host `host`'s checkpoint for
+// `phase`. Creates `dir` if missing. Throws support::StorageError (a
+// std::runtime_error) on I/O failure, real or injected; callers dispatch
+// on its kind — kNoSpace means the condition is persistent and further
+// checkpointing should be disabled, everything else means skip this one
+// checkpoint and continue.
 void saveCheckpoint(const std::string& dir, uint32_t host, uint32_t numHosts,
                     uint32_t phase, const support::SendBuffer& payload);
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "support/bitset.h"
+#include "support/storage.h"
 
 namespace cusp::core {
 
@@ -14,6 +15,8 @@ const char* ClassifiedFault::kindName() const {
     case kSendRetriesExhausted: return "SendRetriesExhausted";
     case kHostEvicted: return "HostEvicted";
     case kMessageCorrupt: return "MessageCorrupt";
+    case kStorageFault: return "StorageFault";
+    case kStragglerDeadline: return "StragglerDeadline";
   }
   return "unknown";
 }
@@ -35,6 +38,12 @@ std::optional<ClassifiedFault> classifyFault(std::exception_ptr ep) {
                            0};
   } catch (const comm::MessageCorrupt& e) {
     return ClassifiedFault{ClassifiedFault::kMessageCorrupt, e.what(),
+                           comm::kAnyHost, 0};
+  } catch (const comm::StragglerDeadline& e) {
+    return ClassifiedFault{ClassifiedFault::kStragglerDeadline, e.what(),
+                           e.laggard, 0};
+  } catch (const support::StorageError& e) {
+    return ClassifiedFault{ClassifiedFault::kStorageFault, e.what(),
                            comm::kAnyHost, 0};
   } catch (...) {
     return std::nullopt;

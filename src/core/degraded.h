@@ -48,12 +48,20 @@ struct ClassifiedFault {
     kHostEvicted,          // traffic touched an evicted host (comm::HostEvicted)
     kMessageCorrupt,       // CRC frame check failed past the retransmission
                            // budget (comm::MessageCorrupt)
+    kStorageFault,         // checkpoint/graph I/O failed
+                           // (support::StorageError) — retryable: the
+                           // escalation ladder resolves it on the next
+                           // attempt from a replica or an earlier epoch
+    kStragglerDeadline,    // a peer blew the hard straggler deadline
+                           // (comm::StragglerDeadline) — the named laggard
+                           // is evictable like a permanent crash
   };
 
   Kind kind = kHostFailure;
   std::string what;
   // Faulty host where the exception names one (HostFailure::host,
-  // HostEvicted::host); comm::kAnyHost otherwise.
+  // HostEvicted::host, StragglerDeadline::laggard); comm::kAnyHost
+  // otherwise.
   comm::HostId host = comm::kAnyHost;
   uint32_t phase = 0;  // HostFailure only; 0 elsewhere
 
@@ -61,7 +69,7 @@ struct ClassifiedFault {
 };
 
 // Classifies the in-flight exception `ep`; nullopt if it is not one of the
-// five structured fault types (caller rethrows).
+// structured fault types (caller rethrows).
 std::optional<ClassifiedFault> classifyFault(std::exception_ptr ep);
 
 // Deterministically reassigns the evicted hosts' vertices and edges to the

@@ -12,6 +12,8 @@
 #include "core/degraded.h"
 #include "obs/obs.h"
 #include "support/bitset.h"
+#include "support/logging.h"
+#include "support/storage.h"
 #include "support/prefix_sum.h"
 #include "support/threading.h"
 #include "support/varint.h"
@@ -139,6 +141,10 @@ class PartitionJob {
   }
 
   void writeCheckpoint(uint32_t phase) {
+    const auto& health = config_.resilience.checkpointHealth;
+    if (health && health->disabled.load(std::memory_order_relaxed)) {
+      return;  // earlier persistent ENOSPC: explicit no-checkpoint mode
+    }
     SendBuffer payload;
     switch (phase) {
       case 1:
@@ -158,13 +164,32 @@ class PartitionJob {
         serializeDistGraph(payload, result_);
         break;
     }
-    saveCheckpoint(config_.resilience.checkpointDir, me_, numHosts(), phase,
-                   payload);
-    if (config_.resilience.buddyReplication) {
-      // Mirror to the ring successor's store so this host's phase state
-      // survives the loss of its own (core/checkpoint.h).
-      saveCheckpointReplica(config_.resilience.checkpointDir, me_, numHosts(),
-                            phase, payload);
+    try {
+      saveCheckpoint(config_.resilience.checkpointDir, me_, numHosts(), phase,
+                     payload);
+      if (config_.resilience.buddyReplication) {
+        // Mirror to the ring successor's store so this host's phase state
+        // survives the loss of its own (core/checkpoint.h).
+        saveCheckpointReplica(config_.resilience.checkpointDir, me_,
+                              numHosts(), phase, payload);
+      }
+    } catch (const support::StorageError& e) {
+      // A failed checkpoint never fails the phase — the run just loses one
+      // restart point. Persistent ENOSPC latches the run-level disable.
+      if (health) {
+        health->writeFailures.fetch_add(1, std::memory_order_relaxed);
+        if (e.kind == support::StorageError::Kind::kNoSpace &&
+            !health->disabled.exchange(true, std::memory_order_relaxed)) {
+          CUSP_LOG_WARN() << "partitioner: checkpoint store out of space ("
+                          << e.path
+                          << "); checkpointing disabled for the rest of the "
+                             "run";
+          if (metrics_) {
+            metrics_->counter("cusp.checkpoint.disabled_enospc").add();
+          }
+        }
+      }
+      return;
     }
     if (metrics_) {
       metrics_
@@ -179,10 +204,15 @@ class PartitionJob {
                                            me_, numHosts(), phase);
     if (!payload) {
       // The agreement said every host has this phase; a vanished/corrupt
-      // file between probe and load is a driver bug or live corruption.
-      throw std::runtime_error("partitioner: checkpoint for phase " +
-                               std::to_string(phase) +
-                               " disappeared on host " + std::to_string(me_));
+      // file between probe and load means live storage trouble. Surface it
+      // as a retryable storage fault: the next attempt re-agrees on a phase
+      // every host can actually still read.
+      throw support::StorageError(
+          support::StorageError::Kind::kReadFailed,
+          checkpointPath(config_.resilience.checkpointDir, me_, phase),
+          "checkpoint for phase " + std::to_string(phase) +
+              " disappeared on host " + std::to_string(me_) +
+              " between agreement and restore");
     }
     if (metrics_) {
       metrics_
@@ -1093,11 +1123,14 @@ std::shared_ptr<comm::FaultInjector> makeInjector(
 // One full pipeline run over a fresh Network. The injector is passed in
 // (rather than built here) so recovery attempts share it: occurrence
 // counters and fired-crash flags persist, and a rebooted host does not
-// re-crash on replay.
+// re-crash on replay. The straggler monitor is shared the same way, so
+// blame accumulated against a slow host survives the teardown of a failed
+// attempt (a null monitor with the policy enabled gets a run-local one).
 PartitionResult runPipeline(
     const graph::GraphFile& file, const PartitionPolicy& policy,
     const PartitionerConfig& config,
-    const std::shared_ptr<comm::FaultInjector>& injector) {
+    const std::shared_ptr<comm::FaultInjector>& injector,
+    const std::shared_ptr<comm::StragglerMonitor>& monitor = nullptr) {
   comm::Network net(config.numHosts, config.networkCostModel);
   if (injector) {
     net.setFaultInjector(injector);
@@ -1106,6 +1139,12 @@ PartitionResult runPipeline(
     net.setRecvTimeout(config.resilience.recvTimeoutSeconds);
   }
   net.setRetryPolicy(config.resilience.retry);
+  if (config.resilience.straggler.enabled()) {
+    net.setStragglerPolicy(config.resilience.straggler);
+    net.setStragglerMonitor(
+        monitor ? monitor
+                : std::make_shared<comm::StragglerMonitor>(config.numHosts));
+  }
   PartitionResult result;
   result.partitions.resize(config.numHosts);
   std::vector<support::PhaseTimes> hostTimes(config.numHosts);
@@ -1163,6 +1202,7 @@ uint64_t windowBytes(const ReadRange& r, bool withData) {
 PartitionResult runRedistributionRound(
     const PartitionerConfig& baseConfig,
     const std::shared_ptr<comm::FaultInjector>& injector,
+    const std::shared_ptr<comm::StragglerMonitor>& monitor,
     const std::vector<uint32_t>& deadRanks) {
   const uint32_t k = baseConfig.numHosts;
   comm::Network net(k, baseConfig.networkCostModel);
@@ -1173,6 +1213,10 @@ PartitionResult runRedistributionRound(
     net.setRecvTimeout(baseConfig.resilience.recvTimeoutSeconds);
   }
   net.setRetryPolicy(baseConfig.resilience.retry);
+  if (monitor && baseConfig.resilience.straggler.enabled()) {
+    net.setStragglerPolicy(baseConfig.resilience.straggler);
+    net.setStragglerMonitor(monitor);
+  }
   for (uint32_t d : deadRanks) {
     net.evict(d);
   }
@@ -1200,13 +1244,19 @@ PartitionResult runRedistributionRound(
     // partition data crosses the network.
     std::vector<DistGraph> parts(k);
     for (uint32_t h = 0; h < k; ++h) {
+      // Dead ranks: own store first, then the buddy replica. A condemned
+      // straggler's machine is slow, not dead, so its own files are still
+      // readable; a crashed rank's store was removed with it and only the
+      // replica can answer.
       auto payload = view.isAlive(h)
                          ? loadCheckpoint(dir, h, k, 5)
-                         : loadCheckpointReplica(dir, h, k, 5);
+                         : loadCheckpointOrReplica(dir, h, k, 5);
       if (!payload) {
-        throw std::runtime_error("degraded: phase-5 state of host " +
-                                 std::to_string(h) +
-                                 " vanished during redistribution");
+        throw support::StorageError(
+            support::StorageError::Kind::kReadFailed,
+            checkpointPath(dir, h, 5),
+            "phase-5 state of host " + std::to_string(h) +
+                " vanished during redistribution");
       }
       RecvBuffer buf(std::move(*payload));
       parts[h] = deserializeDistGraph(buf);
@@ -1271,6 +1321,33 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
     aliveOriginal[r] = r;
   }
   auto baseInjector = makeInjector(baseConfig);
+  // Shared across attempts like the injector, so blame accumulated against
+  // a slow host survives a failed attempt's teardown; rebuilt (survivor-
+  // sized) when Path B shrinks the base.
+  std::shared_ptr<comm::StragglerMonitor> stragglerMonitor =
+      config.resilience.straggler.enabled()
+          ? std::make_shared<comm::StragglerMonitor>(config.numHosts)
+          : nullptr;
+  // Soft reports of monitors retired by Path B rebases (the fresh
+  // survivor-sized monitor restarts at zero).
+  uint64_t softReportsRetired = 0;
+  // Storage/straggler outcomes reported on every exit path.
+  const auto fillStorageReport = [&] {
+    if (report == nullptr) {
+      return;
+    }
+    const auto& health = config.resilience.checkpointHealth;
+    if (health) {
+      report->checkpointWriteFailures =
+          health->writeFailures.load(std::memory_order_relaxed);
+      report->checkpointingDisabledByEnospc =
+          health->disabled.load(std::memory_order_relaxed);
+    }
+    if (stragglerMonitor) {
+      report->stragglerSoftReports =
+          softReportsRetired + stragglerMonitor->totalSoftReports();
+    }
+  };
   uint64_t epoch = 0;
   // Path A state: base ranks evicted but with phase-5 state recoverable,
   // awaiting a redistribution round; the matching replica payload bytes and
@@ -1309,8 +1386,10 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
                 std::to_string(totalAttempts));
         PartitionResult result =
             pendingRedistribution.empty()
-                ? runPipeline(file, policy, baseConfig, baseInjector)
+                ? runPipeline(file, policy, baseConfig, baseInjector,
+                              stragglerMonitor)
                 : runRedistributionRound(baseConfig, baseInjector,
+                                         stragglerMonitor,
                                          pendingRedistribution);
         if (!pendingRedistribution.empty() && obsSink.metrics) {
           obsSink.metrics->counter("cusp.partitioner.replica_bytes_read")
@@ -1326,36 +1405,52 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
             }
           }
         }
+        fillStorageReport();
         return result;
       } catch (...) {
         const auto fault = classifyFault(std::current_exception());
         if (!fault) {
+          fillStorageReport();
           throw;  // not a fault exception; never retried
         }
         if (report != nullptr) {
           report->failures.emplace_back(fault->what);
           report->failureKinds.emplace_back(fault->kindName());
         }
-        const bool evictable =
-            baseConfig.resilience.degradedMode &&
+        const bool crashEvictable =
             fault->kind == ClassifiedFault::kHostFailure &&
             baseInjector != nullptr && fault->host != comm::kAnyHost &&
-            baseInjector->isPermanentlyDown(fault->host) &&
-            baseConfig.numHosts > 1;
+            baseInjector->isPermanentlyDown(fault->host);
+        const bool stragglerEvictable =
+            fault->kind == ClassifiedFault::kStragglerDeadline &&
+            stragglerMonitor != nullptr && fault->host != comm::kAnyHost &&
+            stragglerMonitor->isCondemned(fault->host);
+        const bool evictable = baseConfig.resilience.degradedMode &&
+                               (crashEvictable || stragglerEvictable) &&
+                               baseConfig.numHosts > 1;
         if (!evictable) {
           if (++attempt >= maxAttempts) {
+            fillStorageReport();
             throw;
           }
           continue;  // plain retry: transient crash, stall, or lost sends
         }
 
         // --- membership eviction ------------------------------------------
-        // Every permanently-down base rank is evicted together (a second
-        // machine may have died in the same run).
+        // Every permanently-down and every condemned base rank is evicted
+        // together (a second machine may have died — or stalled — in the
+        // same run). Crashed ranks lose their checkpoint stores; condemned
+        // stragglers keep theirs (the machine is slow, not dead).
         std::vector<uint32_t> deadRanks;
+        std::vector<bool> crashedRank(baseConfig.numHosts, false);
         for (uint32_t r = 0; r < baseConfig.numHosts; ++r) {
-          if (baseInjector->isPermanentlyDown(r)) {
+          const bool crashed =
+              baseInjector != nullptr && baseInjector->isPermanentlyDown(r);
+          const bool condemned =
+              stragglerMonitor != nullptr && stragglerMonitor->isCondemned(r);
+          if (crashed || condemned) {
             deadRanks.push_back(r);
+            crashedRank[r] = crashed;
           }
         }
         for (uint32_t d : deadRanks) {
@@ -1374,7 +1469,7 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
                                /*redistributed=*/false,
                                /*replicaLost=*/false});
           }
-          if (baseCheckpoints) {
+          if (baseCheckpoints && crashedRank[d]) {
             // The dead machine's local store dies with it: its own
             // checkpoints and every buddy replica it held for others.
             removeHostCheckpointStore(baseConfig.resilience.checkpointDir, d,
@@ -1383,10 +1478,16 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
         }
 
         // Path A feasibility: every survivor still holds its own phase-5
-        // checkpoint AND every dead rank's phase-5 state is recoverable
-        // from its buddy replica.
+        // checkpoint AND every dead rank's phase-5 state is recoverable —
+        // from its own (still readable) store for condemned stragglers,
+        // from its buddy replica for crashed ranks.
+        bool anyCrashed = false;
+        for (uint32_t d : deadRanks) {
+          anyCrashed = anyCrashed || crashedRank[d];
+        }
         bool feasible = baseCheckpoints &&
-                        baseConfig.resilience.buddyReplication &&
+                        (!anyCrashed ||
+                         baseConfig.resilience.buddyReplication) &&
                         deadRanks.size() < baseConfig.numHosts;
         pendingReplicaBytes = 0;
         if (feasible) {
@@ -1403,6 +1504,11 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
           }
           if (feasible) {
             for (uint32_t d : deadRanks) {
+              if (!crashedRank[d] &&
+                  loadCheckpoint(baseConfig.resilience.checkpointDir, d,
+                                 baseConfig.numHosts, 5)) {
+                continue;  // condemned straggler's own store answers
+              }
               const auto replica =
                   loadCheckpointReplica(baseConfig.resilience.checkpointDir,
                                         d, baseConfig.numHosts, 5);
@@ -1437,6 +1543,7 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
           }
         }
         if (newAlive.empty()) {
+          fillStorageReport();
           throw;  // every host is gone; nothing to degrade to
         }
         const uint32_t m = static_cast<uint32_t>(newAlive.size());
@@ -1496,6 +1603,13 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
                   *config.resilience.faultPlan, aliveOriginal));
         }
         baseInjector = makeInjector(baseConfig);
+        if (stragglerMonitor) {
+          // Fresh survivor-sized monitor: the condemned ranks are gone and
+          // the survivors restart blame from zero in the new rank space.
+          // Soft reports already emitted stay in the report tally.
+          softReportsRetired += stragglerMonitor->totalSoftReports();
+          stragglerMonitor = std::make_shared<comm::StragglerMonitor>(m);
+        }
         pendingRedistribution.clear();
         pendingReplicaBytes = 0;
         recordIndexOfRank.clear();

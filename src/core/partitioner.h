@@ -19,6 +19,7 @@
 //                           (IV-D1); optional in-memory transpose to CSC.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -31,6 +32,17 @@
 #include "support/timer.h"
 
 namespace cusp::core {
+
+// Run-scoped checkpoint-store health, shared by every host of a run and by
+// every recovery attempt (config copies alias the same object). A failed
+// checkpoint write never fails the phase — the run just loses one restart
+// point — but a persistent ENOSPC latches `disabled`, switching the rest of
+// the run into an explicit uncheckpointed continuation (a full disk will
+// not heal by writing four more phases into it).
+struct CheckpointHealth {
+  std::atomic<bool> disabled{false};
+  std::atomic<uint32_t> writeFailures{0};
+};
 
 // Fault-tolerance knobs; everything off by default, in which case the
 // partitioner's behavior (messages, bytes, outputs) is identical to a
@@ -73,6 +85,21 @@ struct ResilienceConfig {
   // survives the loss of its local store. Needs enableCheckpoints. Off by
   // default: no replica files are written and restores never consult them.
   bool buddyReplication = false;
+
+  // Straggler deadlines (comm::StragglerPolicy): receivers blocked on one
+  // slow peer past the soft deadline emit blame reports through obs; a
+  // peer over the hard deadline is condemned and — with degradedMode on —
+  // evicted into the degraded paths like a permanent crash, except that
+  // its checkpoint store stays readable (the machine is slow, not dead).
+  comm::StragglerPolicy straggler;
+
+  // Checkpoint-store health latch (see CheckpointHealth above). Allocated
+  // per config; copies alias it, so the driver's retries and every host of
+  // the run observe the same latch. The latch lives as long as the config
+  // object: reusing one config for several runs deliberately keeps an
+  // ENOSPC verdict (the disk is still full).
+  std::shared_ptr<CheckpointHealth> checkpointHealth =
+      std::make_shared<CheckpointHealth>();
 };
 
 // One membership eviction performed by the degraded-mode driver.
@@ -123,6 +150,14 @@ struct RecoveryReport {
   // Host count of the returned partition set (== config.numHosts unless
   // evictions shrank the cluster).
   uint32_t finalNumHosts = 0;
+
+  // Storage-fault outcomes: checkpoint writes that failed and were absorbed
+  // (the phase continued uncheckpointed), and whether a persistent ENOSPC
+  // flipped the run into checkpointing-disabled continuation mode.
+  uint32_t checkpointWriteFailures = 0;
+  bool checkpointingDisabledByEnospc = false;
+  // Soft straggler reports accumulated by the run's StragglerMonitor.
+  uint64_t stragglerSoftReports = 0;
 };
 
 struct PartitionerConfig {

@@ -1,12 +1,11 @@
 #include "graph/graph_file.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstring>
-#include <memory>
 #include <stdexcept>
 
 #include "support/crc32.h"
+#include "support/storage.h"
 
 namespace cusp::graph {
 
@@ -14,47 +13,66 @@ namespace {
 
 constexpr uint64_t kMagic = 0x0000000031524743ULL;  // "CGR1"
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) {
-      std::fclose(f);
+// Graph I/O goes through the storage seam (support/storage.h): loads pull
+// the whole image with readFileBytes — so injected read failures and
+// at-rest bit rot apply — and parse from memory; saves build the image in
+// memory and commit it with the durable atomic write protocol, so a crash
+// mid-save can never leave a torn .cgr/.gr behind. Graph files are MB-scale
+// here, so whole-image buffering is cheap.
+
+// Sequential typed reads over an in-memory file image; all the validation
+// of the former FILE*-based reader, with EOF as a typed GraphFileError.
+class ByteReader {
+ public:
+  ByteReader(const std::vector<uint8_t>& bytes, const std::string& path)
+      : bytes_(bytes), path_(path) {}
+
+  template <typename T>
+  void read(T* data, size_t count) {
+    const size_t want = count * sizeof(T);
+    if (want > bytes_.size() - pos_) {
+      throw GraphFileError(path_, "truncated file");
     }
+    if (want > 0) {
+      std::memcpy(data, bytes_.data() + pos_, want);
+    }
+    pos_ += want;
   }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  const std::string& path_;
+  size_t pos_ = 0;
 };
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 template <typename T>
-void writeArray(std::FILE* f, const T* data, size_t count,
-                const std::string& path) {
-  if (count == 0) {
+void appendBytes(std::vector<uint8_t>& out, const T* data, size_t count) {
+  const size_t bytes = count * sizeof(T);
+  if (bytes == 0) {
     return;
   }
-  if (std::fwrite(data, sizeof(T), count, f) != count) {
-    throw std::runtime_error("GraphFile: short write to " + path);
-  }
+  const size_t offset = out.size();
+  out.resize(offset + bytes);
+  std::memcpy(out.data() + offset, data, bytes);
 }
 
-template <typename T>
-void readArray(std::FILE* f, T* data, size_t count, const std::string& path) {
-  if (count == 0) {
-    return;
+// Whole-image read through the storage seam; missing file and injected
+// read failure both surface as typed GraphFileErrors.
+std::vector<uint8_t> readImage(const std::string& path) {
+  std::optional<std::vector<uint8_t>> image;
+  try {
+    image = support::readFileBytes(path);
+  } catch (const support::StorageError& e) {
+    throw GraphFileError(path,
+                         std::string("storage read failure (") + e.kindName() +
+                             ")");
   }
-  if (std::fread(data, sizeof(T), count, f) != count) {
-    throw GraphFileError(path, "truncated file");
+  if (!image) {
+    throw GraphFileError(path, "cannot open");
   }
-}
-
-// Actual byte size of an open file (seek to end, restore position).
-uint64_t fileSizeOf(std::FILE* f, const std::string& path) {
-  const long pos = std::ftell(f);
-  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) {
-    throw GraphFileError(path, "cannot determine file size");
-  }
-  const long end = std::ftell(f);
-  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) {
-    throw GraphFileError(path, "cannot determine file size");
-  }
-  return static_cast<uint64_t>(end);
+  return std::move(*image);
 }
 
 // Header preflight: rejects claimed element counts whose payload cannot
@@ -86,17 +104,15 @@ GraphFile GraphFile::fromCsr(const CsrGraph& graph) {
 }
 
 GraphFile GraphFile::load(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) {
-    throw GraphFileError(path, "cannot open");
-  }
-  const uint64_t fileBytes = fileSizeOf(f.get(), path);
+  const std::vector<uint8_t> image = readImage(path);
+  ByteReader reader(image, path);
+  const uint64_t fileBytes = image.size();
   if (fileBytes < 4 * sizeof(uint64_t)) {
     throw GraphFileError(path, "truncated header");
   }
   uint32_t crc = 0;
   auto readChecked = [&](auto* data, size_t count) {
-    readArray(f.get(), data, count, path);
+    reader.read(data, count);
     crc = support::crc32Update(crc, data, count * sizeof(*data));
   };
   uint64_t header[4];
@@ -143,22 +159,21 @@ GraphFile GraphFile::load(const std::string& path) {
   // Optional CRC footer after the payload (newer writers always add it);
   // legacy files simply end here and are accepted unverified.
   uint64_t footer[2];
-  if (std::fread(footer, 1, sizeof(footer), f.get()) == sizeof(footer) &&
-      footer[0] == support::kCrcFooterMagic &&
-      footer[1] != static_cast<uint64_t>(crc)) {
-    throw GraphFileError(path, "checksum mismatch");
+  if (reader.remaining() >= sizeof(footer)) {
+    reader.read(footer, 2);
+    if (footer[0] == support::kCrcFooterMagic &&
+        footer[1] != static_cast<uint64_t>(crc)) {
+      throw GraphFileError(path, "checksum mismatch");
+    }
   }
   return file;
 }
 
 void GraphFile::save(const std::string& path, const CsrGraph& graph) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) {
-    throw std::runtime_error("GraphFile: cannot create " + path);
-  }
+  std::vector<uint8_t> image;
   uint32_t crc = 0;
   auto writeChecked = [&](const auto* data, size_t count) {
-    writeArray(f.get(), data, count, path);
+    appendBytes(image, data, count);
     crc = support::crc32Update(crc, data, count * sizeof(*data));
   };
   const uint64_t header[4] = {kMagic, graph.hasEdgeData() ? 4ull : 0ull,
@@ -171,10 +186,8 @@ void GraphFile::save(const std::string& path, const CsrGraph& graph) {
   }
   const uint64_t footer[2] = {support::kCrcFooterMagic,
                               static_cast<uint64_t>(crc)};
-  writeArray(f.get(), footer, 2, path);
-  if (std::fflush(f.get()) != 0) {
-    throw std::runtime_error("GraphFile: flush failed for " + path);
-  }
+  appendBytes(image, footer, 2);
+  support::atomicWriteFile(path, image);  // StorageError on failure
 }
 
 CsrGraph GraphFile::toCsr() const {
@@ -182,16 +195,14 @@ CsrGraph GraphFile::toCsr() const {
 }
 
 GraphFile GraphFile::loadGalois(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) {
-    throw GraphFileError(path, "cannot open");
-  }
-  const uint64_t fileBytes = fileSizeOf(f.get(), path);
+  const std::vector<uint8_t> image = readImage(path);
+  ByteReader reader(image, path);
+  const uint64_t fileBytes = image.size();
   if (fileBytes < 4 * sizeof(uint64_t)) {
     throw GraphFileError(path, "truncated .gr header");
   }
   uint64_t header[4];
-  readArray(f.get(), header, 4, path);
+  reader.read(header, 4);
   if (header[0] != 1) {
     throw GraphFileError(path, "unsupported .gr version");
   }
@@ -215,7 +226,7 @@ GraphFile GraphFile::loadGalois(const std::string& path) {
               payloadBytes - file.numNodes_ * sizeof(uint64_t), path, "edges");
   // v1 stores row END offsets; rebuild our rowStart convention.
   std::vector<uint64_t> outIdx(file.numNodes_);
-  readArray(f.get(), outIdx.data(), outIdx.size(), path);
+  reader.read(outIdx.data(), outIdx.size());
   file.rowStart_.assign(file.numNodes_ + 1, 0);
   for (uint64_t v = 0; v < file.numNodes_; ++v) {
     file.rowStart_[v + 1] = outIdx[v];
@@ -225,7 +236,7 @@ GraphFile GraphFile::loadGalois(const std::string& path) {
     throw GraphFileError(path, "corrupt .gr index");
   }
   std::vector<uint32_t> dests32(file.numEdges_);
-  readArray(f.get(), dests32.data(), dests32.size(), path);
+  reader.read(dests32.data(), dests32.size());
   file.dests_.assign(dests32.begin(), dests32.end());
   for (uint64_t dst : file.dests_) {
     if (dst >= file.numNodes_) {
@@ -235,10 +246,10 @@ GraphFile GraphFile::loadGalois(const std::string& path) {
   if (sizeofEdgeData == 4) {
     if (file.numEdges_ % 2 == 1) {
       uint32_t padding = 0;
-      readArray(f.get(), &padding, 1, path);
+      reader.read(&padding, 1);
     }
     file.edgeData_.resize(file.numEdges_);
-    readArray(f.get(), file.edgeData_.data(), file.edgeData_.size(), path);
+    reader.read(file.edgeData_.data(), file.edgeData_.size());
   }
   return file;
 }
@@ -248,33 +259,28 @@ void GraphFile::saveGalois(const std::string& path, const CsrGraph& graph) {
     throw std::invalid_argument(
         "GraphFile: .gr v1 cannot hold graphs with 2^32+ nodes");
   }
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) {
-    throw std::runtime_error("GraphFile: cannot create " + path);
-  }
+  std::vector<uint8_t> image;
   const uint64_t header[4] = {1, graph.hasEdgeData() ? 4ull : 0ull,
                               graph.numNodes(), graph.numEdges()};
-  writeArray(f.get(), header, 4, path);
+  appendBytes(image, header, 4);
   // Row END offsets.
   std::vector<uint64_t> outIdx(graph.numNodes());
   for (uint64_t v = 0; v < graph.numNodes(); ++v) {
     outIdx[v] = graph.edgeEnd(v);
   }
-  writeArray(f.get(), outIdx.data(), outIdx.size(), path);
+  appendBytes(image, outIdx.data(), outIdx.size());
   std::vector<uint32_t> dests32(graph.destinations().begin(),
                                 graph.destinations().end());
-  writeArray(f.get(), dests32.data(), dests32.size(), path);
+  appendBytes(image, dests32.data(), dests32.size());
   if (graph.hasEdgeData()) {
     if (graph.numEdges() % 2 == 1) {
       const uint32_t padding = 0;
-      writeArray(f.get(), &padding, 1, path);
+      appendBytes(image, &padding, 1);
     }
-    writeArray(f.get(), graph.edgeDataArray().data(),
-               graph.edgeDataArray().size(), path);
+    appendBytes(image, graph.edgeDataArray().data(),
+                graph.edgeDataArray().size());
   }
-  if (std::fflush(f.get()) != 0) {
-    throw std::runtime_error("GraphFile: flush failed for " + path);
-  }
+  support::atomicWriteFile(path, image);  // StorageError on failure
 }
 
 std::vector<ReadRange> computeReadRanges(std::span<const uint64_t> rowStart,

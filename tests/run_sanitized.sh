@@ -6,7 +6,8 @@
 # sanitizers are part of the pre-merge checklist.
 #
 # Usage: tests/run_sanitized.sh [asan-ubsan|tsan|ubsan|tsan-degraded|
-# tsan-chaos|tsan-obs]  (default: both full suites). `tsan-degraded` builds
+# tsan-chaos|tsan-obs|tsan-storage]  (default: both full suites).
+# `tsan-degraded` builds
 # the TSan preset but runs only the tests labeled `degraded` (eviction,
 # buddy replication, degraded recovery) — the membership machinery races
 # against blocked receivers by design, so it gets a focused TSan lane cheap
@@ -16,8 +17,12 @@
 # is where TSan earns its keep. `tsan-obs` runs the `obs` label under TSan:
 # the metrics registry and trace buffer are hammered concurrently by every
 # host thread, so their lock/atomic discipline gets its own cheap lane.
-# `ubsan` is a standalone UBSan build for when an ASan report needs to be
-# separated from a UB report.
+# `tsan-storage` runs the `storage` label under TSan: the storage fault
+# injector and checkpoint-health latch are shared process-wide across every
+# host thread, and the straggler monitor is read from concurrent receivers,
+# so their synchronization gets a focused lane too. `ubsan` is a standalone
+# UBSan build for when an ASan report needs to be separated from a UB
+# report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +45,9 @@ for preset in "${presets[@]}"; do
   elif [ "$preset" = "tsan-obs" ]; then
     build_preset="tsan"
     label_args=(-L obs)
+  elif [ "$preset" = "tsan-storage" ]; then
+    build_preset="tsan"
+    label_args=(-L storage)
   fi
   echo "==== [$preset] configure ===="
   cmake --preset "$build_preset"

@@ -8,6 +8,8 @@
 // continuation all firing in one run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -25,7 +27,9 @@
 #include "core/policies.h"
 #include "graph/generators.h"
 #include "graph/graph_file.h"
+#include "obs/obs.h"
 #include "support/random.h"
+#include "support/storage.h"
 #include "testutil.h"
 
 namespace cusp {
@@ -227,6 +231,113 @@ TEST(ChaosPipelineTest, SeededScheduleSweepStaysExactForBfs) {
     EXPECT_EQ(got, expected);
     EXPECT_EQ(report.finalAliveHosts, 3u);
   }
+}
+
+TEST(ChaosPipelineTest, CombinedStorageStragglerNetworkChaosStaysExact) {
+  // The everything-at-once acceptance run: an 8-host partition + BFS
+  // pipeline under (a) seeded network noise with drops, duplicates, delays
+  // and corrupted frames, (b) torn checkpoint writes hitting both legs'
+  // stores, (c) one transient crash mid-partitioning that forces a restore
+  // over the damaged store, and (d) one host running at a sustained 10x
+  // slowdown through the analytics leg. The output must be bit-identical
+  // to the clean run, the straggler must be evicted through the hard
+  // deadline within the algorithm's own superstep budget, and the whole
+  // story must be visible in the observability counters.
+  const graph::CsrGraph g = graph::generateErdosRenyi(400, 2200, 61);
+  const graph::GraphFile file = graph::GraphFile::fromCsr(g);
+  const uint32_t hosts = 8;
+  const auto policy = core::makePolicy("EEC");
+  core::PartitionerConfig cleanConfig;
+  cleanConfig.numHosts = hosts;
+  const core::PartitionResult baseline =
+      core::partitionGraph(file, policy, cleanConfig);
+  const uint64_t source = analytics::maxOutDegreeNode(g);
+  const auto expected = analytics::bfsReference(g, source);
+  uint64_t maxLevel = 0;
+  for (uint64_t d : expected) {
+    if (d != UINT64_MAX) {
+      maxLevel = std::max(maxLevel, d);
+    }
+  }
+
+  ChaosDir dir;
+  obs::ScopedObservability obsScope;
+  // Torn checkpoint writes: every third matching commit from the third on
+  // silently truncates to 16 bytes, in both the partitioner's and the
+  // analytics stores. CRC/size validation must keep them out of recovery.
+  support::StorageFaultPlan storagePlan;
+  storagePlan.faults.push_back(
+      support::StorageFault{support::StorageFaultKind::kTornWrite, ".ckpt",
+                            /*occurrence=*/2, /*repeat=*/3,
+                            /*tornBytes=*/16});
+  support::ScopedStorageFaults storage(storagePlan);
+
+  core::PartitionerConfig config;
+  config.numHosts = hosts;
+  auto partPlan = std::make_shared<FaultPlan>();
+  addMessageNoise(*partPlan, /*seed=*/61, /*count=*/12);
+  partPlan->crashes.push_back({/*host=*/1, /*phase=*/3, /*opsIntoPhase=*/0,
+                               /*permanent=*/false});
+  config.resilience.faultPlan = partPlan;
+  config.resilience.checkpointDir = dir.sub("part");
+  config.resilience.enableCheckpoints = true;
+  config.resilience.recvTimeoutSeconds = 30.0;
+  core::RecoveryReport partReport;
+  const core::PartitionResult chaosParts =
+      core::partitionGraphResilient(file, policy, config, &partReport);
+  ASSERT_EQ(chaosParts.partitions.size(), baseline.partitions.size());
+  for (size_t h = 0; h < baseline.partitions.size(); ++h) {
+    support::SendBuffer a;
+    support::SendBuffer b;
+    core::serializeDistGraph(a, baseline.partitions[h]);
+    core::serializeDistGraph(b, chaosParts.partitions[h]);
+    EXPECT_EQ(a.release(), b.release())
+        << "partition of host " << h << " diverged under combined chaos";
+  }
+  EXPECT_GE(partReport.attempts, 2u) << "transient crash must have fired";
+
+  analytics::ResilienceOptions options;
+  options.checkpointDir = dir.sub("bfs");
+  options.enableCheckpoints = true;
+  options.checkpointInterval = 1;
+  options.buddyReplication = true;
+  options.degradedMode = true;
+  options.recvTimeoutSeconds = 60.0;
+  auto bfsPlan = std::make_shared<FaultPlan>();
+  addMessageNoise(*bfsPlan, /*seed=*/62, /*count=*/10);
+  // Host 5 runs every network op 10x slower, paced at 90 ms per crossing —
+  // a straggler, not a crash: it keeps answering, just far too slowly.
+  bfsPlan->slowdowns.push_back(
+      comm::HostSlowdown{/*host=*/5, /*factor=*/10.0, /*opMicros=*/10000,
+                         /*fromPhase=*/0});
+  options.faultPlan = bfsPlan;
+  options.straggler.softDeadlineSeconds = 0.02;
+  options.straggler.hardDeadlineSeconds = 1.0;
+  options.straggler.hardDeadlineMedianFactor = 4.0;
+
+  analytics::ResilienceReport report;
+  const auto got =
+      analytics::runBfsResilient(chaosParts.partitions, source, options,
+                                 &report);
+  EXPECT_EQ(got, expected) << "combined chaos must never cost correctness";
+  ASSERT_EQ(report.evictions, std::vector<comm::HostId>{5});
+  EXPECT_EQ(report.finalAliveHosts, hosts - 1);
+  ASSERT_FALSE(report.failureKinds.empty());
+  EXPECT_EQ(report.failureKinds[0], "StragglerDeadline");
+  // Bounded eviction: condemnation lands within a couple of attempts and
+  // the surviving cohort finishes inside the algorithm's superstep budget.
+  EXPECT_LE(report.failures.size(), 2u);
+  EXPECT_LE(report.supersteps, static_cast<uint32_t>(maxLevel) + 3u);
+
+  EXPECT_GE(storage.stats().tornWrites, 1u)
+      << "the torn-write schedule must have hit a checkpoint commit";
+  const auto snap = obsScope.sink().metrics->snapshot();
+  EXPECT_GE(snap.counterValue("cusp.straggler.hard_evictions",
+                              {{"host", "5"}}),
+            1u);
+  EXPECT_GE(snap.counterValue("cusp.straggler.soft_reports",
+                              {{"host", "5"}}),
+            1u);
 }
 
 }  // namespace

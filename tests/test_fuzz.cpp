@@ -22,6 +22,7 @@
 #include "graph/generators.h"
 #include "graph/graph_file.h"
 #include "support/random.h"
+#include "support/storage.h"
 
 namespace cusp {
 namespace {
@@ -203,10 +204,11 @@ TEST_P(FaultPlanFuzz, CompletesValidlyOrFailsStructured) {
   ASSERT_NE(dir, nullptr);
 
   // Up to two crashes, roughly a third of them permanent; repeated delay
-  // faults (repeat > 1) are part of the random plan space too.
+  // faults (repeat > 1) and sustained per-host slowdowns are part of the
+  // random plan space too.
   auto plan = std::make_shared<comm::FaultPlan>(comm::randomFaultPlan(
       seed, hosts, /*maxMessageFaults=*/6, /*maxCrashes=*/2,
-      /*allowPermanent=*/true));
+      /*allowPermanent=*/true, /*maxSlowdowns=*/2));
   config.resilience.faultPlan = plan;
   config.resilience.enableCheckpoints = rng.nextBounded(4) != 0;
   config.resilience.checkpointDir = dir;
@@ -216,6 +218,21 @@ TEST_P(FaultPlanFuzz, CompletesValidlyOrFailsStructured) {
   config.resilience.degradedMode = rng.nextBounded(2) == 1;
   config.resilience.buddyReplication =
       config.resilience.enableCheckpoints && rng.nextBounded(2) == 1;
+  // Straggler deadlines join about half the schedules (drawn after every
+  // historical config draw, so old seeds keep their exact plans). The soft
+  // deadline is tight enough to fire under the random slowdowns; the hard
+  // deadline, when armed, may legitimately evict a slowed host.
+  if (rng.nextBounded(2) == 1) {
+    config.resilience.straggler.softDeadlineSeconds = 0.05;
+    if (rng.nextBounded(2) == 1) {
+      config.resilience.straggler.hardDeadlineSeconds = 0.5;
+    }
+  }
+  // Random storage faults over the checkpoint store: torn/failed/unrenamed
+  // writes, ENOSPC, read failures and bit rot, attached for the whole
+  // resilient run (the clean baseline above ran without them).
+  support::ScopedStorageFaults storageFaults(
+      support::randomStorageFaultPlan(seed, hosts, /*maxFaults=*/3));
 
   bool hasPermanent = false;
   for (const auto& crash : plan->crashes) {
@@ -242,7 +259,10 @@ TEST_P(FaultPlanFuzz, CompletesValidlyOrFailsStructured) {
     ASSERT_EQ(result.partitions.size(), hosts - report.evictions.size());
     if (!report.evictions.empty()) {
       EXPECT_TRUE(config.resilience.degradedMode);
-      EXPECT_TRUE(hasPermanent);
+      // Evictions come from permanent crashes or, when the hard straggler
+      // deadline is armed, from condemned slow hosts.
+      EXPECT_TRUE(hasPermanent ||
+                  config.resilience.straggler.hardEnabled());
       // Shrunk but still correct end to end.
       if (g.numNodes() > 0) {
         const uint64_t source = analytics::maxOutDegreeNode(g);
@@ -263,6 +283,8 @@ TEST_P(FaultPlanFuzz, CompletesValidlyOrFailsStructured) {
   } catch (const comm::SendRetriesExhausted&) {  // structured: retry budget
   } catch (const comm::HostEvicted&) {      // structured: membership change
   } catch (const comm::MessageCorrupt&) {   // structured: persistent corruption
+  } catch (const comm::StragglerDeadline&) {  // structured: condemned laggard
+  } catch (const support::StorageError&) {  // structured: storage fault
   }
   // Any other exception type escapes and fails the test.
 
