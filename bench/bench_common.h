@@ -13,6 +13,8 @@
 //    0 -> 256 KB.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -25,9 +27,47 @@
 #include "core/policies.h"
 #include "graph/generators.h"
 #include "graph/graph_file.h"
+#include "obs/obs.h"
+#include "support/memory.h"
 #include "xtrapulp/xtrapulp.h"
 
 namespace cusp::bench {
+
+// Peak resident set of this process in bytes (getrusage; Linux reports
+// ru_maxrss in KiB). 0 if the syscall fails.
+inline uint64_t peakRssBytes() {
+  struct rusage usage {};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+// Mirrors process-level memory outcomes into the attached metrics registry
+// so --metrics-out JSON exports carry them: real peak RSS of the bench
+// process, and — when a memory budget is attached (--memory-budget) — the
+// governor's accounted peak and cumulative spill bytes.
+inline void recordMemoryMetrics() {
+  if (!obs::attached()) {
+    return;
+  }
+  const auto registry = obs::sink().metrics;
+  if (!registry) {
+    return;
+  }
+  registry->gauge("bench.peak_rss_bytes")
+      .set(static_cast<double>(peakRssBytes()));
+  if (support::memoryBudgetAttached()) {
+    const support::MemoryBudgetStats stats =
+        support::memoryBudget()->stats();
+    registry->gauge("bench.mem_budget_bytes")
+        .set(static_cast<double>(stats.totalBytes));
+    registry->gauge("bench.mem_peak_bytes")
+        .set(static_cast<double>(stats.peakBytes));
+    registry->gauge("bench.spill_bytes")
+        .set(static_cast<double>(stats.spillBytes));
+  }
+}
 
 inline const std::vector<std::string>& inputNames() {
   static const std::vector<std::string> names = {"kron", "gsh", "clueweb",
@@ -135,6 +175,7 @@ inline TimedPartitions partitionNamed(const graph::CsrGraph& g,
     timed.result = core::partitionGraph(file, benchPolicy(policy), config);
     timed.seconds = timed.result.totalSeconds;
   }
+  recordMemoryMetrics();  // keeps peak-RSS/spill gauges fresh in exports
   return timed;
 }
 

@@ -13,6 +13,13 @@
 //     --edge-weight <w>   reading-split edge importance (default 1)
 //     --metrics-out <p>   dump metrics JSON to <p> and a chrome://tracing
 //                         trace to <p minus .json>.trace.json
+//     --memory-budget <MB> attach a process-wide memory budget
+//                         (support/memory.h); the reading phase falls back
+//                         to bounded-window streaming when the host window
+//                         does not fit, and cusp.mem.* gauges land in the
+//                         metrics export
+//     --stream-windows    force bounded-window streaming reads even
+//                         without a budget
 //
 // Prints the paper-style phase breakdown, quality metrics and
 // communication volume. With --out, every partition is written as a .cdg
@@ -28,6 +35,7 @@
 #include "core/policies.h"
 #include "graph/graph_file.h"
 #include "obs/obs.h"
+#include "support/memory.h"
 #include "xtrapulp/xtrapulp.h"
 
 using namespace cusp;
@@ -39,7 +47,8 @@ int usage() {
                "usage: partition_tool <in.cgr> <policy> <hosts> "
                "[--out prefix] [--csc] [--buffer MB] [--rounds N] "
                "[--node-weight W] [--edge-weight W] "
-               "[--metrics-out out.json]\n");
+               "[--metrics-out out.json] [--memory-budget MB] "
+               "[--stream-windows]\n");
   return 2;
 }
 
@@ -49,6 +58,9 @@ int main(int argc, char** argv) {
   // Consumes --metrics-out and, when present, attaches the process-wide
   // sink before any Network exists and dumps both exports at exit.
   obs::MetricsCli metricsCli(argc, argv);
+  // Consumes --memory-budget and, when present, attaches the process-wide
+  // memory governor for the program's lifetime.
+  support::MemoryBudgetCli budgetCli(argc, argv);
   if (argc < 4) {
     return usage();
   }
@@ -86,6 +98,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       config.readEdgeWeight = std::atof(v);
+    } else if (arg == "--stream-windows") {
+      config.forceStreamingWindows = true;
     } else {
       return usage();
     }

@@ -367,6 +367,18 @@ size_t Network::dupFilterChannels(HostId me) const {
   return box.channels.size();
 }
 
+uint64_t Network::mailboxBacklogBytes() const {
+  uint64_t total = 0;
+  for (const auto& boxPtr : mailboxes_) {
+    Mailbox& box = *boxPtr;
+    std::lock_guard<std::mutex> lock(box.mutex);
+    for (const Queued& entry : box.queue) {
+      total += entry.msg.payload.size();
+    }
+  }
+  return total;
+}
+
 void Network::ageDelayedLocked(Mailbox& box) {
   for (Queued& entry : box.queue) {
     if (entry.delayScans > 0) {
@@ -699,7 +711,43 @@ uint64_t Network::messagesSent(Tag tag) const {
 BufferedSender::BufferedSender(Network& net, HostId me, Tag tag,
                                size_t threshold)
     : net_(net), me_(me), tag_(tag), threshold_(threshold),
-      pending_(net.numHosts()) {}
+      pending_(net.numHosts()),
+      budget_(support::memoryBudgetAttached() ? support::memoryBudget()
+                                              : nullptr) {}
+
+BufferedSender::~BufferedSender() {
+  if (budget_ != nullptr && chargedBytes_ > 0) {
+    budget_->release(chargedBytes_);
+    chargedBytes_ = 0;
+  }
+}
+
+void BufferedSender::chargePending(size_t bytes) {
+  if (budget_ == nullptr || bytes == 0) {
+    return;
+  }
+  // Overdraft: a record already serialized must be shipped, not dropped;
+  // pressure is relieved by the early flush in append(), not by refusal.
+  budget_->reserveOverdraft(bytes);
+  chargedBytes_ += bytes;
+}
+
+void BufferedSender::releasePending(size_t bytes) {
+  if (budget_ == nullptr || bytes == 0) {
+    return;
+  }
+  const uint64_t toRelease = std::min<uint64_t>(bytes, chargedBytes_);
+  budget_->release(toRelease);
+  chargedBytes_ -= toRelease;
+}
+
+bool BufferedSender::underPressure() {
+  if (budget_ == nullptr || !budget_->underPressure()) {
+    return false;
+  }
+  pressureFlushes_ += 1;
+  return true;
+}
 
 void BufferedSender::flush(HostId dst) {
   if (pending_[dst].empty()) {
@@ -707,6 +755,7 @@ void BufferedSender::flush(HostId dst) {
   }
   support::SendBuffer buffer = std::move(pending_[dst]);
   pending_[dst] = support::SendBuffer();
+  releasePending(buffer.size());
   net_.sendReliable(me_, dst, tag_, std::move(buffer));
 }
 

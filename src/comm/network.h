@@ -76,6 +76,7 @@
 
 #include "comm/fault.h"
 #include "obs/metrics.h"
+#include "support/memory.h"
 #include "support/serialize.h"
 
 namespace cusp::comm {
@@ -387,6 +388,13 @@ class Network {
   // for the memory-bound regression test.
   size_t dupFilterChannels(HostId me) const;
 
+  // Total payload bytes currently queued across every mailbox — the
+  // network's contribution to memory pressure. Computed on demand (one
+  // lock-and-sum per mailbox) rather than maintained per-op: the memory
+  // governor samples it at phase boundaries, so a gauge beats threading
+  // accounting through every enqueue/dequeue/duplicate-drop path.
+  uint64_t mailboxBacklogBytes() const;
+
   // Duplicate-filter memory bound: the per-channel sequence state is
   // compacted once a mailbox tracks more than this many distinct
   // (source, tag) channels. Only channels with no queued messages are
@@ -497,16 +505,28 @@ class Network {
 // (paper Section IV-D3; threshold 0 sends every record immediately, the
 // "0 MB" point of Fig. 7). flushAll() must be called to drain remainders.
 // Flushes go through sendReliable, so injected drops are retried.
+//
+// Memory-governed: when a process-wide MemoryBudget is attached at
+// construction time, the sender charges its pending aggregation bytes
+// against it (overdraft — aggregation never fails outright, it just
+// flushes) and flushes a destination EARLY whenever the budget reports
+// pressure, trading batching efficiency for bounded buffering.
 class BufferedSender {
  public:
   BufferedSender(Network& net, HostId me, Tag tag, size_t threshold);
+  ~BufferedSender();
+  BufferedSender(const BufferedSender&) = delete;
+  BufferedSender& operator=(const BufferedSender&) = delete;
 
-  // Serializes `values...` into dst's pending buffer; flushes if full.
+  // Serializes `values...` into dst's pending buffer; flushes if full, or
+  // as soon as the attached memory budget is under pressure.
   template <typename... Ts>
   void append(HostId dst, const Ts&... values) {
     auto& buffer = pending_[dst];
+    const size_t before = buffer.size();
     support::serializeAll(buffer, values...);
-    if (buffer.size() >= threshold_ || threshold_ == 0) {
+    chargePending(buffer.size() - before);
+    if (buffer.size() >= threshold_ || threshold_ == 0 || underPressure()) {
       flush(dst);
     }
   }
@@ -514,12 +534,24 @@ class BufferedSender {
   void flush(HostId dst);
   void flushAll();
 
+  // Flushes forced by budget pressure before the threshold was reached
+  // (0 without an attached budget). Lets tests distinguish early flushes
+  // from ordinary threshold flushes.
+  uint64_t pressureFlushes() const { return pressureFlushes_; }
+
  private:
+  void chargePending(size_t bytes);
+  void releasePending(size_t bytes);
+  bool underPressure();  // counts a pressure flush when true
+
   Network& net_;
   HostId me_;
   Tag tag_;
   size_t threshold_;
   std::vector<support::SendBuffer> pending_;
+  std::shared_ptr<support::MemoryBudget> budget_;  // captured at construction
+  uint64_t chargedBytes_ = 0;
+  uint64_t pressureFlushes_ = 0;
 };
 
 // Spawns one thread per ALIVE host running hostMain(hostId) — evicted

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <stdexcept>
 
 #include "obs/obs.h"
@@ -234,29 +235,63 @@ void removeHostCheckpointStore(const std::string& dir, uint32_t host,
   }
 }
 
-uint32_t garbageCollectCheckpointTmp(const std::string& dir) {
+uint32_t garbageCollectCheckpointTmp(const std::string& dir,
+                                     double quarantineAgeSeconds) {
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) {
     return 0;
   }
-  static constexpr std::string_view kSuffix = ".ckpt.tmp";
-  uint32_t removed = 0;
+  static constexpr std::string_view kTmpSuffix = ".ckpt.tmp";
+  static constexpr std::string_view kQuarantineSuffix = ".quarantined";
+  const std::time_t now = std::time(nullptr);
+  uint32_t removedTmp = 0;
+  uint32_t removedQuarantined = 0;
   while (dirent* entry = ::readdir(d)) {
     const std::string_view name = entry->d_name;
-    if (name.size() < kSuffix.size() ||
-        name.substr(name.size() - kSuffix.size()) != kSuffix) {
+    auto hasSuffix = [&](std::string_view suffix) {
+      return name.size() >= suffix.size() &&
+             name.substr(name.size() - suffix.size()) == suffix;
+    };
+    const std::string path = dir + "/" + std::string(name);
+    if (hasSuffix(kTmpSuffix)) {
+      // Orphaned commit debris is dead the moment the run that wrote it is
+      // gone; no age grace needed.
+      if (std::remove(path.c_str()) == 0) {
+        ++removedTmp;
+      }
       continue;
     }
-    if (std::remove((dir + "/" + std::string(name)).c_str()) == 0) {
-      ++removed;
+    if (hasSuffix(kQuarantineSuffix)) {
+      // Quarantined corrupt checkpoints are forensic evidence: keep them
+      // until they have aged past the threshold, so a run (or a person)
+      // inspecting a fresh quarantine never has it swept away mid-look.
+      struct stat st {};
+      if (::stat(path.c_str(), &st) != 0) {
+        continue;
+      }
+      const double age = std::difftime(now, st.st_mtime);
+      if (age < quarantineAgeSeconds) {
+        continue;
+      }
+      if (std::remove(path.c_str()) == 0) {
+        ++removedQuarantined;
+      }
     }
   }
   ::closedir(d);
-  if (removed > 0) {
-    CUSP_LOG_WARN() << "garbage-collected " << removed
+  if (removedTmp > 0) {
+    CUSP_LOG_WARN() << "garbage-collected " << removedTmp
                     << " orphaned .ckpt.tmp file(s) in " << dir;
   }
-  return removed;
+  if (removedQuarantined > 0) {
+    countCheckpoint("cusp.checkpoint.quarantine_collected",
+                    removedQuarantined);
+    CUSP_LOG_WARN() << "garbage-collected " << removedQuarantined
+                    << " stale .quarantined file(s) in " << dir;
+  }
+  return removedTmp + removedQuarantined;
 }
+
+void ensureStoreDirs(const std::string& dir) { makeDirs(dir); }
 
 }  // namespace cusp::core

@@ -108,8 +108,17 @@ void removeHostCheckpointStore(const std::string& dir, uint32_t host,
 
 // Removes orphaned `*.ckpt.tmp` files a crash mid-rename may have left in
 // `dir` (the atomic-write protocol never lets them become visible as valid
-// checkpoints, but they would otherwise accumulate). Returns the number of
-// files removed. The resilient driver runs this on start.
-uint32_t garbageCollectCheckpointTmp(const std::string& dir);
+// checkpoints, but they would otherwise accumulate), plus stale
+// `*.quarantined` debris from the corrupt-checkpoint quarantine. Tmp files
+// are always swept; quarantined files are kept for
+// `quarantineAgeSeconds` after their last modification so in-flight
+// forensics (a corrupt image quarantined moments ago, possibly mid-run)
+// aren't deleted from under whoever is inspecting them. Returns the number
+// of files removed. The resilient driver runs this on start.
+uint32_t garbageCollectCheckpointTmp(const std::string& dir,
+                                     double quarantineAgeSeconds = 24 * 3600);
+
+// mkdir -p for a checkpoint/spill store directory.
+void ensureStoreDirs(const std::string& dir);
 
 }  // namespace cusp::core

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "support/bitset.h"
+#include "support/memory.h"
 #include "support/storage.h"
 
 namespace cusp::core {
@@ -17,6 +18,7 @@ const char* ClassifiedFault::kindName() const {
     case kMessageCorrupt: return "MessageCorrupt";
     case kStorageFault: return "StorageFault";
     case kStragglerDeadline: return "StragglerDeadline";
+    case kMemoryPressure: return "MemoryPressure";
   }
   return "unknown";
 }
@@ -44,6 +46,9 @@ std::optional<ClassifiedFault> classifyFault(std::exception_ptr ep) {
                            e.laggard, 0};
   } catch (const support::StorageError& e) {
     return ClassifiedFault{ClassifiedFault::kStorageFault, e.what(),
+                           comm::kAnyHost, 0};
+  } catch (const support::MemoryPressure& e) {
+    return ClassifiedFault{ClassifiedFault::kMemoryPressure, e.what(),
                            comm::kAnyHost, 0};
   } catch (...) {
     return std::nullopt;

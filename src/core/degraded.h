@@ -55,6 +55,10 @@ struct ClassifiedFault {
     kStragglerDeadline,    // a peer blew the hard straggler deadline
                            // (comm::StragglerDeadline) — the named laggard
                            // is evictable like a permanent crash
+    kMemoryPressure,       // a budgeted reservation was refused
+                           // (support::MemoryPressure) — the driver walks
+                           // the degradation ladder (stream windows → spill
+                           // → smaller chunks) instead of retrying blindly
   };
 
   Kind kind = kHostFailure;

@@ -57,6 +57,15 @@ class PartitionJob {
       trace_ = sink.trace;
       metrics_ = sink.metrics;
     }
+    if (support::memoryBudgetAttached()) {
+      budget_ = support::memoryBudget();
+    }
+  }
+
+  ~PartitionJob() {
+    if (budget_ && windowChargeBytes_ > 0) {
+      budget_->release(windowChargeBytes_);
+    }
   }
 
   DistGraph run() {
@@ -115,6 +124,32 @@ class PartitionJob {
     phaseTimes_.add(name, (support::threadCpuSeconds() - cpu0) +
                               (net_.modeledCommSeconds(me_) - comm0) +
                               (modeledDiskSeconds_ - disk0));
+    mirrorMemGauges();
+  }
+
+  // Samples the network backlog into the budget and mirrors the governor's
+  // accounting into cusp.mem.* gauges at every phase boundary. Gauges are
+  // last-write-wins, so concurrent hosts racing on them is fine — they all
+  // read the same process-wide budget.
+  void mirrorMemGauges() {
+    if (!budget_) {
+      return;
+    }
+    budget_->noteCommBacklog(net_.mailboxBacklogBytes());
+    if (!metrics_) {
+      return;
+    }
+    const support::MemoryBudgetStats s = budget_->stats();
+    metrics_->gauge("cusp.mem.budget_bytes")
+        .set(static_cast<double>(s.totalBytes));
+    metrics_->gauge("cusp.mem.in_use_bytes")
+        .set(static_cast<double>(s.inUseBytes));
+    metrics_->gauge("cusp.mem.peak_bytes")
+        .set(static_cast<double>(s.peakBytes));
+    metrics_->gauge("cusp.mem.spill_bytes")
+        .set(static_cast<double>(s.spillBytes));
+    metrics_->gauge("cusp.mem.comm_backlog_bytes")
+        .set(static_cast<double>(s.commBacklogBytes));
   }
 
   // One pipeline phase: announce it to the fault injector (phase-scheduled
@@ -367,22 +402,172 @@ class PartitionJob {
                                              config_.readNodeWeight,
                                              config_.readEdgeWeight);
     myRange_ = ranges_[me_];
-    // Load this host's window from the "disk" into memory (paper IV-B1:
-    // later phases read from memory, not disk).
+    // The row-offset slice is always resident: every later phase needs
+    // random row lookups, and at (numNodes+1)*8 bytes it is the small part
+    // of the window. Overdraft — a budget too small for the offsets alone
+    // is not recoverable by streaming.
     const auto rowStart = file_.rowStarts();
-    const auto dests = file_.destinations();
     winRowStart_.assign(rowStart.begin() + myRange_.nodeBegin,
                         rowStart.begin() + myRange_.nodeEnd + 1);
-    winDests_.assign(dests.begin() + myRange_.edgeBegin,
-                     dests.begin() + myRange_.edgeEnd);
-    if (file_.hasEdgeData()) {
-      const auto edgeData = file_.edgeDataArray();
-      winEdgeData_.assign(edgeData.begin() + myRange_.edgeBegin,
-                          edgeData.begin() + myRange_.edgeEnd);
+    const uint64_t rowBytes = winRowStart_.size() * sizeof(uint64_t);
+    if (budget_) {
+      budget_->reserveOverdraft(rowBytes);
+      windowChargeBytes_ += rowBytes;
     }
-    simulateDiskRead(winRowStart_.size() * sizeof(uint64_t) +
-                     winDests_.size() * sizeof(uint64_t) +
-                     winEdgeData_.size() * sizeof(uint32_t));
+    const bool withData = file_.hasEdgeData();
+    const uint64_t destBytes =
+        myRange_.numEdges() * sizeof(uint64_t) +
+        (withData ? myRange_.numEdges() * sizeof(uint32_t) : 0);
+
+    // Window residency: ADWISE-class windowed policies score edges at
+    // random window offsets and must stay resident (charged as overdraft);
+    // otherwise the window streams in bounded chunks when forced by config
+    // or when the budget refuses the resident reservation (the refusal is
+    // the memory-fault injection point, so seeded plans can push any host
+    // into streaming).
+    streamingWindows_ = false;
+    if (windowedMode()) {
+      if (budget_) {
+        budget_->reserveOverdraft(destBytes);
+        windowChargeBytes_ += destBytes;
+      }
+    } else if (config_.forceStreamingWindows) {
+      streamingWindows_ = true;
+    } else if (budget_ &&
+               !budget_->tryReserve(destBytes,
+                                    "partition.window.h" +
+                                        std::to_string(me_))) {
+      streamingWindows_ = true;
+      if (metrics_) {
+        metrics_->counter("cusp.mem.window_stream_fallbacks").add();
+      }
+    } else if (budget_) {
+      windowChargeBytes_ += destBytes;  // tryReserve succeeded: charged
+    }
+
+    if (!streamingWindows_) {
+      // Load this host's window from the "disk" into memory (paper IV-B1:
+      // later phases read from memory, not disk). Window reads go through
+      // the bounded-read seam, so resident and windowed GraphFiles take
+      // the same path.
+      winDests_ = file_.readDestWindow(myRange_.edgeBegin, myRange_.edgeEnd);
+      if (withData) {
+        winEdgeData_ =
+            file_.readEdgeDataWindow(myRange_.edgeBegin, myRange_.edgeEnd);
+      }
+      simulateDiskRead(rowBytes + destBytes);
+      return;
+    }
+
+    // Streaming mode: never materialize the full window. Build the
+    // node-aligned chunk table; later phases fetch one chunk at a time.
+    buildChunks();
+    simulateDiskRead(rowBytes);  // chunk bytes are charged per fetch
+    if (!config_.spillDir.empty()) {
+      // Spill every chunk once, compressed, through the hardened storage
+      // seam; later passes restore from the spill store instead of
+      // re-reading the raw file.
+      ensureStoreDirs(config_.spillDir);
+      for (size_t c = 0; c < chunks_.size(); ++c) {
+        const Chunk& chunk = chunks_[c];
+        const std::vector<uint64_t> dests =
+            file_.readDestWindow(chunk.edgeBegin, chunk.edgeEnd);
+        std::vector<uint32_t> weights;
+        if (withData) {
+          weights =
+              file_.readEdgeDataWindow(chunk.edgeBegin, chunk.edgeEnd);
+        }
+        simulateDiskRead((chunk.edgeEnd - chunk.edgeBegin) *
+                         (sizeof(uint64_t) +
+                          (withData ? sizeof(uint32_t) : 0)));
+        support::spillEdgeSegment(spillChunkPath(c), dests.data(),
+                                  dests.size(),
+                                  withData ? weights.data() : nullptr);
+      }
+      spilled_ = true;
+    }
+  }
+
+  // Node-aligned streaming chunks of up to streamChunkEdges edges each; a
+  // node whose degree exceeds the target gets a chunk of its own. Chunk
+  // node bounds are window-relative, edge bounds are GLOBAL file offsets
+  // (matching winRowStart_'s values).
+  void buildChunks() {
+    chunks_.clear();
+    const uint64_t targetEdges =
+        std::max<uint64_t>(1, config_.streamChunkEdges);
+    const uint64_t n = myNumNodes();
+    uint64_t nodeBegin = 0;
+    while (nodeBegin < n) {
+      const uint64_t edgeBegin = winRowStart_[nodeBegin];
+      uint64_t nodeEnd = nodeBegin + 1;
+      while (nodeEnd < n &&
+             winRowStart_[nodeEnd + 1] - edgeBegin <= targetEdges) {
+        ++nodeEnd;
+      }
+      chunks_.push_back(
+          Chunk{nodeBegin, nodeEnd, edgeBegin, winRowStart_[nodeEnd]});
+      nodeBegin = nodeEnd;
+    }
+  }
+
+  std::string spillChunkPath(size_t chunk) const {
+    return config_.spillDir + "/h" + std::to_string(me_) + ".n" +
+           std::to_string(numHosts()) + ".c" + std::to_string(chunk) +
+           ".spill";
+  }
+
+  // Sequentially visits every streaming chunk: charges the chunk's bytes
+  // against the budget as spillable transient state (the chunk buffer IS
+  // the mechanism of staying under budget, so the cap never refuses it —
+  // but injected kAllocFail faults throw MemoryPressure here, the chaos
+  // ladder's per-chunk seam), fetches the chunk from the spill store or
+  // the graph file, and releases the charge afterwards.
+  // fn(chunk, dests, weights) gets chunk-relative arrays.
+  template <typename Fn>
+  void forEachChunk(Fn&& fn) {
+    const bool withData = file_.hasEdgeData();
+    const std::string context =
+        "partition.chunk.h" + std::to_string(me_);
+    for (size_t c = 0; c < chunks_.size(); ++c) {
+      const Chunk& chunk = chunks_[c];
+      const uint64_t bytes =
+          (chunk.edgeEnd - chunk.edgeBegin) *
+          (sizeof(uint64_t) + (withData ? sizeof(uint32_t) : 0));
+      if (budget_) {
+        budget_->reserveSpillable(bytes, context);  // may throw (injected)
+      }
+      try {
+        std::vector<uint64_t> dests;
+        std::vector<uint32_t> weights;
+        if (spilled_) {
+          auto segment = support::restoreEdgeSegment(spillChunkPath(c));
+          if (!segment) {
+            throw support::StorageError(
+                support::StorageError::Kind::kReadFailed, spillChunkPath(c),
+                "spilled edge segment vanished");
+          }
+          dests = std::move(segment->dests);
+          weights = std::move(segment->weights);
+        } else {
+          dests = file_.readDestWindow(chunk.edgeBegin, chunk.edgeEnd);
+          if (withData) {
+            weights =
+                file_.readEdgeDataWindow(chunk.edgeBegin, chunk.edgeEnd);
+          }
+        }
+        simulateDiskRead(bytes);
+        fn(chunk, dests, weights);
+      } catch (...) {
+        if (budget_) {
+          budget_->release(bytes);
+        }
+        throw;
+      }
+      if (budget_) {
+        budget_->release(bytes);
+      }
+    }
   }
 
   // Disk time is modeled, not slept: it is added to this host's reading
@@ -417,9 +602,21 @@ class PartitionJob {
     std::vector<std::vector<uint64_t>> requestsTo(numHosts());
     {
       DynamicBitset needed(prop_.getNumNodes());
-      for (uint64_t d : winDests_) {
+      auto noteDest = [&](uint64_t d) {
         if (!inMyRange(d)) {
           needed.set(d);
+        }
+      };
+      if (streamingWindows_) {
+        forEachChunk([&](const Chunk&, const std::vector<uint64_t>& dests,
+                         const std::vector<uint32_t>&) {
+          for (uint64_t d : dests) {
+            noteDest(d);
+          }
+        });
+      } else {
+        for (uint64_t d : winDests_) {
+          noteDest(d);
         }
       }
       std::vector<uint64_t> neededIds;
@@ -612,9 +809,8 @@ class PartitionJob {
     for (auto& flags : mirrorFlags) {
       flags.resize(prop_.getNumNodes());
     }
-    auto recordEdge = [&](uint64_t s, uint64_t e) {
+    auto recordEdge = [&](uint64_t s, uint64_t d) {
       const uint32_t sMaster = masterOf(s);
-      const uint64_t d = winDests_[e];
       const uint32_t dMaster = masterOf(d);
       const uint32_t owner =
           policy_.edge.fn(prop_, s, d, sMaster, dMaster, state_);
@@ -627,7 +823,24 @@ class PartitionJob {
       }
     };
     if (windowedMode()) {
-      forEachEdgeWindowed(recordEdge);
+      forEachEdgeWindowed(
+          [&](uint64_t s, uint64_t e) { recordEdge(s, winDests_[e]); });
+    } else if (streamingWindows_) {
+      // Sequential chunk walk in ascending node order — the same edge
+      // visit order as the single-threaded resident path, so stateful
+      // policies evolve identically and outputs stay bit-identical.
+      forEachChunk([&](const Chunk& chunk,
+                       const std::vector<uint64_t>& dests,
+                       const std::vector<uint32_t>&) {
+        for (uint64_t idx = chunk.nodeBegin; idx < chunk.nodeEnd; ++idx) {
+          const uint64_t s = myRange_.nodeBegin + idx;
+          const uint64_t eBegin = winRowStart_[idx] - chunk.edgeBegin;
+          const uint64_t eEnd = winRowStart_[idx + 1] - chunk.edgeBegin;
+          for (uint64_t e = eBegin; e < eEnd; ++e) {
+            recordEdge(s, dests[e]);
+          }
+        }
+      });
     } else {
       const unsigned threads =
           policy_.edge.usesState ? 1 : config_.threadsPerHost;
@@ -637,7 +850,7 @@ class PartitionJob {
             const uint64_t s = myRange_.nodeBegin + idx;
             const auto [eBegin, eEnd] = windowEdges(s);
             for (uint64_t e = eBegin; e < eEnd; ++e) {
-              recordEdge(s, e);
+              recordEdge(s, winDests_[e]);
             }
           },
           threads);
@@ -895,8 +1108,9 @@ class PartitionJob {
 
     // Canonicalize rows (arrival order is nondeterministic) and finalize.
     sortRows(withData);
-    graph::CsrGraph local(std::move(localRowStart_), std::move(localDests_),
-                          std::move(localEdgeData_));
+    graph::CsrGraph local(std::move(localRowStart_),
+                          localDests_.takeVector(),
+                          localEdgeData_.takeVector());
     if (config_.buildTranspose) {
       result_.graph = local.transpose();
       result_.isTransposed = true;
@@ -925,6 +1139,57 @@ class PartitionJob {
           insertEdges(s, oneDst, oneWeight);
         } else {
           sendRecord(sender, owner, s, oneDst, oneWeight, withData);
+        }
+      });
+      sender.flushAll();
+      return;
+    }
+
+    if (streamingWindows_) {
+      // Chunked replay: one sequential pass over the chunks, same node
+      // order as the resident paths. Chunks are node-aligned, so per-node
+      // records group exactly as in the single-threaded resident path;
+      // arrival-order differences are absorbed by the row sort.
+      comm::BufferedSender sender(net_, me_, comm::kTagEdgeBatch,
+                                  config_.messageBufferThreshold);
+      std::vector<std::vector<uint64_t>> dstsFor(numHosts());
+      std::vector<std::vector<uint32_t>> weightsFor(numHosts());
+      forEachChunk([&](const Chunk& chunk,
+                       const std::vector<uint64_t>& dests,
+                       const std::vector<uint32_t>& weights) {
+        for (uint64_t idx = chunk.nodeBegin; idx < chunk.nodeEnd; ++idx) {
+          const uint64_t s = myRange_.nodeBegin + idx;
+          const uint64_t eBegin = winRowStart_[idx] - chunk.edgeBegin;
+          const uint64_t eEnd = winRowStart_[idx + 1] - chunk.edgeBegin;
+          if (eBegin == eEnd) {
+            continue;
+          }
+          const uint32_t sMaster = masterOf(s);
+          for (auto& v : dstsFor) {
+            v.clear();
+          }
+          for (auto& v : weightsFor) {
+            v.clear();
+          }
+          for (uint64_t e = eBegin; e < eEnd; ++e) {
+            const uint64_t d = dests[e];
+            const uint32_t owner = policy_.edge.fn(prop_, s, d, sMaster,
+                                                   masterOf(d), state_);
+            dstsFor[owner].push_back(d);
+            if (withData) {
+              weightsFor[owner].push_back(weights[e]);
+            }
+          }
+          for (HostId h = 0; h < numHosts(); ++h) {
+            if (dstsFor[h].empty()) {
+              continue;
+            }
+            if (h == me_) {
+              insertEdges(s, dstsFor[h], weightsFor[h]);
+            } else {
+              sendRecord(sender, h, s, dstsFor[h], weightsFor[h], withData);
+            }
+          }
         }
       });
       sender.flushAll();
@@ -1066,12 +1331,26 @@ class PartitionJob {
   std::shared_ptr<obs::TraceBuffer> trace_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
 
+  // --- memory governor (null budget_ = unbudgeted, all charging elided) ---
+  std::shared_ptr<support::MemoryBudget> budget_;
+  uint64_t windowChargeBytes_ = 0;  // released in the destructor
+
+  // One node-aligned streaming chunk: node bounds are window-relative,
+  // edge bounds are GLOBAL file offsets (winRowStart_'s coordinate space).
+  struct Chunk {
+    uint64_t nodeBegin = 0, nodeEnd = 0;
+    uint64_t edgeBegin = 0, edgeEnd = 0;
+  };
+
   // --- reading phase ---
   std::vector<ReadRange> ranges_;
   ReadRange myRange_;
   std::vector<uint64_t> winRowStart_;  // global edge offsets, rebased view
-  std::vector<uint64_t> winDests_;
+  std::vector<uint64_t> winDests_;     // empty in streaming mode
   std::vector<uint32_t> winEdgeData_;
+  bool streamingWindows_ = false;      // bounded-window streaming reads
+  std::vector<Chunk> chunks_;          // streaming mode only
+  bool spilled_ = false;  // chunks live in spillDir, not the graph file
 
   // --- master assignment ---
   PartitionState state_;
@@ -1086,9 +1365,15 @@ class PartitionJob {
   uint64_t expectedRemoteEdges_ = 0;
 
   // --- construction ---
+  // The local CSR edge arrays are the partition being built — they must be
+  // resident, so they charge the budget in overdraft (accounted, never
+  // refused); the BudgetedVector's charge is released when the arrays are
+  // handed to CsrGraph.
   std::vector<uint64_t> localRowStart_;
-  std::vector<uint64_t> localDests_;
-  std::vector<uint32_t> localEdgeData_;
+  support::BudgetedVector<uint64_t> localDests_{"partition.csr.dests",
+                                                /*overdraft=*/true};
+  support::BudgetedVector<uint32_t> localEdgeData_{"partition.csr.data",
+                                                   /*overdraft=*/true};
   std::vector<std::atomic<uint64_t>> insertCursor_;
 
   DistGraph result_;
@@ -1279,12 +1564,30 @@ PartitionResult runRedistributionRound(
 
 }  // namespace
 
+namespace {
+
+// Attaches the config-requested process budget unless one is already
+// attached (the CLI's --memory-budget wins; its plan and accumulated
+// shrinks must not be reset by the entry point).
+std::unique_ptr<support::ScopedMemoryBudget> scopedBudgetFor(
+    const PartitionerConfig& config) {
+  if (config.memoryBudgetBytes == 0 || support::memoryBudgetAttached()) {
+    return nullptr;
+  }
+  const auto& plan = config.resilience.memoryFaultPlan;
+  return std::make_unique<support::ScopedMemoryBudget>(
+      config.memoryBudgetBytes, plan ? *plan : support::MemoryFaultPlan{});
+}
+
+}  // namespace
+
 PartitionResult partitionGraph(const graph::GraphFile& file,
                                const PartitionPolicy& policy,
                                const PartitionerConfig& config) {
   if (config.numHosts == 0) {
     throw std::invalid_argument("partitionGraph: numHosts must be > 0");
   }
+  const auto scopedBudget = scopedBudgetFor(config);
   return runPipeline(file, policy, config, makeInjector(config));
 }
 
@@ -1307,6 +1610,10 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
   if (checkpoints) {
     garbageCollectCheckpointTmp(config.resilience.checkpointDir);
   }
+  // One budget for the whole recovery loop (not per attempt): injected
+  // budget shrinks persist across restarts, so "checkpoint-and-restart at a
+  // smaller budget" is exactly what a retry after kBudgetShrink does.
+  const auto scopedBudget = scopedBudgetFor(config);
   // Driver-side observability: attempt spans land on the dedicated driver
   // lane; eviction/re-read counters mirror the RecoveryReport fields.
   const obs::Sink obsSink = obs::sink();
@@ -1331,6 +1638,13 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
   // Soft reports of monitors retired by Path B rebases (the fresh
   // survivor-sized monitor restarts at zero).
   uint64_t softReportsRetired = 0;
+  // Memory-pressure degradation ladder position. Each MemoryPressure fault
+  // advances at most one rung (stream windows -> spill -> halve chunks);
+  // the cap bounds the free (unmetered) config changes so persistent
+  // pressure eventually burns the ordinary attempt budget instead of
+  // looping forever.
+  uint32_t memoryLadderSteps = 0;
+  constexpr uint32_t kMaxMemoryLadderSteps = 16;
   // Storage/straggler outcomes reported on every exit path.
   const auto fillStorageReport = [&] {
     if (report == nullptr) {
@@ -1346,6 +1660,12 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
     if (stragglerMonitor) {
       report->stragglerSoftReports =
           softReportsRetired + stragglerMonitor->totalSoftReports();
+    }
+    if (support::memoryBudgetAttached()) {
+      const support::MemoryBudgetStats ms =
+          support::memoryBudget()->stats();
+      report->spillBytesWritten = ms.spillBytes;
+      report->memoryPeakBytes = ms.peakBytes;
     }
   };
   uint64_t epoch = 0;
@@ -1417,6 +1737,49 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
           report->failures.emplace_back(fault->what);
           report->failureKinds.emplace_back(fault->kindName());
         }
+
+        // --- memory-pressure degradation ladder ---------------------------
+        // A refused reservation is a resource-shape problem, not a transient
+        // fault: retrying the identical configuration would hit the same
+        // wall. Walk one rung per event — (1) stream windows instead of
+        // materializing them, (2) spill streamed chunks compressed next to
+        // the checkpoints, (3) halve the chunk size — and only when the
+        // ladder is exhausted fall through to the plain retry/throw path.
+        if (fault->kind == ClassifiedFault::kMemoryPressure) {
+          if (report != nullptr) {
+            ++report->memoryPressureEvents;
+          }
+          if (obsSink.metrics) {
+            obsSink.metrics->counter("cusp.mem.pressure_events").add();
+          }
+          if (memoryLadderSteps < kMaxMemoryLadderSteps) {
+            ++memoryLadderSteps;
+            if (!baseConfig.forceStreamingWindows) {
+              baseConfig.forceStreamingWindows = true;
+              CUSP_LOG_WARN() << "memory pressure: switching to streaming "
+                                 "window reads";
+              continue;
+            }
+            if (baseConfig.spillDir.empty() && baseCheckpoints) {
+              baseConfig.spillDir =
+                  baseConfig.resilience.checkpointDir + "/spill";
+              CUSP_LOG_WARN() << "memory pressure: spilling window chunks "
+                                 "to "
+                              << baseConfig.spillDir;
+              continue;
+            }
+            if (baseConfig.streamChunkEdges > 1024) {
+              baseConfig.streamChunkEdges = std::max<uint64_t>(
+                  1024, baseConfig.streamChunkEdges / 2);
+              CUSP_LOG_WARN() << "memory pressure: shrinking stream chunks "
+                                 "to "
+                              << baseConfig.streamChunkEdges << " edges";
+              continue;
+            }
+          }
+          // Ladder exhausted: fall through to the ordinary retry budget.
+        }
+
         const bool crashEvictable =
             fault->kind == ClassifiedFault::kHostFailure &&
             baseInjector != nullptr && fault->host != comm::kAnyHost &&

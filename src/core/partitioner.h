@@ -29,6 +29,7 @@
 #include "core/dist_graph.h"
 #include "core/policies.h"
 #include "graph/graph_file.h"
+#include "support/memory.h"
 #include "support/timer.h"
 
 namespace cusp::core {
@@ -67,6 +68,13 @@ struct ResilienceConfig {
   // Deterministic fault plan to inject (drops/duplicates/delays/crashes);
   // null or empty = clean network.
   std::shared_ptr<const comm::FaultPlan> faultPlan;
+
+  // Deterministic memory-fault plan (support/memory.h): allocation refusals
+  // and budget shrinks injected into the budget the entry points attach
+  // when memoryBudgetBytes > 0. Ignored when a budget is already attached
+  // process-wide (the pre-attached budget keeps its own plan). Null or
+  // empty = clean budget.
+  std::shared_ptr<const support::MemoryFaultPlan> memoryFaultPlan;
 
   // Retry budget for dropped messages (Network::sendReliable).
   comm::RetryPolicy retry;
@@ -158,6 +166,13 @@ struct RecoveryReport {
   bool checkpointingDisabledByEnospc = false;
   // Soft straggler reports accumulated by the run's StragglerMonitor.
   uint64_t stragglerSoftReports = 0;
+
+  // Memory-governor outcomes (zero without a budget): MemoryPressure faults
+  // the degradation ladder absorbed, cumulative bytes spilled to disk, and
+  // the budget's high-water mark over the whole run.
+  uint32_t memoryPressureEvents = 0;
+  uint64_t spillBytesWritten = 0;
+  uint64_t memoryPeakBytes = 0;
 };
 
 struct PartitionerConfig {
@@ -217,6 +232,38 @@ struct PartitionerConfig {
   // appear. Hosts read their windows concurrently, as on a parallel
   // filesystem.
   double simulatedDiskBandwidthMBps = 0.0;
+
+  // ---- memory governor (support/memory.h) --------------------------------
+
+  // Hard per-process memory budget in bytes; 0 = unbudgeted (every code
+  // path identical to a build without the governor). When set, the
+  // partitioning entry points attach a process-wide support::MemoryBudget
+  // for the duration of the run (unless one is already attached, e.g. by
+  // the --memory-budget CLI), hot containers charge it, and over-budget
+  // reservations surface as support::MemoryPressure — which
+  // partitionGraphResilient degrades through instead of dying.
+  uint64_t memoryBudgetBytes = 0;
+
+  // Force bounded-window streaming in the reading phase even when the
+  // window would fit the budget (or no budget is attached): later phases
+  // re-stream the host's edge window in node-aligned chunks of
+  // streamChunkEdges edges instead of keeping it resident. First rung of
+  // the degradation ladder; also useful for testing. Partitions are
+  // bit-identical to resident-window runs for deterministic policies.
+  bool forceStreamingWindows = false;
+
+  // Directory for spilled cold state (delta+varint-compressed edge-window
+  // segments, support/memory.h codec). Empty = no spill: streaming re-reads
+  // chunks from the GraphFile each pass. Second rung of the ladder — the
+  // resilient driver points this into <checkpointDir>/spill when pressure
+  // persists with streaming on.
+  std::string spillDir;
+
+  // Edges per streaming chunk (node-aligned; a node with a larger degree
+  // gets a chunk of its own). Third rung: the driver halves this under
+  // repeated pressure. Chunk size changes processing granularity only,
+  // never output.
+  uint64_t streamChunkEdges = 1ull << 16;
 
   // Fault-tolerance knobs (fault injection, recv timeouts, checkpoints,
   // retry); all off by default. partitionGraph honors the injection/

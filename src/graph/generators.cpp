@@ -28,6 +28,32 @@ uint64_t paretoInt(Rng& rng, double alpha, double xmin, uint64_t cap) {
   return std::clamp<uint64_t>(v, 1, cap);
 }
 
+// Any single generator materializing more edges than this is a mistake, not
+// a workload: 2^40 edges is ~16 TiB of Edge structs, far past anything this
+// process can hold, and catching it here gives a diagnosis instead of an
+// OOM kill (or, worse, a silently wrapped reserve).
+constexpr uint64_t kMaxGeneratedEdges = 1ull << 40;
+
+// a * b with overflow detection; `what` names the computation for the
+// error message.
+uint64_t checkedMul(uint64_t a, uint64_t b, const char* what) {
+  uint64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw GeneratorError(std::string(what) +
+                         ": size arithmetic overflows uint64_t (" +
+                         std::to_string(a) + " * " + std::to_string(b) + ")");
+  }
+  return out;
+}
+
+uint64_t checkedEdgeCount(uint64_t count, const char* what) {
+  if (count > kMaxGeneratedEdges) {
+    throw GeneratorError(std::string(what) + ": " + std::to_string(count) +
+                         " edges exceeds the generator bound of 2^40");
+  }
+  return count;
+}
+
 }  // namespace
 
 CsrGraph generateRmat(const RmatParams& params) {
@@ -40,7 +66,7 @@ CsrGraph generateRmat(const RmatParams& params) {
   }
   const uint64_t numNodes = 1ull << params.scale;
   std::vector<Edge> edges;
-  edges.reserve(params.numEdges);
+  edges.reserve(checkedEdgeCount(params.numEdges, "generateRmat"));
   const double ab = params.a + params.b;
   const double abc = ab + params.c;
   for (uint64_t i = 0; i < params.numEdges; ++i) {
@@ -88,9 +114,17 @@ CsrGraph generateWebCrawl(const WebCrawlParams& params) {
   // choose xmin so the mean out-degree matches the request.
   const double xmin =
       params.avgOutDegree * (params.outDegreeAlpha - 1.0) / params.outDegreeAlpha;
+  const double expectedEdges =
+      params.avgOutDegree * static_cast<double>(params.numNodes) * 1.1;
+  if (!(expectedEdges >= 0.0) ||
+      expectedEdges > static_cast<double>(kMaxGeneratedEdges)) {
+    throw GeneratorError(
+        "generateWebCrawl: expected edge count " +
+        std::to_string(expectedEdges) +
+        " is negative, NaN, or exceeds the generator bound of 2^40");
+  }
   std::vector<Edge> edges;
-  edges.reserve(static_cast<size_t>(
-      params.avgOutDegree * static_cast<double>(params.numNodes) * 1.1));
+  edges.reserve(static_cast<size_t>(expectedEdges));
   for (uint64_t u = 0; u < params.numNodes; ++u) {
     Rng rng = rngFor(params.seed, u);
     const uint64_t degree = paretoInt(rng, params.outDegreeAlpha, xmin, cap);
@@ -129,7 +163,7 @@ CsrGraph generateErdosRenyi(uint64_t numNodes, uint64_t numEdges,
     throw std::invalid_argument("generateErdosRenyi: edges without nodes");
   }
   std::vector<Edge> edges;
-  edges.reserve(numEdges);
+  edges.reserve(checkedEdgeCount(numEdges, "generateErdosRenyi"));
   for (uint64_t i = 0; i < numEdges; ++i) {
     Rng rng = rngFor(seed, i);
     edges.push_back(
@@ -149,9 +183,13 @@ CsrGraph generateBarabasiAlbert(uint64_t numNodes, uint64_t edgesPerNode,
   }
   // `endpoints` holds every edge endpoint seen so far; sampling uniformly
   // from it is sampling proportionally to degree.
+  const uint64_t totalEdges = checkedEdgeCount(
+      checkedMul(numNodes, edgesPerNode, "generateBarabasiAlbert"),
+      "generateBarabasiAlbert");
   std::vector<Edge> edges;
   std::vector<uint64_t> endpoints;
-  endpoints.reserve(numNodes * edgesPerNode * 2);
+  endpoints.reserve(
+      checkedMul(totalEdges, 2, "generateBarabasiAlbert endpoints"));
   endpoints.push_back(0);  // seed vertex
   Rng rng(hashU64(seed + 0x9e37));
   for (uint64_t v = 1; v < numNodes; ++v) {
@@ -176,7 +214,9 @@ CsrGraph generateWattsStrogatz(uint64_t numNodes, uint64_t neighborsEachSide,
     return CsrGraph();
   }
   std::vector<Edge> edges;
-  edges.reserve(numNodes * neighborsEachSide);
+  edges.reserve(checkedEdgeCount(
+      checkedMul(numNodes, neighborsEachSide, "generateWattsStrogatz"),
+      "generateWattsStrogatz"));
   Rng rng(hashU64(seed + 0x51f1));
   for (uint64_t v = 0; v < numNodes; ++v) {
     for (uint64_t k = 1; k <= neighborsEachSide; ++k) {
@@ -226,6 +266,10 @@ CsrGraph makeCycle(uint64_t numNodes) {
 }
 
 CsrGraph makeStar(uint64_t numLeaves) {
+  if (numLeaves == UINT64_MAX) {
+    throw GeneratorError("makeStar: numLeaves + 1 overflows uint64_t");
+  }
+  checkedEdgeCount(numLeaves, "makeStar");
   std::vector<Edge> edges;
   for (uint64_t i = 1; i <= numLeaves; ++i) {
     edges.push_back(Edge{0, i, 0});
@@ -234,6 +278,10 @@ CsrGraph makeStar(uint64_t numLeaves) {
 }
 
 CsrGraph makeComplete(uint64_t numNodes) {
+  if (numNodes > 0) {
+    checkedEdgeCount(checkedMul(numNodes, numNodes - 1, "makeComplete"),
+                     "makeComplete");
+  }
   std::vector<Edge> edges;
   for (uint64_t i = 0; i < numNodes; ++i) {
     for (uint64_t j = 0; j < numNodes; ++j) {
@@ -246,6 +294,8 @@ CsrGraph makeComplete(uint64_t numNodes) {
 }
 
 CsrGraph makeGrid(uint64_t rows, uint64_t cols) {
+  const uint64_t numNodes = checkedMul(rows, cols, "makeGrid");
+  checkedEdgeCount(checkedMul(numNodes, 2, "makeGrid"), "makeGrid");
   std::vector<Edge> edges;
   auto id = [cols](uint64_t r, uint64_t c) { return r * cols + c; };
   for (uint64_t r = 0; r < rows; ++r) {
@@ -258,7 +308,7 @@ CsrGraph makeGrid(uint64_t rows, uint64_t cols) {
       }
     }
   }
-  return CsrGraph::fromEdges(rows * cols, edges);
+  return CsrGraph::fromEdges(numNodes, edges);
 }
 
 CsrGraph withRandomWeights(const CsrGraph& graph, uint32_t maxWeight,

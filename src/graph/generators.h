@@ -13,12 +13,23 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "graph/csr_graph.h"
 
 namespace cusp::graph {
+
+// A generator request whose edge/node arithmetic does not fit uint64_t (or
+// a sane materialization bound). Raised instead of silently wrapping the
+// size passed to reserve()/fromEdges — an overflowed reserve under-allocates
+// and the generator then quietly builds the wrong graph.
+class GeneratorError : public std::runtime_error {
+ public:
+  explicit GeneratorError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 struct RmatParams {
   uint32_t scale = 10;          // numNodes = 2^scale

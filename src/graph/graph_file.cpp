@@ -1,7 +1,9 @@
 #include "graph/graph_file.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 
 #include "support/crc32.h"
@@ -100,6 +102,7 @@ GraphFile GraphFile::fromCsr(const CsrGraph& graph) {
                      graph.destinations().end());
   file.edgeData_.assign(graph.edgeDataArray().begin(),
                         graph.edgeDataArray().end());
+  file.hasEdgeData_ = !file.edgeData_.empty();
   return file;
 }
 
@@ -156,6 +159,7 @@ GraphFile GraphFile::load(const std::string& path) {
     file.edgeData_.resize(file.numEdges_);
     readChecked(file.edgeData_.data(), file.edgeData_.size());
   }
+  file.hasEdgeData_ = sizeofEdgeData == 4;
   // Optional CRC footer after the payload (newer writers always add it);
   // legacy files simply end here and are accepted unverified.
   uint64_t footer[2];
@@ -167,6 +171,184 @@ GraphFile GraphFile::load(const std::string& path) {
     }
   }
   return file;
+}
+
+namespace {
+
+// Byte size of the file at `path` without pulling it into memory; nullopt
+// when the file cannot be opened. Metadata only — not a faultable storage
+// read (the subsequent range reads are).
+std::optional<uint64_t> fileSizeOf(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  std::optional<uint64_t> size;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long end = std::ftell(f);
+    if (end >= 0) {
+      size = static_cast<uint64_t>(end);
+    }
+  }
+  std::fclose(f);
+  return size;
+}
+
+// Bounded-window read through the storage seam with typed error
+// conversion; a short read means the file is truncated relative to its own
+// validated header.
+std::vector<uint8_t> readRangeChecked(const std::string& path, uint64_t offset,
+                                      uint64_t length) {
+  std::optional<std::vector<uint8_t>> bytes;
+  try {
+    bytes = support::readFileRange(path, offset, length);
+  } catch (const support::StorageError& e) {
+    throw GraphFileError(path, std::string("storage read failure (") +
+                                   e.kindName() + ")");
+  }
+  if (!bytes) {
+    throw GraphFileError(path, "truncated file");
+  }
+  return std::move(*bytes);
+}
+
+// Chunk size for streaming passes over on-disk edge arrays (CRC verify at
+// open, toCsr materialization). 4 MiB keeps the resident buffer bounded
+// while staying well above the per-call overhead.
+constexpr uint64_t kStreamChunkBytes = 4u << 20;
+
+}  // namespace
+
+GraphFile GraphFile::openWindowed(const std::string& path) {
+  const std::optional<uint64_t> sizeOpt = fileSizeOf(path);
+  if (!sizeOpt) {
+    throw GraphFileError(path, "cannot open");
+  }
+  const uint64_t fileBytes = *sizeOpt;
+  if (fileBytes < 4 * sizeof(uint64_t)) {
+    throw GraphFileError(path, "truncated header");
+  }
+  const std::vector<uint8_t> headerBytes =
+      readRangeChecked(path, 0, 4 * sizeof(uint64_t));
+  uint64_t header[4];
+  std::memcpy(header, headerBytes.data(), sizeof(header));
+  if (header[0] != kMagic) {
+    throw GraphFileError(path, "bad magic");
+  }
+  const uint64_t sizeofEdgeData = header[1];
+  if (sizeofEdgeData != 0 && sizeofEdgeData != 4) {
+    throw GraphFileError(path, "unsupported edge data size");
+  }
+  GraphFile file;
+  file.numNodes_ = header[2];
+  file.numEdges_ = header[3];
+  file.hasEdgeData_ = sizeofEdgeData == 4;
+  // Same preflight as load(): validate claimed counts against the real file
+  // size before sizing the row index from them.
+  const uint64_t payloadBytes = fileBytes - 4 * sizeof(uint64_t);
+  if (file.numNodes_ == UINT64_MAX) {
+    throw GraphFileError(path,
+                         "header claims more nodes than the file can hold");
+  }
+  requireFits(file.numNodes_ + 1, sizeof(uint64_t), payloadBytes, path,
+              "nodes");
+  requireFits(file.numEdges_, sizeof(uint64_t) + sizeofEdgeData,
+              payloadBytes - (file.numNodes_ + 1) * sizeof(uint64_t), path,
+              "edges");
+  const uint64_t rowBytes = (file.numNodes_ + 1) * sizeof(uint64_t);
+  const std::vector<uint8_t> rowImage =
+      readRangeChecked(path, 4 * sizeof(uint64_t), rowBytes);
+  file.rowStart_.resize(file.numNodes_ + 1);
+  std::memcpy(file.rowStart_.data(), rowImage.data(), rowBytes);
+  if (file.rowStart_.front() != 0 || file.rowStart_.back() != file.numEdges_ ||
+      !std::is_sorted(file.rowStart_.begin(), file.rowStart_.end())) {
+    throw GraphFileError(path, "corrupt row index");
+  }
+  file.windowed_ = true;
+  file.path_ = path;
+  file.destOffset_ = 4 * sizeof(uint64_t) + rowBytes;
+  file.edgeDataOffset_ = file.destOffset_ + file.numEdges_ * sizeof(uint64_t);
+  const uint64_t payloadEnd =
+      file.edgeDataOffset_ +
+      (file.hasEdgeData_ ? file.numEdges_ * sizeof(uint32_t) : 0);
+  if (payloadEnd > fileBytes) {
+    throw GraphFileError(path, "truncated file");
+  }
+  // CRC footer verify via a chunked streaming pass: same guarantee as
+  // load() — at-rest corruption anywhere in the image is caught at open —
+  // with a bounded buffer instead of a whole-file read. Legacy files with
+  // no footer are accepted unverified, as in load().
+  if (fileBytes - payloadEnd >= support::kCrcFooterSize) {
+    const std::vector<uint8_t> footerBytes =
+        readRangeChecked(path, payloadEnd, support::kCrcFooterSize);
+    uint64_t footer[2];
+    std::memcpy(footer, footerBytes.data(), sizeof(footer));
+    if (footer[0] == support::kCrcFooterMagic) {
+      uint32_t crc = 0;
+      for (uint64_t offset = 0; offset < payloadEnd;
+           offset += kStreamChunkBytes) {
+        const uint64_t len = std::min(kStreamChunkBytes, payloadEnd - offset);
+        const std::vector<uint8_t> chunk = readRangeChecked(path, offset, len);
+        crc = support::crc32Update(crc, chunk.data(), chunk.size());
+      }
+      if (footer[1] != static_cast<uint64_t>(crc)) {
+        throw GraphFileError(path, "checksum mismatch");
+      }
+    }
+  }
+  return file;
+}
+
+std::vector<uint64_t> GraphFile::readDestWindow(uint64_t edgeBegin,
+                                                uint64_t edgeEnd) const {
+  if (edgeBegin > edgeEnd || edgeEnd > numEdges_) {
+    throw GraphFileError(path_, "edge window out of range");
+  }
+  std::vector<uint64_t> dests(edgeEnd - edgeBegin);
+  if (!windowed_) {
+    std::copy(dests_.begin() + static_cast<ptrdiff_t>(edgeBegin),
+              dests_.begin() + static_cast<ptrdiff_t>(edgeEnd), dests.begin());
+    return dests;
+  }
+  const std::vector<uint8_t> bytes =
+      readRangeChecked(path_, destOffset_ + edgeBegin * sizeof(uint64_t),
+                       dests.size() * sizeof(uint64_t));
+  if (!dests.empty()) {
+    std::memcpy(dests.data(), bytes.data(), bytes.size());
+  }
+  // Re-validate: the open-time CRC covers at-rest state, but this read may
+  // itself have been faulted (injected bit rot), and defense-in-depth on a
+  // fresh fetch is cheap.
+  for (uint64_t dst : dests) {
+    if (dst >= numNodes_) {
+      throw GraphFileError(path_, "destination out of range");
+    }
+  }
+  return dests;
+}
+
+std::vector<uint32_t> GraphFile::readEdgeDataWindow(uint64_t edgeBegin,
+                                                    uint64_t edgeEnd) const {
+  if (edgeBegin > edgeEnd || edgeEnd > numEdges_) {
+    throw GraphFileError(path_, "edge window out of range");
+  }
+  if (!hasEdgeData_) {
+    return {};
+  }
+  std::vector<uint32_t> weights(edgeEnd - edgeBegin);
+  if (!windowed_) {
+    std::copy(edgeData_.begin() + static_cast<ptrdiff_t>(edgeBegin),
+              edgeData_.begin() + static_cast<ptrdiff_t>(edgeEnd),
+              weights.begin());
+    return weights;
+  }
+  const std::vector<uint8_t> bytes =
+      readRangeChecked(path_, edgeDataOffset_ + edgeBegin * sizeof(uint32_t),
+                       weights.size() * sizeof(uint32_t));
+  if (!weights.empty()) {
+    std::memcpy(weights.data(), bytes.data(), bytes.size());
+  }
+  return weights;
 }
 
 void GraphFile::save(const std::string& path, const CsrGraph& graph) {
@@ -191,7 +373,29 @@ void GraphFile::save(const std::string& path, const CsrGraph& graph) {
 }
 
 CsrGraph GraphFile::toCsr() const {
-  return CsrGraph(rowStart_, dests_, edgeData_);
+  if (!windowed_) {
+    return CsrGraph(rowStart_, dests_, edgeData_);
+  }
+  // Offline consumers materialize the whole graph by definition; stream the
+  // on-disk arrays in bounded chunks rather than one whole-file read.
+  const uint64_t chunkEdges =
+      std::max<uint64_t>(1, kStreamChunkBytes / sizeof(uint64_t));
+  std::vector<uint64_t> dests;
+  dests.reserve(numEdges_);
+  std::vector<uint32_t> edgeData;
+  if (hasEdgeData_) {
+    edgeData.reserve(numEdges_);
+  }
+  for (uint64_t e = 0; e < numEdges_; e += chunkEdges) {
+    const uint64_t end = std::min(numEdges_, e + chunkEdges);
+    const std::vector<uint64_t> destChunk = readDestWindow(e, end);
+    dests.insert(dests.end(), destChunk.begin(), destChunk.end());
+    if (hasEdgeData_) {
+      const std::vector<uint32_t> dataChunk = readEdgeDataWindow(e, end);
+      edgeData.insert(edgeData.end(), dataChunk.begin(), dataChunk.end());
+    }
+  }
+  return CsrGraph(rowStart_, std::move(dests), std::move(edgeData));
 }
 
 GraphFile GraphFile::loadGalois(const std::string& path) {
@@ -251,6 +455,7 @@ GraphFile GraphFile::loadGalois(const std::string& path) {
     file.edgeData_.resize(file.numEdges_);
     reader.read(file.edgeData_.data(), file.edgeData_.size());
   }
+  file.hasEdgeData_ = sizeofEdgeData == 4;
   return file;
 }
 

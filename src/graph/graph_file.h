@@ -64,17 +64,47 @@ class GraphFile {
   // file, corrupt index, checksum mismatch).
   static GraphFile load(const std::string& path);
 
+  // True bounded-window streaming open: materializes only the header and the
+  // row index ((numNodes + 1) * 8 bytes); destinations and edge data stay on
+  // disk and are fetched per edge range with readDestWindow /
+  // readEdgeDataWindow. The CRC footer is verified at open time with a
+  // chunked streaming read (bounded buffer), so at-rest corruption is caught
+  // up front exactly as load() catches it. Whole-image accessors
+  // (destinations(), outNeighbors(), edgeData()) throw GraphFileError in
+  // this mode — callers must go through the window API.
+  static GraphFile openWindowed(const std::string& path);
+
   // Writes `graph` to `path` in .cgr format.
   static void save(const std::string& path, const CsrGraph& graph);
 
   uint64_t numNodes() const { return numNodes_; }
   uint64_t numEdges() const { return numEdges_; }
-  bool hasEdgeData() const { return !edgeData_.empty(); }
+  bool hasEdgeData() const { return hasEdgeData_; }
+  bool windowed() const { return windowed_; }
 
-  // Whole-file accessors (the "disk contents").
+  // Whole-file accessors (the "disk contents"). destinations() and
+  // edgeDataArray() require a fully materialized file (they throw
+  // GraphFileError when windowed()); rowStarts() works in both modes.
   std::span<const uint64_t> rowStarts() const { return rowStart_; }
-  std::span<const uint64_t> destinations() const { return dests_; }
-  std::span<const uint32_t> edgeDataArray() const { return edgeData_; }
+  std::span<const uint64_t> destinations() const {
+    requireResident("destinations()");
+    return dests_;
+  }
+  std::span<const uint32_t> edgeDataArray() const {
+    requireResident("edgeDataArray()");
+    return edgeData_;
+  }
+
+  // Bounded-window reads of the edge range [edgeBegin, edgeEnd): the only
+  // way hosts touch edges in windowed mode, and byte-identical to slicing
+  // the in-memory arrays when the file is resident (the streaming fuzz test
+  // asserts this). Windowed reads go through support::readFileRange, so
+  // injected storage faults apply; every fetched destination is re-validated
+  // against numNodes. Throws GraphFileError on truncation or a read fault.
+  std::vector<uint64_t> readDestWindow(uint64_t edgeBegin,
+                                       uint64_t edgeEnd) const;
+  std::vector<uint32_t> readEdgeDataWindow(uint64_t edgeBegin,
+                                           uint64_t edgeEnd) const;
 
   uint64_t outDegree(uint64_t node) const {
     return rowStart_[node + 1] - rowStart_[node];
@@ -85,11 +115,13 @@ class GraphFile {
                                   rowStart_[node + 1] - rowStart_[node]);
   }
   uint32_t edgeData(uint64_t edge) const {
+    requireResident("edgeData()");
     return edgeData_.empty() ? 0 : edgeData_[edge];
   }
 
   // Materializes the full graph (used by offline partitioners, which by
-  // definition load the whole graph).
+  // definition load the whole graph). Works in windowed mode too, streaming
+  // the edges in bounded chunks.
   CsrGraph toCsr() const;
 
   // --- Galois .gr (version 1) interop ---
@@ -103,11 +135,28 @@ class GraphFile {
   static void saveGalois(const std::string& path, const CsrGraph& graph);
 
  private:
+  void requireResident(const char* what) const {
+    if (windowed_) {
+      throw GraphFileError(path_, std::string(what) +
+                                      " requires a resident file; use the "
+                                      "window API in windowed mode");
+    }
+  }
+
   uint64_t numNodes_ = 0;
   uint64_t numEdges_ = 0;
+  bool hasEdgeData_ = false;
   std::vector<uint64_t> rowStart_{0};
   std::vector<uint64_t> dests_;
   std::vector<uint32_t> edgeData_;
+
+  // Windowed-mode state: the backing file path and the byte offsets of the
+  // on-disk destination / edge-data arrays (fixed by the .cgr layout once
+  // the header is read).
+  bool windowed_ = false;
+  std::string path_;
+  uint64_t destOffset_ = 0;
+  uint64_t edgeDataOffset_ = 0;
 };
 
 // A host's assigned window of the on-disk graph: the contiguous node range

@@ -1,0 +1,415 @@
+#include "support/memory.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "support/crc32.h"
+#include "support/random.h"
+#include "support/storage.h"
+#include "support/varint.h"
+
+namespace cusp::support {
+
+namespace {
+
+std::string formatPressure(uint64_t requestedBytes, uint64_t totalBytes,
+                           uint64_t inUseBytes, const std::string& context) {
+  std::ostringstream os;
+  os << "memory pressure: reservation of " << requestedBytes
+     << " bytes refused (budget " << totalBytes << ", in use " << inUseBytes
+     << ", context '" << context << "')";
+  return os.str();
+}
+
+}  // namespace
+
+MemoryPressure::MemoryPressure(uint64_t requestedBytes, uint64_t totalBytes,
+                               uint64_t inUseBytes, std::string context)
+    : std::runtime_error(
+          formatPressure(requestedBytes, totalBytes, inUseBytes, context)),
+      requestedBytes(requestedBytes),
+      totalBytes(totalBytes),
+      inUseBytes(inUseBytes),
+      context(std::move(context)) {}
+
+const char* memoryFaultKindName(MemoryFaultKind kind) {
+  switch (kind) {
+    case MemoryFaultKind::kAllocFail:
+      return "alloc-fail";
+    case MemoryFaultKind::kBudgetShrink:
+      return "budget-shrink";
+  }
+  return "unknown";
+}
+
+// --- MemoryFaultInjector -----------------------------------------------------
+
+MemoryFaultInjector::MemoryFaultInjector(MemoryFaultPlan plan)
+    : plan_(std::move(plan)), matches_(plan_.faults.size(), 0) {}
+
+std::optional<MemoryFault> MemoryFaultInjector::onReserve(
+    std::string_view context) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<MemoryFault> due;
+  for (size_t i = 0; i < plan_.faults.size(); ++i) {
+    const MemoryFault& fault = plan_.faults[i];
+    if (!fault.contextSubstring.empty() &&
+        context.find(fault.contextSubstring) == std::string_view::npos) {
+      continue;
+    }
+    const uint64_t match = matches_[i]++;
+    if (match < fault.occurrence ||
+        match >= fault.occurrence + fault.repeat) {
+      continue;
+    }
+    if (!due) {
+      due = fault;
+      switch (fault.kind) {
+        case MemoryFaultKind::kAllocFail:
+          ++stats_.allocFailuresInjected;
+          break;
+        case MemoryFaultKind::kBudgetShrink:
+          ++stats_.budgetShrinksInjected;
+          break;
+      }
+    }
+  }
+  return due;
+}
+
+MemoryFaultStats MemoryFaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+// --- MemoryBudget ------------------------------------------------------------
+
+MemoryBudget::MemoryBudget(uint64_t totalBytes,
+                           std::shared_ptr<MemoryFaultInjector> injector)
+    : total_(totalBytes), injector_(std::move(injector)) {}
+
+bool MemoryBudget::tryReserve(uint64_t bytes, std::string_view context) {
+  if (injector_) {
+    if (auto fault = injector_->onReserve(context)) {
+      switch (fault->kind) {
+        case MemoryFaultKind::kAllocFail:
+          reserveFailures_.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        case MemoryFaultKind::kBudgetShrink: {
+          const uint64_t current = total_.load(std::memory_order_relaxed);
+          if (current > 0) {
+            const uint64_t target =
+                fault->shrinkToBytes > 0 ? fault->shrinkToBytes : current / 2;
+            shrinkTo(target);
+          }
+          break;  // the pending reservation runs against the new cap
+        }
+      }
+    }
+  }
+  const uint64_t total = total_.load(std::memory_order_relaxed);
+  const uint64_t now =
+      inUse_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (total > 0 && now > total) {
+    inUse_.fetch_sub(bytes, std::memory_order_relaxed);
+    reserveFailures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryBudget::reserve(uint64_t bytes, std::string_view context) {
+  if (!tryReserve(bytes, context)) {
+    throw MemoryPressure(bytes, total_.load(std::memory_order_relaxed),
+                         inUse_.load(std::memory_order_relaxed),
+                         std::string(context));
+  }
+}
+
+void MemoryBudget::reserveSpillable(uint64_t bytes,
+                                    std::string_view context) {
+  if (injector_) {
+    if (auto fault = injector_->onReserve(context)) {
+      switch (fault->kind) {
+        case MemoryFaultKind::kAllocFail:
+          reserveFailures_.fetch_add(1, std::memory_order_relaxed);
+          throw MemoryPressure(bytes, total_.load(std::memory_order_relaxed),
+                               inUse_.load(std::memory_order_relaxed),
+                               std::string(context));
+        case MemoryFaultKind::kBudgetShrink: {
+          const uint64_t current = total_.load(std::memory_order_relaxed);
+          if (current > 0) {
+            const uint64_t target =
+                fault->shrinkToBytes > 0 ? fault->shrinkToBytes : current / 2;
+            shrinkTo(target);
+          }
+          break;
+        }
+      }
+    }
+  }
+  reserveOverdraft(bytes);
+}
+
+void MemoryBudget::reserveOverdraft(uint64_t bytes) {
+  const uint64_t now =
+      inUse_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryBudget::release(uint64_t bytes) {
+  inUse_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryBudget::shrinkTo(uint64_t newTotalBytes) {
+  uint64_t current = total_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (current == 0 || newTotalBytes >= current) {
+      return;  // never grows; 0 means unlimited accounting-only mode
+    }
+    if (total_.compare_exchange_weak(current, newTotalBytes,
+                                     std::memory_order_relaxed)) {
+      shrinks_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+bool MemoryBudget::underPressure() const {
+  const uint64_t total = total_.load(std::memory_order_relaxed);
+  if (total == 0) {
+    return false;
+  }
+  const uint64_t used = inUse_.load(std::memory_order_relaxed) +
+                        commBacklog_.load(std::memory_order_relaxed);
+  return used >= total - total / 8;
+}
+
+MemoryBudgetStats MemoryBudget::stats() const {
+  MemoryBudgetStats s;
+  s.totalBytes = total_.load(std::memory_order_relaxed);
+  s.inUseBytes = inUse_.load(std::memory_order_relaxed);
+  s.peakBytes = peak_.load(std::memory_order_relaxed);
+  s.spillBytes = spill_.load(std::memory_order_relaxed);
+  s.commBacklogBytes = commBacklog_.load(std::memory_order_relaxed);
+  s.reserveFailures = reserveFailures_.load(std::memory_order_relaxed);
+  s.shrinks = shrinks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- process-wide attachment -------------------------------------------------
+
+namespace {
+
+std::mutex gBudgetMutex;
+std::shared_ptr<MemoryBudget> gBudget;
+std::atomic<bool> gBudgetAttached{false};
+
+}  // namespace
+
+std::shared_ptr<MemoryBudget> memoryBudget() {
+  std::lock_guard<std::mutex> lock(gBudgetMutex);
+  return gBudget;
+}
+
+bool memoryBudgetAttached() {
+  return gBudgetAttached.load(std::memory_order_acquire);
+}
+
+void attachMemoryBudget(std::shared_ptr<MemoryBudget> budget) {
+  std::lock_guard<std::mutex> lock(gBudgetMutex);
+  gBudget = std::move(budget);
+  gBudgetAttached.store(gBudget != nullptr, std::memory_order_release);
+}
+
+void detachMemoryBudget() { attachMemoryBudget(nullptr); }
+
+ScopedMemoryBudget::ScopedMemoryBudget(uint64_t totalBytes,
+                                       MemoryFaultPlan plan) {
+  std::shared_ptr<MemoryFaultInjector> injector;
+  if (!plan.empty()) {
+    injector = std::make_shared<MemoryFaultInjector>(std::move(plan));
+  }
+  budget_ = std::make_shared<MemoryBudget>(totalBytes, std::move(injector));
+  previous_ = memoryBudget();
+  attachMemoryBudget(budget_);
+}
+
+ScopedMemoryBudget::~ScopedMemoryBudget() { attachMemoryBudget(previous_); }
+
+MemoryFaultPlan randomMemoryFaultPlan(uint64_t seed, uint32_t numHosts,
+                                      uint32_t maxFaults) {
+  Rng rng(hashU64(seed ^ 0x6d656d6f72790000ULL));  // "memory"
+  MemoryFaultPlan plan;
+  const uint32_t count =
+      maxFaults == 0 ? 0 : static_cast<uint32_t>(rng.nextBounded(maxFaults + 1));
+  for (uint32_t i = 0; i < count; ++i) {
+    MemoryFault fault;
+    fault.kind = rng.nextBounded(3) == 0 ? MemoryFaultKind::kBudgetShrink
+                                         : MemoryFaultKind::kAllocFail;
+    // Pin each fault to one host's reservation contexts so multi-threaded
+    // runs replay deterministically (wildcard contexts would count a
+    // thread-interleaving-dependent global order).
+    const uint64_t host = numHosts > 0 ? rng.nextBounded(numHosts) : 0;
+    fault.contextSubstring = "h" + std::to_string(host);
+    fault.occurrence = rng.nextBounded(4);
+    fault.repeat = 1 + static_cast<uint32_t>(rng.nextBounded(2));
+    fault.shrinkToBytes = 0;  // halve — meaningful at any budget scale
+    plan.faults.push_back(std::move(fault));
+  }
+  return plan;
+}
+
+// --- spill codec -------------------------------------------------------------
+
+namespace {
+
+// "MSP1" (memory spill v1), little-endian u64, high bytes zero — matching
+// the CGR1/CDG1 magic style.
+constexpr uint64_t kSpillMagic = 0x000000003150534dULL;
+
+uint64_t zigzagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+int64_t zigzagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+}  // namespace
+
+std::vector<uint8_t> encodeEdgeSegment(const uint64_t* dests, size_t count,
+                                       const uint32_t* weights) {
+  std::vector<uint8_t> out;
+  out.reserve(16 + count * 2);
+  appendVarint(out, kSpillMagic);
+  appendVarint(out, count);
+  appendVarint(out, weights != nullptr ? 1 : 0);
+  // Destinations within a window are unsorted, but consecutive values are
+  // strongly correlated on real graphs — zigzag-coded deltas stay short.
+  uint64_t previous = 0;
+  for (size_t i = 0; i < count; ++i) {
+    appendVarint(out, zigzagEncode(static_cast<int64_t>(dests[i] - previous)));
+    previous = dests[i];
+  }
+  if (weights != nullptr) {
+    for (size_t i = 0; i < count; ++i) {
+      appendVarint(out, weights[i]);
+    }
+  }
+  appendCrcFooter(out);
+  return out;
+}
+
+DecodedEdgeSegment decodeEdgeSegment(const std::vector<uint8_t>& image) {
+  std::vector<uint8_t> bytes = image;
+  switch (verifyAndStripCrcFooter(bytes)) {
+    case CrcFooterStatus::kVerified:
+      break;
+    case CrcFooterStatus::kAbsent:
+      throw std::runtime_error("spill segment: missing CRC footer");
+    case CrcFooterStatus::kMismatch:
+      throw std::runtime_error("spill segment: CRC mismatch");
+  }
+  size_t offset = 0;
+  if (readVarint(bytes, offset) != kSpillMagic) {
+    throw std::runtime_error("spill segment: bad magic");
+  }
+  const uint64_t count = readVarint(bytes, offset);
+  const uint64_t hasWeights = readVarint(bytes, offset);
+  if (hasWeights > 1) {
+    throw std::runtime_error("spill segment: bad weights flag");
+  }
+  // Each encoded edge is >= 1 byte; reject counts the image cannot hold
+  // before sizing buffers from them.
+  if (count > bytes.size()) {
+    throw std::runtime_error("spill segment: implausible edge count");
+  }
+  DecodedEdgeSegment segment;
+  segment.dests.reserve(count);
+  uint64_t previous = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    previous += static_cast<uint64_t>(zigzagDecode(readVarint(bytes, offset)));
+    segment.dests.push_back(previous);
+  }
+  if (hasWeights != 0) {
+    segment.weights.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t w = readVarint(bytes, offset);
+      if (w > std::numeric_limits<uint32_t>::max()) {
+        throw std::runtime_error("spill segment: weight exceeds 32 bits");
+      }
+      segment.weights.push_back(static_cast<uint32_t>(w));
+    }
+  }
+  if (offset != bytes.size()) {
+    throw std::runtime_error("spill segment: trailing bytes");
+  }
+  return segment;
+}
+
+uint64_t spillEdgeSegment(const std::string& path, const uint64_t* dests,
+                          size_t count, const uint32_t* weights) {
+  const std::vector<uint8_t> image = encodeEdgeSegment(dests, count, weights);
+  atomicWriteFile(path, image);
+  if (memoryBudgetAttached()) {
+    if (auto budget = memoryBudget()) {
+      budget->noteSpill(image.size());
+    }
+  }
+  return image.size();
+}
+
+std::optional<DecodedEdgeSegment> restoreEdgeSegment(const std::string& path) {
+  auto bytes = readFileBytes(path);
+  if (!bytes) {
+    return std::nullopt;
+  }
+  return decodeEdgeSegment(*bytes);
+}
+
+// --- shared CLI --------------------------------------------------------------
+
+MemoryBudgetCli::MemoryBudgetCli(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    bool matched = false;
+    if (arg.rfind("--memory-budget=", 0) == 0) {
+      value = arg.substr(std::strlen("--memory-budget="));
+      matched = true;
+    } else if (arg == "--memory-budget" && i + 1 < argc) {
+      value = argv[++i];
+      matched = true;
+    }
+    if (!matched) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long long mb = std::strtoull(value.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || value.empty()) {
+      throw std::invalid_argument("--memory-budget: expected a size in MB, got '" +
+                                  value + "'");
+    }
+    budgetBytes_ = static_cast<uint64_t>(mb) * 1024 * 1024;
+  }
+  argc = out;
+  if (budgetBytes_ > 0) {
+    scope_ = std::make_unique<ScopedMemoryBudget>(budgetBytes_);
+  }
+}
+
+}  // namespace cusp::support

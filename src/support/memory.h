@@ -1,0 +1,433 @@
+// cusp::support — the process-wide memory governor: hard budget caps with
+// reserve/release accounting, deterministic allocation-fault injection, and
+// the spill codec the partitioner uses to push cold state to disk.
+//
+// The runtime trusted memory unconditionally until this layer existed:
+// GraphFile::load sized buffers for the whole graph, the partitioner held
+// every phase's state resident, and a std::bad_alloc anywhere aborted the
+// run. The governor turns memory into a budgeted resource, mirroring the
+// interconnect (comm::FaultPlan) and storage (support::StorageFaultPlan)
+// seams:
+//
+//  * MemoryBudget — a shared cap with atomic reserve/release accounting.
+//    Consumers reserve BEFORE allocating, so an over-budget request fails
+//    as a typed MemoryPressure exception at a recoverable point instead of
+//    an unannotated bad_alloc mid-allocation. totalBytes == 0 means
+//    accounting-only (nothing ever fails); reserveOverdraft() is for state
+//    that must be resident regardless (the final partition arrays) — it
+//    counts toward in-use/peak but cannot fail, so the gauges stay honest
+//    without making required allocations un-completable.
+//
+//  * MemoryFaultPlan — deterministic, seedable memory chaos, shaped like
+//    StorageFaultPlan: faults match by (context substring, occurrence) and
+//    either fail the matching reservation (kAllocFail) or shrink the
+//    budget's cap (kBudgetShrink), modeling a co-tenant eating the box's
+//    RAM mid-run. Contexts are strings like "partition.window.h3", pinned
+//    per host so multi-threaded runs replay deterministically.
+//
+//  * BudgetedVector<T> — a std::vector wrapper that charges its capacity
+//    against the attached budget before every growth, used by the hot
+//    containers of the partitioning pipeline.
+//
+//  * Spill codec — delta+varint compression (support/varint.h) for edge
+//    windows pushed through the storage seam (support/storage.h), with a
+//    CRC32 footer so at-rest bit rot is caught on restore.
+//
+// The budget attaches process-wide (like obs::attach and the storage fault
+// injector) so every consumer — graph loader, partitioner, comm aggregation
+// buffers — shares one cap without threading a handle through a dozen call
+// signatures. memoryBudgetAttached() is a lock-free flag so unbudgeted hot
+// paths pay one relaxed atomic load and nothing else.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cusp::support {
+
+// Structured out-of-budget failure. The resilient driver classifies this
+// into its degradation ladder (stream windows instead of caching them ->
+// spill cold state -> restart from checkpoints with smaller read chunks)
+// instead of dying.
+class MemoryPressure : public std::runtime_error {
+ public:
+  MemoryPressure(uint64_t requestedBytes, uint64_t totalBytes,
+                 uint64_t inUseBytes, std::string context);
+
+  uint64_t requestedBytes;
+  uint64_t totalBytes;
+  uint64_t inUseBytes;
+  std::string context;
+};
+
+enum class MemoryFaultKind : uint8_t {
+  kAllocFail,     // the matching reservation fails (MemoryPressure)
+  kBudgetShrink,  // the cap drops to shrinkToBytes before the reservation
+                  // is evaluated (a co-tenant took the RAM); the pending
+                  // reservation then succeeds or fails against the new cap
+};
+
+const char* memoryFaultKindName(MemoryFaultKind kind);
+
+// Matches the `occurrence`-th (0-based) reservation whose context contains
+// `contextSubstring`, and the following `repeat - 1` matches of the same
+// shape. Contexts are stable strings ("partition.window.h3"), so a plan
+// replays identically for a given program; faults pinned to one host's
+// contexts stay deterministic under multi-threaded runs.
+struct MemoryFault {
+  MemoryFaultKind kind = MemoryFaultKind::kAllocFail;
+  std::string contextSubstring;  // empty = any reservation
+  uint64_t occurrence = 0;
+  uint32_t repeat = 1;
+  uint64_t shrinkToBytes = 0;  // kBudgetShrink: new cap; 0 = halve current
+};
+
+struct MemoryFaultPlan {
+  std::vector<MemoryFault> faults;
+
+  bool empty() const { return faults.empty(); }
+};
+
+struct MemoryFaultStats {
+  uint64_t allocFailuresInjected = 0;
+  uint64_t budgetShrinksInjected = 0;
+};
+
+// Runtime fault state; thread-safe, shared for the duration of a chaos run
+// so occurrence counters persist across recovery attempts (mirroring
+// StorageFaultInjector's lifetime contract).
+class MemoryFaultInjector {
+ public:
+  explicit MemoryFaultInjector(MemoryFaultPlan plan);
+
+  // Consulted once per (non-overdraft) reservation. Advances the occurrence
+  // counter of every fault whose predicate matches and returns the first
+  // fault due to fire (or nullopt for a clean reservation).
+  std::optional<MemoryFault> onReserve(std::string_view context);
+
+  MemoryFaultStats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  MemoryFaultPlan plan_;
+  std::vector<uint64_t> matches_;  // per fault: predicate matches so far
+  MemoryFaultStats stats_;
+};
+
+struct MemoryBudgetStats {
+  uint64_t totalBytes = 0;  // 0 = accounting only, nothing fails
+  uint64_t inUseBytes = 0;
+  uint64_t peakBytes = 0;
+  uint64_t spillBytes = 0;         // cumulative bytes spilled to disk
+  uint64_t commBacklogBytes = 0;   // last-reported comm buffer backlog
+  uint64_t reserveFailures = 0;    // over-budget + injected alloc failures
+  uint64_t shrinks = 0;            // injected + explicit cap shrinks
+};
+
+// The budget itself. All counters are atomics; reserve/release are safe to
+// call from every host thread concurrently. The injector consult takes the
+// injector's mutex, which is fine at the intended granularity (reservations
+// happen per window/chunk/buffer, not per element).
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(uint64_t totalBytes,
+                        std::shared_ptr<MemoryFaultInjector> injector = {});
+
+  uint64_t totalBytes() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  uint64_t inUseBytes() const {
+    return inUse_.load(std::memory_order_relaxed);
+  }
+  uint64_t peakBytes() const { return peak_.load(std::memory_order_relaxed); }
+  uint64_t spillBytes() const {
+    return spill_.load(std::memory_order_relaxed);
+  }
+
+  // False when the reservation would exceed the cap or an injected
+  // allocation failure fires; the caller degrades (streams instead of
+  // caching, flushes a buffer early) instead of allocating.
+  bool tryReserve(uint64_t bytes, std::string_view context);
+
+  // Throwing variant: MemoryPressure on failure.
+  void reserve(uint64_t bytes, std::string_view context);
+
+  // For bounded transient working state that is the *mechanism* of staying
+  // under budget (a streaming chunk buffer, a spill restore buffer):
+  // refusing it cannot reduce memory — the resident alternative is strictly
+  // larger — so the cap does not fail it even when overdraft state (final
+  // partition arrays) already sits above the cap. Injected faults still
+  // apply: kAllocFail throws MemoryPressure (feeding the chaos ladder),
+  // kBudgetShrink drops the cap before charging.
+  void reserveSpillable(uint64_t bytes, std::string_view context);
+
+  // Accounting-only reservation for state that must be resident regardless
+  // of the cap (the final partition arrays). Never fails, never consults
+  // the injector; in-use and peak still move so the gauges stay honest.
+  void reserveOverdraft(uint64_t bytes);
+
+  void release(uint64_t bytes);
+
+  // Cumulative spill accounting (mirrored to the mem.spill_bytes gauge).
+  void noteSpill(uint64_t bytes) {
+    spill_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  // Last-observed comm buffer backlog (aggregation buffers + mailboxes);
+  // counted into pressure decisions but not into inUse (the bytes are
+  // charged by their owners).
+  void noteCommBacklog(uint64_t bytes) {
+    commBacklog_.store(bytes, std::memory_order_relaxed);
+  }
+
+  // Shrinks the cap (never grows it; a shrink below in-use does not fail
+  // existing reservations — new ones fail until usage drains).
+  void shrinkTo(uint64_t newTotalBytes);
+
+  // True when usage is within 1/8 of the cap — the signal consumers use to
+  // degrade early (flush aggregation buffers) before reservations start
+  // failing outright.
+  bool underPressure() const;
+
+  MemoryBudgetStats stats() const;
+
+  const std::shared_ptr<MemoryFaultInjector>& faultInjector() const {
+    return injector_;
+  }
+
+ private:
+  std::atomic<uint64_t> total_;
+  std::atomic<uint64_t> inUse_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> spill_{0};
+  std::atomic<uint64_t> commBacklog_{0};
+  std::atomic<uint64_t> reserveFailures_{0};
+  std::atomic<uint64_t> shrinks_{0};
+  std::shared_ptr<MemoryFaultInjector> injector_;
+};
+
+// --- process-wide attachment (mirrors obs::attach / attachStorageFaults) ---
+
+// Current budget; nullptr when detached (the default — every primitive is
+// then unbudgeted plain allocation).
+std::shared_ptr<MemoryBudget> memoryBudget();
+
+// Lock-free attached check for hot paths.
+bool memoryBudgetAttached();
+
+void attachMemoryBudget(std::shared_ptr<MemoryBudget> budget);
+void detachMemoryBudget();
+
+// RAII attach of a fresh budget (optionally with a fault plan); restores
+// the previous budget on destruction so scopes nest.
+class ScopedMemoryBudget {
+ public:
+  explicit ScopedMemoryBudget(uint64_t totalBytes, MemoryFaultPlan plan = {});
+  ScopedMemoryBudget(const ScopedMemoryBudget&) = delete;
+  ScopedMemoryBudget& operator=(const ScopedMemoryBudget&) = delete;
+  ~ScopedMemoryBudget();
+
+  const std::shared_ptr<MemoryBudget>& budget() const { return budget_; }
+  MemoryBudgetStats stats() const { return budget_->stats(); }
+
+ private:
+  std::shared_ptr<MemoryBudget> budget_;
+  std::shared_ptr<MemoryBudget> previous_;
+};
+
+// Seeded random memory-fault plan for the fuzzer: up to `maxFaults` faults
+// over both kinds, each pinned to one host's contexts ("h<r>") so
+// multi-threaded runs replay deterministically. shrinkToBytes == 0 (halve)
+// keeps random shrinks meaningful at any budget scale.
+MemoryFaultPlan randomMemoryFaultPlan(uint64_t seed, uint32_t numHosts,
+                                      uint32_t maxFaults = 4);
+
+// --- BudgetedVector ---------------------------------------------------------
+
+// A std::vector that charges its capacity against the process budget before
+// every growth. The budget is captured at construction (null if none is
+// attached then), so charge/release pairing is consistent even if the
+// process budget changes mid-life. With overdraft=true growth cannot fail
+// (reserveOverdraft) — for containers that must succeed, like the final
+// CSR arrays.
+template <typename T>
+class BudgetedVector {
+ public:
+  explicit BudgetedVector(std::string context, bool overdraft = false)
+      : budget_(memoryBudgetAttached() ? memoryBudget() : nullptr),
+        context_(std::move(context)),
+        overdraft_(overdraft) {}
+
+  BudgetedVector(BudgetedVector&& other) noexcept
+      : budget_(std::move(other.budget_)),
+        context_(std::move(other.context_)),
+        overdraft_(other.overdraft_),
+        charged_(other.charged_),
+        v_(std::move(other.v_)) {
+    other.charged_ = 0;
+  }
+
+  BudgetedVector& operator=(BudgetedVector&& other) noexcept {
+    if (this != &other) {
+      releaseAll();
+      budget_ = std::move(other.budget_);
+      context_ = std::move(other.context_);
+      overdraft_ = other.overdraft_;
+      charged_ = other.charged_;
+      v_ = std::move(other.v_);
+      other.charged_ = 0;
+    }
+    return *this;
+  }
+
+  BudgetedVector(const BudgetedVector&) = delete;
+  BudgetedVector& operator=(const BudgetedVector&) = delete;
+
+  ~BudgetedVector() { releaseAll(); }
+
+  size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  T* data() { return v_.data(); }
+  const T* data() const { return v_.data(); }
+  T& operator[](size_t i) { return v_[i]; }
+  const T& operator[](size_t i) const { return v_[i]; }
+  T& back() { return v_.back(); }
+  auto begin() { return v_.begin(); }
+  auto end() { return v_.end(); }
+  auto begin() const { return v_.begin(); }
+  auto end() const { return v_.end(); }
+
+  void reserve(size_t n) {
+    chargeTo(std::max(n, v_.capacity()));
+    v_.reserve(n);
+  }
+
+  void resize(size_t n) {
+    chargeTo(std::max(n, v_.capacity()));
+    v_.resize(n);
+  }
+
+  void resize(size_t n, const T& value) {
+    chargeTo(std::max(n, v_.capacity()));
+    v_.resize(n, value);
+  }
+
+  void assign(size_t n, const T& value) {
+    chargeTo(std::max(n, v_.capacity()));
+    v_.assign(n, value);
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    const size_t n = static_cast<size_t>(std::distance(first, last));
+    chargeTo(std::max(n, v_.capacity()));
+    v_.assign(first, last);
+  }
+
+  void push_back(const T& value) {
+    if (v_.size() == v_.capacity()) {
+      chargeTo(std::max<size_t>(4, v_.capacity() * 2));
+    }
+    v_.push_back(value);
+  }
+
+  void clear() { v_.clear(); }  // keeps capacity and its charge
+
+  // Releases the budget charge and hands out the underlying vector (for
+  // sinks that take std::vector by value, e.g. CsrGraph's constructor).
+  std::vector<T> takeVector() {
+    std::vector<T> out = std::move(v_);
+    v_ = std::vector<T>();
+    releaseAll();
+    return out;
+  }
+
+  const std::vector<T>& vector() const { return v_; }
+
+ private:
+  void chargeTo(size_t capacity) {
+    const uint64_t want = static_cast<uint64_t>(capacity) * sizeof(T);
+    if (!budget_ || want <= charged_) {
+      return;
+    }
+    const uint64_t delta = want - charged_;
+    if (overdraft_) {
+      budget_->reserveOverdraft(delta);
+    } else {
+      budget_->reserve(delta, context_);
+    }
+    charged_ = want;
+  }
+
+  void releaseAll() {
+    if (budget_ && charged_ > 0) {
+      budget_->release(charged_);
+    }
+    charged_ = 0;
+  }
+
+  std::shared_ptr<MemoryBudget> budget_;
+  std::string context_;
+  bool overdraft_ = false;
+  uint64_t charged_ = 0;
+  std::vector<T> v_;
+};
+
+// --- spill codec -------------------------------------------------------------
+
+// Delta+varint encoding of one edge-window segment (destinations plus
+// optional per-edge weights). Destinations are zigzag-delta coded — windows
+// are not sorted, but consecutive destinations are strongly correlated on
+// real graphs, so deltas stay short. The image carries a magic, the counts,
+// and a CRC32 footer; decode validates all three.
+std::vector<uint8_t> encodeEdgeSegment(const uint64_t* dests, size_t count,
+                                       const uint32_t* weights);
+
+struct DecodedEdgeSegment {
+  std::vector<uint64_t> dests;
+  std::vector<uint32_t> weights;  // empty when the segment had none
+};
+
+// Throws MemoryPressure never; throws std::runtime_error on a malformed or
+// corrupt image (bad magic, truncation, CRC mismatch).
+DecodedEdgeSegment decodeEdgeSegment(const std::vector<uint8_t>& image);
+
+// Writes one compressed segment through the storage seam (durable atomic
+// commit; injected storage faults apply) and accounts the spilled bytes to
+// the attached budget. Returns the on-disk image size.
+uint64_t spillEdgeSegment(const std::string& path, const uint64_t* dests,
+                          size_t count, const uint32_t* weights);
+
+// Reads a spilled segment back; nullopt when the file is missing.
+std::optional<DecodedEdgeSegment> restoreEdgeSegment(const std::string& path);
+
+// --- shared CLI --------------------------------------------------------------
+
+// Consumes a `--memory-budget <MB>` / `--memory-budget=<MB>` flag from
+// argv (like obs::MetricsCli consumes --metrics-out) and, when present,
+// attaches a process-wide budget of that many megabytes for the program's
+// lifetime. Examples and benches share this so every tool gains budgeted
+// mode with one line.
+class MemoryBudgetCli {
+ public:
+  MemoryBudgetCli(int& argc, char** argv);
+
+  bool enabled() const { return scope_ != nullptr; }
+  uint64_t budgetBytes() const { return budgetBytes_; }
+
+ private:
+  uint64_t budgetBytes_ = 0;
+  std::unique_ptr<ScopedMemoryBudget> scope_;
+};
+
+}  // namespace cusp::support

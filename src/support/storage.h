@@ -186,6 +186,15 @@ void atomicWriteFile(const std::string& path,
 // kBitRot flips one deterministically chosen byte of the returned image.
 std::optional<std::vector<uint8_t>> readFileBytes(const std::string& path);
 
+// Bounded-window read: `length` bytes starting at `offset`. Same fault
+// semantics as readFileBytes (each call counts as one kRead operation;
+// kBitRot flips one byte of the returned window). nullopt when the file is
+// missing or shorter than offset + length — windowed consumers size their
+// requests from a validated header, so a short read means truncation.
+std::optional<std::vector<uint8_t>> readFileRange(const std::string& path,
+                                                  uint64_t offset,
+                                                  uint64_t length);
+
 // Seeded random storage-fault plan for the fuzzer: up to `maxFaults` faults
 // over all six kinds, each pinned to one host's checkpoint files
 // ("h<r>.p" path substring) so multi-threaded runs replay deterministically.

@@ -301,6 +301,22 @@ TEST(CheckpointStorageTest, CrashBetweenWriteAndRenameIsSweptAndRetryable) {
   EXPECT_TRUE(core::loadCheckpoint(dir.path(), 1, 4, 2).has_value());
 }
 
+TEST(CheckpointStorageTest, GcKeepsFreshQuarantinesCollectsStaleOnes) {
+  TempDir dir;
+  // A fresh quarantine (mtime = now) survives the sweep at the default
+  // 24h grace; with a zero grace the same file is collected. Tmp debris is
+  // swept unconditionally either way.
+  std::ofstream(dir.file("h0.p3.ckpt.quarantined")) << "corrupt image";
+  std::ofstream(dir.file("h1.p2.ckpt.tmp")) << "orphaned commit";
+  EXPECT_EQ(core::garbageCollectCheckpointTmp(dir.path()), 1u);
+  EXPECT_TRUE(std::filesystem::exists(dir.file("h0.p3.ckpt.quarantined")));
+  EXPECT_FALSE(std::filesystem::exists(dir.file("h1.p2.ckpt.tmp")));
+  EXPECT_EQ(core::garbageCollectCheckpointTmp(dir.path(),
+                                              /*quarantineAgeSeconds=*/0.0),
+            1u);
+  EXPECT_FALSE(std::filesystem::exists(dir.file("h0.p3.ckpt.quarantined")));
+}
+
 TEST(CheckpointStorageTest, ReadFailureFallsThroughToBuddyReplica) {
   TempDir dir;
   obs::ScopedObservability obsScope;
