@@ -1,0 +1,153 @@
+// Split-brain bench: what a network partition costs, by timing and by
+// repair mode.
+//
+//  (a) Partition phase sweep — a rack cut isolates 2 of 8 hosts at the
+//      entry of phase P, under the quorum rule. With heal the majority
+//      fences the minority, the cut is repaired, and the full cluster
+//      retries from the last common checkpoint (no capacity lost); without
+//      heal the fenced minority is evicted and the survivors re-partition
+//      on 6 hosts (Path B). Expected: the healed rerun costs roughly the
+//      phases it replays (later cuts waste more), while the unhealed rerun
+//      pays a full 6-host re-partition regardless of when the cut lands.
+//  (b) Rejoin path — when the checkpoint store already holds a complete
+//      phase-5 state set (a finished prior run), heal-time rejoin skips
+//      the pipeline and reloads everyone's final state in one
+//      redistribution round. That is the floor for rejoin cost; the
+//      pipeline-resume rejoin from (a) and a full restart bound it from
+//      above.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "comm/fault.h"
+#include "core/dist_graph.h"
+
+namespace {
+
+std::string makeCheckpointDir() {
+  char tmpl[] = "/tmp/cusp_bench_splitbrain_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  return dir;
+}
+
+void cleanupCheckpointDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // replicas + epoch subdirs too
+}
+
+}  // namespace
+
+int main() {
+  using namespace cusp;
+  const uint64_t edges = 100'000;
+  const uint32_t hosts = 8;
+  const std::string input = "kron";
+  const auto& g = bench::standIn(input, edges);
+  const graph::GraphFile file = graph::GraphFile::fromCsr(g);
+  const auto policy = bench::benchPolicy("EEC");
+
+  core::PartitionerConfig config = bench::benchConfig();
+  config.numHosts = hosts;
+  const auto baseline = core::partitionGraph(file, policy, config);
+  std::printf("fault-free total (%u hosts): %.4f s\n", hosts,
+              baseline.totalSeconds);
+
+  // 6 | 2 split: hosts 6 and 7 are cut off from the majority.
+  const std::vector<uint8_t> groups = {0, 0, 0, 0, 0, 0, 1, 1};
+
+  bench::printHeader("(a) Partition phase sweep, " + input +
+                     ", EEC, 8 hosts, cut {6,7}");
+  std::printf("%-8s %6s %9s %8s %9s %7s %12s %8s\n", "cut", "heal",
+              "attempts", "fenced", "rejoined", "hosts", "rerun (s)",
+              "vs base");
+  double pipelineRejoinSeconds = -1.0;  // kept for section (b)
+  for (uint32_t phase = 1; phase <= 5; ++phase) {
+    for (const bool heals : {true, false}) {
+      auto plan = std::make_shared<comm::FaultPlan>();
+      plan->partitions.push_back({groups, phase, heals});
+
+      core::PartitionerConfig run = config;
+      run.resilience.faultPlan = plan;
+      run.resilience.recvTimeoutSeconds = 30.0;
+      run.resilience.degradedMode = true;
+      run.resilience.buddyReplication = true;
+      run.resilience.enableCheckpoints = true;
+      const std::string dir = makeCheckpointDir();
+      run.resilience.checkpointDir = dir;
+
+      core::RecoveryReport report;
+      const auto recovered =
+          core::partitionGraphResilient(file, policy, run, &report);
+      cleanupCheckpointDir(dir);
+
+      const uint32_t expectedHosts = heals ? hosts : hosts - 2;
+      if (recovered.partitions.size() != expectedHosts) {
+        std::fprintf(stderr, "phase %u heal=%d: expected %u partitions\n",
+                     phase, heals ? 1 : 0, expectedHosts);
+        return 1;
+      }
+      if (heals && phase == 3) {
+        pipelineRejoinSeconds = recovered.totalSeconds;
+      }
+      std::printf("phase %u %6s %9u %8zu %9zu %7u %12.4f %7.2fx\n", phase,
+                  heals ? "yes" : "no", report.attempts,
+                  report.fencedHosts.size(), report.rejoinedHosts.size(),
+                  report.finalNumHosts, recovered.totalSeconds,
+                  recovered.totalSeconds / baseline.totalSeconds);
+    }
+  }
+
+  bench::printHeader("(b) Heal-time rejoin path, " + input +
+                     ", EEC, 8 hosts");
+  {
+    // Warm store: a clean checkpointed run leaves a complete phase-5 set.
+    const std::string dir = makeCheckpointDir();
+    core::PartitionerConfig warm = config;
+    warm.resilience.degradedMode = true;
+    warm.resilience.buddyReplication = true;
+    warm.resilience.enableCheckpoints = true;
+    warm.resilience.checkpointDir = dir;
+    core::partitionGraphResilient(file, policy, warm);
+
+    // Phase-0 cut with heal over the warm store: the failed agreement
+    // round resolves, and rejoin reloads phase-5 state in one
+    // redistribution round instead of replaying the pipeline.
+    auto plan = std::make_shared<comm::FaultPlan>();
+    plan->partitions.push_back({groups, /*phase=*/0, /*heals=*/true});
+    core::PartitionerConfig run = warm;
+    run.resilience.faultPlan = plan;
+    run.resilience.recvTimeoutSeconds = 30.0;
+    core::RecoveryReport report;
+    const auto rejoined =
+        core::partitionGraphResilient(file, policy, run, &report);
+    cleanupCheckpointDir(dir);
+    if (rejoined.partitions.size() != hosts ||
+        report.rejoinedHosts.size() != 2) {
+      std::fprintf(stderr, "redistribution rejoin did not run full-width\n");
+      return 1;
+    }
+
+    std::printf("%-34s %12s %9s\n", "rejoin path", "rerun (s)", "vs base");
+    std::printf("%-34s %12.4f %8.2fx\n",
+                "redistribution (complete p5 set)", rejoined.totalSeconds,
+                rejoined.totalSeconds / baseline.totalSeconds);
+    if (pipelineRejoinSeconds >= 0) {
+      std::printf("%-34s %12.4f %8.2fx\n", "pipeline resume (phase-3 cut)",
+                  pipelineRejoinSeconds,
+                  pipelineRejoinSeconds / baseline.totalSeconds);
+    }
+    std::printf("%-34s %12.4f %8.2fx\n", "full restart", baseline.totalSeconds,
+                1.0);
+  }
+  return 0;
+}

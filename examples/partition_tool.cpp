@@ -20,17 +20,33 @@
 //                         metrics export
 //     --stream-windows    force bounded-window streaming reads even
 //                         without a budget
+//     --checkpoint-dir <d> run through the resilient driver with per-phase
+//                         checkpoints (and degraded mode) rooted at <d>
+//     --checkpoint-gc-age <sec> age threshold before the startup GC sweeps
+//                         .quarantined checkpoint files (default 86400)
+//     --net-partition <phase>:<g0,g1,...>[:heal]
+//                         inject a timed network partition: from pipeline
+//                         phase <phase>, host i can only reach hosts in the
+//                         same group g_i; with :heal the links recover once
+//                         the quorum rule has resolved the event. The
+//                         strict-majority side fences and evicts the
+//                         minority; minority hosts fail fast with
+//                         MinorityPartition; with :heal the fenced hosts
+//                         rejoin from the checkpoint store.
 //
 // Prints the paper-style phase breakdown, quality metrics and
 // communication volume. With --out, every partition is written as a .cdg
 // file (full DistGraph: topology + master/mirror metadata) reloadable with
 // core::loadDistGraph and usable directly by the analytics engine.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "comm/fault.h"
 #include "core/partitioner.h"
 #include "core/policies.h"
 #include "graph/graph_file.h"
@@ -48,8 +64,53 @@ int usage() {
                "[--out prefix] [--csc] [--buffer MB] [--rounds N] "
                "[--node-weight W] [--edge-weight W] "
                "[--metrics-out out.json] [--memory-budget MB] "
-               "[--stream-windows]\n");
+               "[--stream-windows] [--checkpoint-dir dir] "
+               "[--checkpoint-gc-age sec] "
+               "[--net-partition phase:g0,g1,...[:heal]]\n");
   return 2;
+}
+
+// "<phase>:<g0,g1,...>[:heal]" -> one timed PartitionEvent; nullopt on a
+// malformed spec or a group list that does not cover every host.
+std::optional<comm::PartitionEvent> parsePartitionSpec(const std::string& spec,
+                                                       uint32_t hosts) {
+  comm::PartitionEvent pe;
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return std::nullopt;
+  }
+  pe.phase = static_cast<uint32_t>(std::atoi(spec.substr(0, colon).c_str()));
+  std::string rest = spec.substr(colon + 1);
+  const size_t healColon = rest.find(':');
+  if (healColon != std::string::npos) {
+    if (rest.substr(healColon + 1) != "heal") {
+      return std::nullopt;
+    }
+    pe.heals = true;
+    rest = rest.substr(0, healColon);
+  }
+  size_t pos = 0;
+  while (pos <= rest.size()) {
+    const size_t comma = rest.find(',', pos);
+    const std::string tok =
+        rest.substr(pos, comma == std::string::npos ? rest.size() - pos
+                                                    : comma - pos);
+    if (tok.empty()) {
+      return std::nullopt;
+    }
+    pe.groupOf.push_back(static_cast<uint8_t>(std::atoi(tok.c_str())));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  if (pe.groupOf.size() != hosts) {
+    std::fprintf(stderr,
+                 "--net-partition: group list names %zu hosts, expected %u\n",
+                 pe.groupOf.size(), hosts);
+    return std::nullopt;
+  }
+  return pe;
 }
 
 }  // namespace
@@ -100,6 +161,30 @@ int main(int argc, char** argv) {
       config.readEdgeWeight = std::atof(v);
     } else if (arg == "--stream-windows") {
       config.forceStreamingWindows = true;
+    } else if (arg == "--checkpoint-dir") {
+      const char* v = next();
+      if (!v) return usage();
+      config.resilience.checkpointDir = v;
+      config.resilience.enableCheckpoints = true;
+      config.resilience.degradedMode = true;
+    } else if (arg == "--checkpoint-gc-age") {
+      const char* v = next();
+      if (!v) return usage();
+      config.resilience.checkpointGcAgeSeconds = std::atof(v);
+    } else if (arg == "--net-partition") {
+      const char* v = next();
+      if (!v) return usage();
+      const auto pe = parsePartitionSpec(v, hosts);
+      if (!pe) return usage();
+      auto plan = std::make_shared<comm::FaultPlan>();
+      plan->partitions.push_back(*pe);
+      config.resilience.faultPlan = std::move(plan);
+      config.resilience.degradedMode = true;
+      // A cut link otherwise blocks a receive forever: bound it so the
+      // quorum machinery gets to classify the stall.
+      if (config.resilience.recvTimeoutSeconds <= 0) {
+        config.resilience.recvTimeoutSeconds = 10.0;
+      }
     } else {
       return usage();
     }
@@ -129,7 +214,33 @@ int main(int argc, char** argv) {
       policy = core::makePolicy(policyName);
     }
 
-    const auto result = core::partitionGraph(file, policy, config);
+    const bool resilient = config.resilience.degradedMode ||
+                           config.resilience.enableCheckpoints ||
+                           config.resilience.faultPlan != nullptr;
+    core::RecoveryReport recovery;
+    const auto result =
+        resilient
+            ? core::partitionGraphResilient(file, policy, config, &recovery)
+            : core::partitionGraph(file, policy, config);
+    if (resilient) {
+      std::printf("\nresilient driver: %u attempt(s), %u eviction(s), "
+                  "%u partition event(s), final hosts %u\n",
+                  recovery.attempts,
+                  (unsigned)recovery.evictions.size(),
+                  recovery.partitionEvents, recovery.finalNumHosts);
+      for (uint32_t h : recovery.fencedHosts) {
+        const bool rejoined =
+            std::find(recovery.rejoinedHosts.begin(),
+                      recovery.rejoinedHosts.end(),
+                      h) != recovery.rejoinedHosts.end();
+        std::printf("  host %u fenced by quorum rule%s\n", h,
+                    rejoined ? ", rejoined after heal" : " (evicted)");
+      }
+      if (recovery.fencedWriteAttempts > 0) {
+        std::printf("  %llu checkpoint write(s) refused by the fence\n",
+                    (unsigned long long)recovery.fencedWriteAttempts);
+      }
+    }
     std::printf("\npartitioning time: %.3f s\n",
                 result.totalSeconds + extraSeconds);
     for (const auto& [phase, seconds] : result.phaseTimes.entries()) {

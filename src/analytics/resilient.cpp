@@ -520,6 +520,16 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
       report.failures.push_back(what);
       report.failureKinds.push_back(kind);
 
+      // A fenced minority host is fail-fast by contract: the quorum rule
+      // already decided this side of the partition may not proceed, and no
+      // amount of retrying or evicting from HERE can conjure a majority.
+      // (The majority side never throws this; its view completes or fails
+      // through the ordinary fault kinds above.)
+      if (kind == "MinorityPartition") {
+        publish();
+        std::rethrow_exception(ep);
+      }
+
       // Permanent losses AND condemned stragglers turn into evictions
       // (degraded mode): reassign their masters to the survivors, open a
       // fresh epoch with a fresh attempt budget. A crashed host's

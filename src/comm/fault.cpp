@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 #include <thread>
 
 #include "comm/network.h"
@@ -41,6 +42,19 @@ StragglerDeadline::StragglerDeadline(HostId from, HostId laggard, Tag tag,
       tag(tag),
       blamedSeconds(blamedSeconds) {}
 
+MinorityPartition::MinorityPartition(HostId host, uint32_t componentSize,
+                                     uint32_t numAlive, uint64_t epoch)
+    : std::runtime_error(
+          "host " + std::to_string(host) +
+          " is on the minority side of a network partition (" +
+          std::to_string(componentSize) + " of " + std::to_string(numAlive) +
+          " alive hosts reachable, no strict majority); fenced at epoch " +
+          std::to_string(epoch) + " and failing fast"),
+      host(host),
+      componentSize(componentSize),
+      numAlive(numAlive),
+      epoch(epoch) {}
+
 HostEvicted::HostEvicted(HostId from, HostId host, Tag tag, uint64_t epoch)
     : std::runtime_error("host " + std::to_string(host) +
                          " was evicted (membership epoch " +
@@ -77,13 +91,70 @@ std::string tagName(Tag tag) {
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)),
       faultMatches_(plan_.messageFaults.size(), 0),
-      crashFired_(plan_.crashes.size(), false) {}
+      crashFired_(plan_.crashes.size(), false),
+      partitionResolved_(plan_.partitions.size(), false) {}
+
+bool FaultInjector::partitionCuts(HostId from, HostId to) const {
+  for (size_t i = 0; i < plan_.partitions.size(); ++i) {
+    const PartitionEvent& pe = plan_.partitions[i];
+    if (maxAnnouncedPhase_ < pe.phase) {
+      continue;  // not yet active
+    }
+    if (partitionResolved_[i] && pe.heals) {
+      continue;  // healed: connectivity restored
+    }
+    if (from < pe.groupOf.size() && to < pe.groupOf.size() &&
+        pe.groupOf[from] != pe.groupOf[to]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::linkFaultActive(const LinkFault& fault, HostId from,
+                                    HostId to) const {
+  if (fault.src != from || fault.dst != to) {
+    return false;
+  }
+  const auto phase = hostPhase_.find(from);
+  const uint32_t srcPhase = phase == hostPhase_.end() ? 0 : phase->second;
+  return srcPhase >= fault.fromPhase;
+}
 
 std::optional<FaultInjector::SendDecision> FaultInjector::onSend(HostId from,
                                                                  HostId to,
                                                                  Tag tag) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::optional<SendDecision> decision;
+  // Connectivity cuts fire before per-message faults: a message that cannot
+  // physically cross the partition never reaches the lossy-link lottery.
+  if (partitionCuts(from, to)) {
+    ++stats_.partitionDropped;
+    decision = SendDecision{FaultAction::kDrop, 0};
+  }
+  // The per-link sequence counter advances on EVERY send over a link with a
+  // matching fault, decided or not, so a plan's drop schedule is a pure
+  // function of the link's send sequence (single sender thread per
+  // direction => deterministic).
+  for (const LinkFault& fault : plan_.linkFaults) {
+    if (!linkFaultActive(fault, from, to) || fault.dropRate <= 0.0) {
+      continue;
+    }
+    const uint64_t seq = linkSeq_[{from, to}]++;
+    if (decision) {
+      continue;
+    }
+    const bool drop =
+        fault.dropRate >= 1.0 ||
+        static_cast<double>(support::hashU64(
+            (static_cast<uint64_t>(from) << 40) ^
+            (static_cast<uint64_t>(to) << 20) ^ (seq * 0x9E3779B97F4A7C15ULL)) %
+                            10000) < fault.dropRate * 10000.0;
+    if (drop) {
+      ++stats_.linkDropped;
+      decision = SendDecision{FaultAction::kDrop, 0};
+    }
+  }
   for (size_t i = 0; i < plan_.messageFaults.size(); ++i) {
     const MessageFault& fault = plan_.messageFaults[i];
     if ((fault.src != kAnyHost && fault.src != from) ||
@@ -157,6 +228,57 @@ void FaultInjector::enterPhase(HostId host, uint32_t phase) {
   std::lock_guard<std::mutex> lock(mutex_);
   hostPhase_[host] = phase;
   hostOps_[host] = 0;
+  // Partition events activate on the MAX phase any host has announced, and
+  // the max is monotone across recovery attempts: once a partition is in
+  // force it stays in force until the driver resolves it, even though a
+  // restarted attempt re-announces phase 1.
+  maxAnnouncedPhase_ = std::max(maxAnnouncedPhase_, phase);
+}
+
+bool FaultInjector::linkSevered(HostId from, HostId to) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (partitionCuts(from, to)) {
+    return true;
+  }
+  for (const LinkFault& fault : plan_.linkFaults) {
+    if (fault.dropRate >= 1.0 && linkFaultActive(fault, from, to)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::linkDegradeFactor(HostId from, HostId to) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double factor = 1.0;
+  for (const LinkFault& fault : plan_.linkFaults) {
+    if (fault.degradeFactor > 1.0 && linkFaultActive(fault, from, to)) {
+      factor *= fault.degradeFactor;
+    }
+  }
+  return factor;
+}
+
+std::optional<size_t> FaultInjector::unresolvedPartition() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < plan_.partitions.size(); ++i) {
+    if (!partitionResolved_[i] && maxAnnouncedPhase_ >= plan_.partitions[i].phase) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+const PartitionEvent& FaultInjector::partitionEvent(size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_.partitions.at(index);
+}
+
+void FaultInjector::resolvePartition(size_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index < partitionResolved_.size()) {
+    partitionResolved_[index] = true;
+  }
 }
 
 bool FaultInjector::isPermanentlyDown(HostId host) const {
@@ -277,7 +399,8 @@ std::vector<HostId> StragglerMonitor::condemnedHosts() const {
 
 FaultPlan randomFaultPlan(uint64_t seed, uint32_t numHosts,
                           uint32_t maxMessageFaults, uint32_t maxCrashes,
-                          bool allowPermanent, uint32_t maxSlowdowns) {
+                          bool allowPermanent, uint32_t maxSlowdowns,
+                          uint32_t maxLinkFaults, bool allowPartition) {
   support::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
   FaultPlan plan;
   static constexpr Tag kFuzzTags[] = {
@@ -333,6 +456,37 @@ FaultPlan randomFaultPlan(uint64_t seed, uint32_t numHosts,
     slow.fromPhase = static_cast<uint32_t>(rng.nextBounded(6));  // 0..5
     plan.slowdowns.push_back(slow);
   }
+  // Link/partition draws come after the slowdown draws for the same reason
+  // the slowdowns come after the crashes: plans for a given seed are
+  // unchanged when the new knobs stay at their defaults.
+  const uint64_t numLinkFaults =
+      maxLinkFaults == 0 || numHosts < 2 ? 0 : rng.nextBounded(maxLinkFaults + 1);
+  for (uint64_t i = 0; i < numLinkFaults; ++i) {
+    LinkFault link;
+    link.src = static_cast<HostId>(rng.nextBounded(numHosts));
+    link.dst = static_cast<HostId>(
+        (link.src + 1 + rng.nextBounded(numHosts - 1)) % numHosts);
+    // 25/50/75% loss — lossy but not severed, so bounded retry usually (not
+    // always) punches through; severed links come from partition events.
+    link.dropRate = 0.25 * static_cast<double>(1 + rng.nextBounded(3));
+    link.degradeFactor = 1.0 + static_cast<double>(rng.nextBounded(4));
+    link.fromPhase = static_cast<uint32_t>(rng.nextBounded(6));  // 0..5
+    plan.linkFaults.push_back(link);
+  }
+  if (allowPartition && numHosts >= 2 && rng.nextBounded(2) == 0) {
+    PartitionEvent pe;
+    pe.groupOf.resize(numHosts, 0);
+    // Contiguous two-group split with both sides nonempty; the cut point
+    // decides whether a strict majority exists (an even split must fail
+    // fast on both sides).
+    const uint64_t cut = 1 + rng.nextBounded(numHosts - 1);
+    for (HostId h = 0; h < numHosts; ++h) {
+      pe.groupOf[h] = h < cut ? 0 : 1;
+    }
+    pe.phase = 1 + static_cast<uint32_t>(rng.nextBounded(5));  // 1..5
+    pe.heals = rng.nextBounded(2) == 0;
+    plan.partitions.push_back(std::move(pe));
+  }
   return plan;
 }
 
@@ -368,6 +522,30 @@ FaultPlan remapFaultPlan(const FaultPlan& plan,
   for (HostSlowdown slow : plan.slowdowns) {
     if (translate(slow.host, &slow.host)) {
       remapped.slowdowns.push_back(slow);
+    }
+  }
+  for (LinkFault link : plan.linkFaults) {
+    if (translate(link.src, &link.src) && translate(link.dst, &link.dst)) {
+      remapped.linkFaults.push_back(link);
+    }
+  }
+  for (const PartitionEvent& pe : plan.partitions) {
+    // Rebuild the group map over the survivor ranks; if eviction removed
+    // one whole side there is no partition left to schedule.
+    PartitionEvent projected;
+    projected.phase = pe.phase;
+    projected.heals = pe.heals;
+    projected.groupOf.resize(survivors.size(), 0);
+    std::set<uint8_t> groups;
+    for (HostId rank = 0; rank < survivors.size(); ++rank) {
+      const HostId original = survivors[rank];
+      const uint8_t group =
+          original < pe.groupOf.size() ? pe.groupOf[original] : 0;
+      projected.groupOf[rank] = group;
+      groups.insert(group);
+    }
+    if (groups.size() >= 2) {
+      remapped.partitions.push_back(std::move(projected));
     }
   }
   return remapped;

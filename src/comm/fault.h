@@ -26,6 +26,9 @@
 //                          receiving mailbox (wire corruption); the frame is
 //                          discarded and the sender notified, so
 //                          sendReliable can retransmit transparently.
+//   MinorityPartition    — a host found itself on the minority side of a
+//                          network partition under the quorum rule and
+//                          fenced itself (see PartitionEvent below).
 //
 // Crashes come in two flavors: transient (the default — the host "reboots"
 // and the crash fires exactly once for the injector's lifetime) and
@@ -109,13 +112,47 @@ struct HostSlowdown {
   uint32_t fromPhase = 0;  // active once the host announces this phase
 };
 
+// Asymmetric per-link fault: ONE direction of one host pair degrades. A
+// `dropRate` in (0, 1) drops that fraction of the link's messages (chosen
+// deterministically from a per-link sequence counter, so a given plan
+// replays identically); dropRate >= 1 severs the link outright (every send
+// lost, and the link reported severed to the connectivity/quorum checks).
+// `degradeFactor` > 1 multiplies the cost-model charge of every message
+// that crosses the link (a congested or renegotiated-down path), visible in
+// the sender's modeled communication time. Active once `src` announces
+// phase `fromPhase` (0 = from the start).
+struct LinkFault {
+  HostId src = 0;
+  HostId dst = 0;
+  double dropRate = 0.0;
+  double degradeFactor = 1.0;
+  uint32_t fromPhase = 0;
+};
+
+// Timed network partition: once ANY host announces phase `phase`, the hosts
+// split into the connectivity groups given by `groupOf` (groupOf[h] is host
+// h's group id) and every cross-group message is dropped. The partition
+// stays in force until the resilient driver resolves it (fencing the
+// minority side under the quorum rule); with `heals` the cut is transient —
+// resolution restores cross-group connectivity, modeling a rack partition
+// that is repaired, and the fenced side may rejoin. Without `heals` the cut
+// is permanent and the minority side stays fenced out.
+struct PartitionEvent {
+  std::vector<uint8_t> groupOf;  // indexed by host id
+  uint32_t phase = 0;
+  bool heals = false;
+};
+
 struct FaultPlan {
   std::vector<MessageFault> messageFaults;
   std::vector<HostCrash> crashes;
   std::vector<HostSlowdown> slowdowns;
+  std::vector<LinkFault> linkFaults;
+  std::vector<PartitionEvent> partitions;
 
   bool empty() const {
-    return messageFaults.empty() && crashes.empty() && slowdowns.empty();
+    return messageFaults.empty() && crashes.empty() && slowdowns.empty() &&
+           linkFaults.empty() && partitions.empty();
   }
 };
 
@@ -141,6 +178,8 @@ struct FaultStats {
   uint64_t crashesFired = 0;
   uint64_t slowdownOps = 0;     // crossings that were paced
   uint64_t slowdownMicros = 0;  // total injected pacing time
+  uint64_t linkDropped = 0;       // drops charged to LinkFault loss/severing
+  uint64_t partitionDropped = 0;  // drops charged to an active partition
 };
 
 class HostFailure : public std::runtime_error {
@@ -198,6 +237,25 @@ class MessageCorrupt : public std::runtime_error {
   HostId from;
   HostId to;
   Tag tag;
+};
+
+// Quorum fencing: the caller found itself on the losing side of a network
+// partition — its connectivity component holds `componentSize` of the
+// `numAlive` live hosts, which is not a strict majority — and fenced
+// itself. Fail-fast and NOT retryable: a minority host must never proceed
+// (two sides proceeding is split-brain), so the resilient drivers turn this
+// into an eviction of the minority side instead of burning recovery
+// attempts. `epoch` is the fencing epoch the host fenced itself under; the
+// checkpoint store refuses its writes from that point on.
+class MinorityPartition : public std::runtime_error {
+ public:
+  MinorityPartition(HostId host, uint32_t componentSize, uint32_t numAlive,
+                    uint64_t epoch);
+
+  HostId host;
+  uint32_t componentSize;
+  uint32_t numAlive;
+  uint64_t epoch;
 };
 
 // A receive waited past the hard straggler deadline on one specific peer
@@ -317,9 +375,39 @@ class FaultInjector {
   void countRetry();
   void countDuplicateSuppressed();
 
+  // --- link-level connectivity (split-brain model) ---
+
+  // Whether the from -> to direction is currently cut: an ACTIVE partition
+  // event separates the two hosts, or a LinkFault with dropRate >= 1 severs
+  // the direction. This is the connectivity oracle the quorum rule consults
+  // (standing in for a real cluster's heartbeat mesh).
+  bool linkSevered(HostId from, HostId to) const;
+
+  // Product of the degradeFactors of every active LinkFault on from -> to;
+  // 1.0 for a clean link. Multiplies the cost-model charge of a send.
+  double linkDegradeFactor(HostId from, HostId to) const;
+
+  // The first partition event that is active (its phase has been announced)
+  // and not yet resolved, as an index into plan().partitions; nullopt when
+  // connectivity is whole. The resilient driver polls this after a failure
+  // to classify it as a partition instead of an ordinary fault.
+  std::optional<size_t> unresolvedPartition() const;
+  const PartitionEvent& partitionEvent(size_t index) const;
+
+  // Marks a partition event handled (the driver fenced/evicted the losing
+  // side). If the event `heals`, cross-group connectivity is restored from
+  // here on — the fenced side may rejoin; otherwise the cut is permanent.
+  void resolvePartition(size_t index);
+
+  const FaultPlan& plan() const { return plan_; }
+
   FaultStats stats() const;
 
  private:
+  bool partitionCuts(HostId from, HostId to) const;   // callers hold mutex_
+  bool linkFaultActive(const LinkFault& fault, HostId from,
+                       HostId to) const;              // callers hold mutex_
+
   mutable std::mutex mutex_;
   FaultPlan plan_;
   std::vector<uint64_t> faultMatches_;  // per message fault: matches so far
@@ -327,6 +415,9 @@ class FaultInjector {
   std::vector<bool> permanentlyDown_;  // indexed by host id (grown on demand)
   std::map<HostId, uint32_t> hostPhase_;
   std::map<HostId, uint64_t> hostOps_;
+  std::map<std::pair<HostId, HostId>, uint64_t> linkSeq_;  // per-link sends
+  std::vector<bool> partitionResolved_;
+  uint32_t maxAnnouncedPhase_ = 0;  // activates partition events; monotone
   FaultStats stats_;
 };
 
@@ -337,18 +428,26 @@ class FaultInjector {
 // degraded-mode eviction path. With `maxSlowdowns > 0`, up to that many
 // hosts are additionally paced by a sustained 2-8x slowdown factor; the
 // slowdown draws come after the message/crash draws, so plans for a given
-// seed are unchanged when maxSlowdowns == 0.
+// seed are unchanged when maxSlowdowns == 0. With `maxLinkFaults > 0`, up
+// to that many directed links are additionally degraded or lossy, and with
+// `allowPartition` roughly half the seeds schedule one two-group partition
+// event (sometimes healing); these draws come last, after the slowdown
+// draws, preserving historical plans for every earlier parameter set.
 FaultPlan randomFaultPlan(uint64_t seed, uint32_t numHosts,
                           uint32_t maxMessageFaults = 6,
                           uint32_t maxCrashes = 1,
                           bool allowPermanent = false,
-                          uint32_t maxSlowdowns = 0);
+                          uint32_t maxSlowdowns = 0,
+                          uint32_t maxLinkFaults = 0,
+                          bool allowPartition = false);
 
 // Projects a fault plan onto a shrunk host set after evictions:
 // `survivors[newRank]` is the original id of the host now running as
-// `newRank`. Faults, crashes and slowdowns pinned to an evicted host are
-// dropped; the rest have their host ids remapped (kAnyHost stays
-// wildcarded). The degraded-mode driver feeds the result to the fresh
+// `newRank`. Faults, crashes, slowdowns and link faults pinned to an
+// evicted host are dropped; the rest have their host ids remapped (kAnyHost
+// stays wildcarded). A partition event is rebuilt over the survivor ranks
+// and dropped entirely when only one of its groups survives (a partition
+// needs two sides). The degraded-mode driver feeds the result to the fresh
 // injector of each re-partition epoch, so a second permanent crash still
 // fires at its survivor rank.
 FaultPlan remapFaultPlan(const FaultPlan& plan,

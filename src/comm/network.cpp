@@ -9,6 +9,7 @@
 #include "obs/obs.h"
 #include "support/crc32.h"
 #include "support/random.h"
+#include "support/storage.h"
 
 namespace cusp::comm {
 
@@ -39,6 +40,20 @@ void countStragglerReport(HostId laggard, bool hard) {
   }
 }
 
+// Partition/quorum events are rarer still (a handful per run at most), so
+// their cells are also looked up per event instead of cached in ObsHandles.
+void countPartitionEvent(const char* which, HostId host) {
+  if (!obs::attached()) {
+    return;
+  }
+  if (const auto registry = obs::sink().metrics) {
+    registry
+        ->counter(std::string("cusp.net.partition.") + which,
+                  {{"host", std::to_string(host)}})
+        .add(1);
+  }
+}
+
 }  // namespace
 
 Network::Network(uint32_t numHosts, NetworkCostModel costModel)
@@ -56,6 +71,7 @@ Network::Network(uint32_t numHosts, NetworkCostModel costModel)
     blockedOn_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
     alive_.push_back(std::make_unique<std::atomic<bool>>(true));
   }
+  suspected_.assign(numHosts, std::vector<bool>(numHosts, false));
   // Resolve obs registry cells once, here: attach the sink BEFORE creating
   // the cluster. Each send then pays one null check (detached) or a few
   // relaxed atomic adds (attached) — never a map lookup.
@@ -106,13 +122,181 @@ void Network::evict(HostId host) {
   }
   // Wake every blocked receiver: anyone waiting on the evicted host must
   // recheck membership and fail fast instead of riding out the timeout.
-  for (auto& box : mailboxes_) {
-    std::lock_guard<std::mutex> lock(box->mutex);
-    box->arrived.notify_all();
+  // While at it, reclaim the evicted host's comm footprint: its own mailbox
+  // dies with it, its queued in-flight messages in survivor mailboxes can
+  // never be trusted (and recvFrom on it fails fast anyway), and its
+  // dup-filter channels would otherwise pin memory until process exit.
+  for (HostId h = 0; h < numHosts(); ++h) {
+    Mailbox& box = *mailboxes_[h];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    if (h == host) {
+      box.queue.clear();
+      box.channels.clear();
+    } else {
+      for (auto it = box.queue.begin(); it != box.queue.end();) {
+        it = it->msg.from == host ? box.queue.erase(it) : std::next(it);
+      }
+      for (auto it = box.channels.begin(); it != box.channels.end();) {
+        it = it->first.first == host ? box.channels.erase(it) : std::next(it);
+      }
+    }
+    box.arrived.notify_all();
+  }
+  // The purged backlog was counted into the attached memory budget's comm
+  // gauge; re-sample so the evicted host's share stops exerting pressure.
+  if (support::memoryBudgetAttached()) {
+    support::memoryBudget()->noteCommBacklog(mailboxBacklogBytes());
   }
 }
 
+bool Network::linkReachable(HostId me, HostId peer) const {
+  if (me >= numHosts() || peer >= numHosts()) {
+    throw std::out_of_range("Network::linkReachable: host id out of range");
+  }
+  if (me == peer) {
+    return true;
+  }
+  if (injector_ && injector_->linkSevered(me, peer)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(suspicionMutex_);
+  return !suspected_[me][peer];
+}
+
+void Network::clearSuspicions() {
+  std::lock_guard<std::mutex> lock(suspicionMutex_);
+  for (auto& row : suspected_) {
+    std::fill(row.begin(), row.end(), false);
+  }
+}
+
+void Network::noteSuspect(HostId me, HostId peer) {
+  if (me >= numHosts() || peer >= numHosts() || me == peer) {
+    return;
+  }
+  bool fresh = false;
+  {
+    std::lock_guard<std::mutex> lock(suspicionMutex_);
+    fresh = !suspected_[me][peer];
+    suspected_[me][peer] = true;
+  }
+  if (fresh) {
+    countPartitionEvent("suspicions", peer);
+  }
+}
+
+std::vector<HostId> Network::connectivityComponent(HostId me) const {
+  // Undirected BFS over alive hosts: an edge exists only when BOTH
+  // directions are reachable (a one-way link cannot carry request/reply
+  // protocols, so it does not connect for quorum purposes).
+  std::vector<bool> visited(numHosts(), false);
+  std::vector<HostId> frontier{me};
+  std::vector<HostId> component;
+  visited[me] = true;
+  while (!frontier.empty()) {
+    const HostId h = frontier.back();
+    frontier.pop_back();
+    component.push_back(h);
+    for (HostId peer = 0; peer < numHosts(); ++peer) {
+      if (visited[peer] || !isAlive(peer)) {
+        continue;
+      }
+      if (linkReachable(h, peer) && linkReachable(peer, h)) {
+        visited[peer] = true;
+        frontier.push_back(peer);
+      }
+    }
+  }
+  std::sort(component.begin(), component.end());
+  return component;
+}
+
+void Network::enforceQuorumOnFailure(HostId me, HostId peer, Tag tag) {
+  (void)tag;
+  if (!injector_ || !isAlive(me)) {
+    return;
+  }
+  noteSuspect(me, peer);
+  if (!injector_->linkSevered(me, peer) &&
+      !injector_->unresolvedPartition().has_value()) {
+    return;  // ordinary message loss, not a connectivity cut
+  }
+  const std::vector<HostId> component = connectivityComponent(me);
+  const uint32_t numAlive = numAliveHosts();
+  if (component.size() * 2 > numAlive) {
+    return;  // majority side: surface the original error; the driver decides
+  }
+  // Minority (or exact tie) side of a confirmed cut: fence ourselves before
+  // anyone down here can touch durable state, then fail fast.
+  const uint64_t epoch = membershipEpoch() + 1;
+  if (auto fence = support::writeFence()) {
+    fence->advance(epoch);
+    fence->fence(me);
+  }
+  countPartitionEvent("minority_fences", me);
+  throw MinorityPartition(me, static_cast<uint32_t>(component.size()),
+                          numAlive, epoch);
+}
+
 MembershipView Network::agreeMembership(HostId me) {
+  if (!isAlive(me)) {
+    // Evicted while cut off: the majority proceeded without us, and the
+    // epoch bump in the membership view IS the detection signal. Fence and
+    // fail fast; the resilient driver discards this host's stale in-memory
+    // state and rejoins it through checkpoint redistribution after heal.
+    const uint64_t epoch = membershipEpoch();
+    if (auto fence = support::writeFence()) {
+      fence->advance(epoch);
+      fence->fence(me);
+    }
+    countPartitionEvent("minority_fences", me);
+    throw MinorityPartition(me, 0, numAliveHosts(), epoch);
+  }
+  if (injector_) {
+    const std::vector<HostId> component = connectivityComponent(me);
+    const uint32_t numAlive = numAliveHosts();
+    if (component.size() < numAlive) {
+      if (component.size() * 2 > numAlive) {
+        // Strict-majority component: evict every alive host outside it.
+        // EVERY majority member performs the same idempotent evictions
+        // before its exchange, so the survivors' collective root and alive
+        // iteration agree without a message ever crossing the cut.
+        std::vector<bool> inComponent(numHosts(), false);
+        for (HostId h : component) {
+          inComponent[h] = true;
+        }
+        std::vector<HostId> evicted;
+        for (HostId h = 0; h < numHosts(); ++h) {
+          if (isAlive(h) && !inComponent[h]) {
+            evict(h);
+            evicted.push_back(h);
+            countPartitionEvent("quorum_evictions", h);
+          }
+        }
+        if (auto fence = support::writeFence()) {
+          // Register the evicted side as fenced at the bumped epoch: the
+          // checkpoint store refuses their writes even if a cut-off host
+          // never reaches its own minority check (models the shared
+          // storage service learning the new fencing token).
+          fence->advance(membershipEpoch());
+          for (HostId h : evicted) {
+            fence->fence(h);
+          }
+        }
+      } else {
+        // Minority, or an exact tie: neither side of a tie may proceed
+        // (two proceeding halves is split-brain). Fence and fail fast.
+        const uint64_t epoch = membershipEpoch() + 1;
+        if (auto fence = support::writeFence()) {
+          fence->advance(epoch);
+          fence->fence(me);
+        }
+        countPartitionEvent("minority_fences", me);
+        throw MinorityPartition(me, static_cast<uint32_t>(component.size()),
+                                numAlive, epoch);
+      }
+    }
+  }
   // The agreement round: alive hosts exchange their (epoch, alive bitmap)
   // views through the current collective root and fold them — max epoch,
   // AND of alive flags. On this shared simulated network all local views
@@ -168,6 +352,12 @@ bool Network::send(HostId from, HostId to, Tag tag,
       micros += static_cast<double>(buffer.size()) / costModel_.bandwidthMBps;
     }
     if (micros > 0.0) {
+      if (injector_) {
+        // A degraded link (LinkFault::degradeFactor) multiplies the modeled
+        // cost of every message that crosses it. Injector-gated, so a
+        // fault-free network's accounting stays byte-identical.
+        micros *= injector_->linkDegradeFactor(from, to);
+      }
       modeledCommNanos_[from]->fetch_add(
           static_cast<int64_t>(micros * 1000.0), std::memory_order_relaxed);
     }
@@ -278,8 +468,21 @@ void Network::sendReliable(HostId from, HostId to, Tag tag,
       if (obs_.sendRetries != nullptr) {
         obs_.sendRetries->add();
       }
+      // Decorrelated jitter: each backoff window is scaled by a
+      // deterministic factor in [0.5, 1.5) derived from the message
+      // identity and attempt number, so the survivors of a healed
+      // partition (all retrying the same protocol step at once) spread out
+      // instead of re-colliding in synchronized waves. Deterministic, so a
+      // given plan still replays to identical modeled times.
+      const uint64_t jitterHash = support::hashU64(
+          (static_cast<uint64_t>(from) << 48) ^
+          (static_cast<uint64_t>(to) << 32) ^
+          (static_cast<uint64_t>(tag) << 8) ^ attempt);
+      const double jitter =
+          0.5 + static_cast<double>(jitterHash % 1024) / 1024.0;
       const double backoffMicros =
-          retryPolicy_.backoffMicros * static_cast<double>(1u << attempt);
+          retryPolicy_.backoffMicros * static_cast<double>(1u << attempt) *
+          jitter;
       if (backoffMicros > 0.0 && from != to && tag < kFirstReserved) {
         modeledCommNanos_[from]->fetch_add(
             static_cast<int64_t>(backoffMicros * 1000.0),
@@ -287,6 +490,10 @@ void Network::sendReliable(HostId from, HostId to, Tag tag,
       }
     }
   }
+  // Exhausted retries toward one peer are the sender-side symptom of a cut
+  // link: let the quorum rule decide whether WE are the fenced side before
+  // surfacing the retry error (it throws MinorityPartition if so).
+  enforceQuorumOnFailure(from, to, tag);
   throw SendRetriesExhausted(from, to, tag, attempts);
 }
 
@@ -575,6 +782,12 @@ Message Network::recvImpl(HostId me, Tag tag, HostId from) {
       const double waited = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - start)
                                 .count();
+      if (from != kAnyHost) {
+        // A stalled wait on one SPECIFIC peer is the receiver-side symptom
+        // of a cut link (the stall detector doubling as connectivity
+        // suspicion); throws MinorityPartition if we are the fenced side.
+        enforceQuorumOnFailure(me, from, tag);
+      }
       throwStalled(me, tag, from, waited);
     }
   }

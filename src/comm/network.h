@@ -291,7 +291,31 @@ class Network {
   // collective root, fold them (max epoch, AND of alive flags) and return
   // the agreed view. Crossing-visible like any collective, so scheduled
   // crashes can fire inside the round.
+  //
+  // Quorum rule (split-brain tolerance): when the caller's connectivity
+  // component — alive hosts reachable over unsevered, unsuspected links —
+  // does not span the whole alive set, only a STRICT MAJORITY component may
+  // proceed: each of its members evicts the unreachable side (idempotent,
+  // so the survivors' views agree) and the agreement runs among the
+  // survivors. A minority — or either half of an exact tie — fences itself
+  // against the attached support::WriteFence and throws MinorityPartition,
+  // so no minority host can ever proceed or write state. A host whose own
+  // alive flag is already gone (it was evicted while cut off) takes the
+  // same fence-and-throw path: that is how a fenced host detects the epoch
+  // bump on heal.
   MembershipView agreeMembership(HostId me);
+
+  // --- connectivity (split-brain model) ---
+
+  // Whether `me` currently believes it can talk to `peer`: the fault
+  // injector does not sever the link (partition event or fully lossy
+  // LinkFault) and `me` has not recorded suspicion against `peer` from a
+  // failed send or a stalled specific-peer wait.
+  bool linkReachable(HostId me, HostId peer) const;
+
+  // Drops all recorded suspicion (heal-time rejoin: the links are back, so
+  // observed-failure evidence from before the heal is stale).
+  void clearSuspicions();
 
   // --- fault tolerance ---
 
@@ -435,6 +459,18 @@ class Network {
   };
 
   Message recvImpl(HostId me, Tag tag, HostId from);
+  // Records that `me` observed a connectivity failure toward `peer` (send
+  // retries exhausted, or a stalled wait on that specific peer).
+  void noteSuspect(HostId me, HostId peer);
+  // Alive hosts reachable from `me` (undirected BFS over links that are
+  // reachable in both directions).
+  std::vector<HostId> connectivityComponent(HostId me) const;
+  // Called when an operation toward `peer` failed in a way that suggests a
+  // cut. Records suspicion; if the injector confirms a severed link or an
+  // unresolved partition AND `me`'s component is not a strict majority of
+  // the alive set, fences `me` and throws MinorityPartition. Returns
+  // normally otherwise (the caller surfaces its original error).
+  void enforceQuorumOnFailure(HostId me, HostId peer, Tag tag);
   std::optional<Message> scanLocked(Mailbox& box, Tag tag, HostId from);
   void ageDelayedLocked(Mailbox& box);
   void compactChannelsLocked(Mailbox& box);
@@ -456,6 +492,12 @@ class Network {
   std::vector<std::unique_ptr<std::atomic<bool>>> alive_;
   std::atomic<uint64_t> membershipEpoch_{0};
   std::mutex membershipMutex_;
+
+  // Connectivity suspicion: suspected_[me][peer] records that `me` saw an
+  // operation toward `peer` die in a cut-shaped way. Feeds the quorum
+  // rule's component computation alongside the injector's link oracle.
+  mutable std::mutex suspicionMutex_;
+  std::vector<std::vector<bool>> suspected_;
 
   std::shared_ptr<FaultInjector> injector_;
   std::atomic<bool> crcFraming_{false};

@@ -120,6 +120,26 @@ void writeCheckpointFile(const std::string& finalPath, uint32_t host,
   header.host = host;
   header.numHosts = numHosts;
   header.phase = phase;
+  // Fencing-token check (split-brain protection): when a WriteFence is
+  // attached, a fenced writer — the minority side of a network partition —
+  // is refused HERE, before any byte touches the disk, so a fenced host can
+  // neither clobber its primary image nor buddy-replicate stale state.
+  // Refusal leaves no tmp debris (unlike an injected write fault, nothing
+  // was started). `host` is the OWNER of the image, which for a buddy
+  // replica is also the writer, so one check covers both paths.
+  if (auto fence = support::writeFence()) {
+    if (fence->isFenced(host)) {
+      fence->countFencedWriteAttempt();
+      countCheckpoint("cusp.checkpoint.fenced_writes", 1);
+      throw support::StorageError(
+          support::StorageError::Kind::kWriteFailed, finalPath,
+          "writer is fenced at epoch " + std::to_string(fence->epoch()) +
+              " (split-brain protection)");
+    }
+    // Stamp the image with the fencing epoch it was written under; the
+    // formerly-reserved header word is the stamp slot.
+    header.reserved = static_cast<uint32_t>(fence->epoch());
+  }
   std::vector<uint8_t> bytes(sizeof(header) + payload.size());
   std::memcpy(bytes.data(), &header, sizeof(header));
   if (payload.size() > 0) {  // data() may be null on an empty buffer

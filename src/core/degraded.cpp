@@ -19,6 +19,7 @@ const char* ClassifiedFault::kindName() const {
     case kStorageFault: return "StorageFault";
     case kStragglerDeadline: return "StragglerDeadline";
     case kMemoryPressure: return "MemoryPressure";
+    case kMinorityPartition: return "MinorityPartition";
   }
   return "unknown";
 }
@@ -44,6 +45,9 @@ std::optional<ClassifiedFault> classifyFault(std::exception_ptr ep) {
   } catch (const comm::StragglerDeadline& e) {
     return ClassifiedFault{ClassifiedFault::kStragglerDeadline, e.what(),
                            e.laggard, 0};
+  } catch (const comm::MinorityPartition& e) {
+    return ClassifiedFault{ClassifiedFault::kMinorityPartition, e.what(),
+                           e.host, 0};
   } catch (const support::StorageError& e) {
     return ClassifiedFault{ClassifiedFault::kStorageFault, e.what(),
                            comm::kAnyHost, 0};

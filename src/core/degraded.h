@@ -59,6 +59,11 @@ struct ClassifiedFault {
                            // (support::MemoryPressure) — the driver walks
                            // the degradation ladder (stream windows → spill
                            // → smaller chunks) instead of retrying blindly
+    kMinorityPartition,    // a host fenced itself on the losing side of a
+                           // network partition (comm::MinorityPartition) —
+                           // fail-fast, never retried: the driver either
+                           // evicts the fenced side under the quorum rule
+                           // (a partition event is in force) or propagates
   };
 
   Kind kind = kHostFailure;

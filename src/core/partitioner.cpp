@@ -1579,6 +1579,19 @@ std::unique_ptr<support::ScopedMemoryBudget> scopedBudgetFor(
       config.memoryBudgetBytes, plan ? *plan : support::MemoryFaultPlan{});
 }
 
+// Attaches a process write fence for the resilient driver unless one is
+// already attached (a test's pre-attached fence wins, same contract as the
+// storage-fault seam). Without degraded mode there is nothing that could
+// ever fence a host, so the seam stays detached and checkpoint writes are
+// byte-identical to the pre-split-brain behavior.
+std::unique_ptr<support::ScopedWriteFence> scopedFenceFor(
+    const PartitionerConfig& config) {
+  if (!config.resilience.degradedMode || support::writeFence() != nullptr) {
+    return nullptr;
+  }
+  return std::make_unique<support::ScopedWriteFence>();
+}
+
 }  // namespace
 
 PartitionResult partitionGraph(const graph::GraphFile& file,
@@ -1608,12 +1621,17 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
   const bool checkpoints = config.resilience.enableCheckpoints &&
                            !config.resilience.checkpointDir.empty();
   if (checkpoints) {
-    garbageCollectCheckpointTmp(config.resilience.checkpointDir);
+    garbageCollectCheckpointTmp(config.resilience.checkpointDir,
+                                config.resilience.checkpointGcAgeSeconds);
   }
   // One budget for the whole recovery loop (not per attempt): injected
   // budget shrinks persist across restarts, so "checkpoint-and-restart at a
   // smaller budget" is exactly what a retry after kBudgetShrink does.
   const auto scopedBudget = scopedBudgetFor(config);
+  // One write fence for the whole recovery loop: fences applied by the
+  // quorum rule (here or by Network::enforceQuorumOnFailure inside a run)
+  // stay in force across attempt teardowns until a heal lifts them.
+  const auto scopedFence = scopedFenceFor(config);
   // Driver-side observability: attempt spans land on the dedicated driver
   // lane; eviction/re-read counters mirror the RecoveryReport fields.
   const obs::Sink obsSink = obs::sink();
@@ -1667,6 +1685,9 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
       report->spillBytesWritten = ms.spillBytes;
       report->memoryPeakBytes = ms.peakBytes;
     }
+    if (const auto fence = support::writeFence()) {
+      report->fencedWriteAttempts = fence->fencedWriteAttempts();
+    }
   };
   uint64_t epoch = 0;
   // Path A state: base ranks evicted but with phase-5 state recoverable,
@@ -1675,6 +1696,11 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
   std::vector<uint32_t> pendingRedistribution;
   uint64_t pendingReplicaBytes = 0;
   std::map<uint32_t, size_t> recordIndexOfRank;
+  // Heal-time rejoin: a healed partition left a complete phase-5 set, so
+  // the next try runs the Path A round over the FULL base (no dead ranks) —
+  // every host, including the formerly fenced minority, reloads its state
+  // from the checkpoint store and the run finishes at full strength.
+  bool healRejoin = false;
 
   for (;;) {  // one iteration per base (membership epoch)
     const bool baseCheckpoints =
@@ -1702,15 +1728,20 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
         ++totalAttempts;
         obs::ScopedSpan attemptSpan(
             obsSink.trace.get(), obs::kDriverLane,
-            (pendingRedistribution.empty() ? "attempt " : "redistribution ") +
+            (healRejoin ? "partition rejoin "
+                        : pendingRedistribution.empty() ? "attempt "
+                                                        : "redistribution ") +
                 std::to_string(totalAttempts));
         PartitionResult result =
-            pendingRedistribution.empty()
-                ? runPipeline(file, policy, baseConfig, baseInjector,
-                              stragglerMonitor)
-                : runRedistributionRound(baseConfig, baseInjector,
-                                         stragglerMonitor,
-                                         pendingRedistribution);
+            healRejoin
+                ? runRedistributionRound(baseConfig, baseInjector,
+                                         stragglerMonitor, {})
+                : pendingRedistribution.empty()
+                      ? runPipeline(file, policy, baseConfig, baseInjector,
+                                    stragglerMonitor)
+                      : runRedistributionRound(baseConfig, baseInjector,
+                                               stragglerMonitor,
+                                               pendingRedistribution);
         if (!pendingRedistribution.empty() && obsSink.metrics) {
           obsSink.metrics->counter("cusp.partitioner.replica_bytes_read")
               .add(pendingReplicaBytes);
@@ -1736,6 +1767,119 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
         if (report != nullptr) {
           report->failures.emplace_back(fault->what);
           report->failureKinds.emplace_back(fault->kindName());
+        }
+
+        // --- split-brain quorum rung --------------------------------------
+        // A timed partition event is in force: resolve it under the quorum
+        // rule instead of burning recovery attempts against a cluster that
+        // cannot agree. A strict-majority component fences the minority and
+        // proceeds; an even split fails fast on both sides; a healing
+        // partition lifts the fences and the fenced hosts rejoin from the
+        // checkpoint store. Minority ranks evicted here keep their stores
+        // (the machines are fenced, not dead), so the shared eviction
+        // machinery below treats them like condemned stragglers.
+        std::vector<uint32_t> partitionFenced;
+        const auto pendingPartition = baseInjector != nullptr
+                                          ? baseInjector->unresolvedPartition()
+                                          : std::nullopt;
+        if (baseConfig.resilience.degradedMode && pendingPartition &&
+            baseConfig.numHosts > 1) {
+          const comm::PartitionEvent pe =
+              baseInjector->partitionEvent(*pendingPartition);
+          if (pe.groupOf.size() == baseConfig.numHosts) {
+            if (report != nullptr) {
+              ++report->partitionEvents;
+            }
+            if (obsSink.metrics) {
+              obsSink.metrics->counter("cusp.net.partition.events").add();
+            }
+            std::map<uint8_t, uint32_t> groupSize;
+            for (uint32_t r = 0; r < baseConfig.numHosts; ++r) {
+              ++groupSize[pe.groupOf[r]];
+            }
+            int majorityGroup = -1;
+            for (const auto& [group, size] : groupSize) {
+              if (size * 2 > baseConfig.numHosts) {
+                majorityGroup = group;
+              }
+            }
+            if (majorityGroup < 0) {
+              // Even split: no component holds a strict majority, so neither
+              // side may evict the other and proceed. Both sides have fenced
+              // themselves (Network::enforceQuorumOnFailure) and thrown
+              // MinorityPartition; fail fast without spending attempts on an
+              // unwinnable agreement.
+              fillStorageReport();
+              throw;
+            }
+            for (uint32_t r = 0; r < baseConfig.numHosts; ++r) {
+              if (pe.groupOf[r] != static_cast<uint8_t>(majorityGroup)) {
+                partitionFenced.push_back(r);
+              }
+            }
+            ++epoch;
+            if (const auto fence = support::writeFence()) {
+              fence->advance(epoch);
+              for (uint32_t r : partitionFenced) {
+                fence->fence(r);
+              }
+            }
+            if (report != nullptr) {
+              for (uint32_t r : partitionFenced) {
+                report->fencedHosts.push_back(aliveOriginal[r]);
+              }
+            }
+            baseInjector->resolvePartition(*pendingPartition);
+            if (pe.heals) {
+              // Heal-time rejoin: connectivity is restored, so the fenced
+              // hosts lift their fences and rejoin at full strength. With a
+              // complete phase-5 set the rejoin runs the Path A round over
+              // the full base; otherwise the next pipeline attempt restores
+              // every host — the healed minority included — from the last
+              // common checkpoint. Either way the run completes at full
+              // size, and a deterministic policy reproduces the clean
+              // output bit for bit.
+              if (const auto fence = support::writeFence()) {
+                for (uint32_t r : partitionFenced) {
+                  fence->lift(r);
+                }
+              }
+              if (report != nullptr) {
+                for (uint32_t r : partitionFenced) {
+                  report->rejoinedHosts.push_back(aliveOriginal[r]);
+                }
+              }
+              if (obsSink.metrics) {
+                obsSink.metrics->counter("cusp.net.partition.heals").add();
+                obsSink.metrics->counter("cusp.net.partition.rejoins")
+                    .add(partitionFenced.size());
+              }
+              bool p5Complete = baseCheckpoints;
+              for (uint32_t r = 0; p5Complete && r < baseConfig.numHosts;
+                   ++r) {
+                p5Complete = loadCheckpoint(baseConfig.resilience.checkpointDir,
+                                            r, baseConfig.numHosts, 5)
+                                 .has_value();
+              }
+              healRejoin = p5Complete;
+              continue;  // the fault was the partition's; no attempt burned
+            }
+            if (obsSink.metrics) {
+              obsSink.metrics->counter("cusp.net.partition.quorum_evictions")
+                  .add(partitionFenced.size());
+            }
+            // No heal: fall through to the eviction machinery with the
+            // minority marked for removal from the base — still without
+            // burning an attempt (partitionFenced forces `evictable`).
+          }
+        }
+        if (partitionFenced.empty() &&
+            fault->kind == ClassifiedFault::kMinorityPartition) {
+          // A fenced minority without a resolvable partition event (an
+          // asymmetric link cut isolated the host for good): fail-fast by
+          // contract — no retry can win back a quorum that is not there.
+          fillStorageReport();
+          throw;
         }
 
         // --- memory-pressure degradation ladder ---------------------------
@@ -1788,9 +1932,11 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
             fault->kind == ClassifiedFault::kStragglerDeadline &&
             stragglerMonitor != nullptr && fault->host != comm::kAnyHost &&
             stragglerMonitor->isCondemned(fault->host);
-        const bool evictable = baseConfig.resilience.degradedMode &&
-                               (crashEvictable || stragglerEvictable) &&
-                               baseConfig.numHosts > 1;
+        const bool evictable =
+            baseConfig.resilience.degradedMode &&
+            (crashEvictable || stragglerEvictable ||
+             !partitionFenced.empty()) &&
+            baseConfig.numHosts > 1;
         if (!evictable) {
           if (++attempt >= maxAttempts) {
             fillStorageReport();
@@ -1811,7 +1957,10 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
               baseInjector != nullptr && baseInjector->isPermanentlyDown(r);
           const bool condemned =
               stragglerMonitor != nullptr && stragglerMonitor->isCondemned(r);
-          if (crashed || condemned) {
+          const bool fenced = std::find(partitionFenced.begin(),
+                                        partitionFenced.end(),
+                                        r) != partitionFenced.end();
+          if (crashed || condemned || fenced) {
             deadRanks.push_back(r);
             crashedRank[r] = crashed;
           }
@@ -1973,6 +2122,17 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
           softReportsRetired += stragglerMonitor->totalSoftReports();
           stragglerMonitor = std::make_shared<comm::StragglerMonitor>(m);
         }
+        if (const auto fence = support::writeFence()) {
+          // Fences are indexed in base-rank space and the rebase renumbers
+          // it. The fenced ranks just left the base with their eviction, so
+          // the protection they provided is moot (nothing writes as them
+          // any more, and the shrunk base gets its own epoch directory);
+          // lifting keeps a stale fence from misapplying to a reused rank.
+          for (uint32_t h : fence->fencedHosts()) {
+            fence->lift(h);
+          }
+        }
+        healRejoin = false;
         pendingRedistribution.clear();
         pendingReplicaBytes = 0;
         recordIndexOfRank.clear();

@@ -101,6 +101,12 @@ struct ResilienceConfig {
   // its checkpoint store stays readable (the machine is slow, not dead).
   comm::StragglerPolicy straggler;
 
+  // Age threshold (seconds) before the driver's startup GC sweeps
+  // .quarantined checkpoint files; orphaned .tmp commit debris is always
+  // swept regardless of age. Exposed so operators (and tests) can tighten
+  // the forensic-retention window (--checkpoint-gc-age).
+  double checkpointGcAgeSeconds = 24.0 * 3600.0;
+
   // Checkpoint-store health latch (see CheckpointHealth above). Allocated
   // per config; copies alias it, so the driver's retries and every host of
   // the run observe the same latch. The latch lives as long as the config
@@ -173,6 +179,16 @@ struct RecoveryReport {
   uint32_t memoryPressureEvents = 0;
   uint64_t spillBytesWritten = 0;
   uint64_t memoryPeakBytes = 0;
+
+  // Split-brain outcomes (zero/empty without partition events): partition
+  // events the driver resolved under the quorum rule, ORIGINAL ids of the
+  // minority hosts fenced by those events, the subset that later healed and
+  // rejoined via checkpoint redistribution, and checkpoint writes refused
+  // by the fencing token (asserted zero debris through the storage seam).
+  uint32_t partitionEvents = 0;
+  std::vector<uint32_t> fencedHosts;
+  std::vector<uint32_t> rejoinedHosts;
+  uint64_t fencedWriteAttempts = 0;
 };
 
 struct PartitionerConfig {

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -39,6 +40,16 @@ std::mutex& globalMutex() {
 std::shared_ptr<StorageFaultInjector>& globalInjector() {
   static std::shared_ptr<StorageFaultInjector> injector;
   return injector;
+}
+
+std::mutex& fenceMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::shared_ptr<WriteFence>& globalFence() {
+  static std::shared_ptr<WriteFence> fence;
+  return fence;
 }
 
 std::optional<StorageFault> consult(StorageOp op, const std::string& path) {
@@ -208,6 +219,84 @@ ScopedStorageFaults::ScopedStorageFaults(StorageFaultPlan plan)
 ScopedStorageFaults::~ScopedStorageFaults() {
   std::lock_guard<std::mutex> lock(globalMutex());
   globalInjector() = previous_;
+}
+
+uint64_t WriteFence::advance(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  epoch_ = std::max(epoch_, epoch);
+  return epoch_;
+}
+
+uint64_t WriteFence::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+void WriteFence::fence(uint32_t host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fenced_.size() <= host) {
+    fenced_.resize(host + 1, false);
+  }
+  fenced_[host] = true;
+}
+
+void WriteFence::lift(uint32_t host) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (host < fenced_.size()) {
+    fenced_[host] = false;
+  }
+}
+
+bool WriteFence::isFenced(uint32_t host) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return host < fenced_.size() && fenced_[host];
+}
+
+std::vector<uint32_t> WriteFence::fencedHosts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<uint32_t> hosts;
+  for (uint32_t h = 0; h < fenced_.size(); ++h) {
+    if (fenced_[h]) {
+      hosts.push_back(h);
+    }
+  }
+  return hosts;
+}
+
+uint64_t WriteFence::fencedWriteAttempts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fencedWriteAttempts_;
+}
+
+void WriteFence::countFencedWriteAttempt() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++fencedWriteAttempts_;
+}
+
+std::shared_ptr<WriteFence> writeFence() {
+  std::lock_guard<std::mutex> lock(fenceMutex());
+  return globalFence();
+}
+
+void attachWriteFence(std::shared_ptr<WriteFence> fence) {
+  std::lock_guard<std::mutex> lock(fenceMutex());
+  globalFence() = std::move(fence);
+}
+
+void detachWriteFence() {
+  std::lock_guard<std::mutex> lock(fenceMutex());
+  globalFence().reset();
+}
+
+ScopedWriteFence::ScopedWriteFence() : fence_(std::make_shared<WriteFence>()) {
+  std::lock_guard<std::mutex> lock(fenceMutex());
+  previous_ = globalFence();
+  globalFence() = fence_;
+}
+
+ScopedWriteFence::~ScopedWriteFence() {
+  std::lock_guard<std::mutex> lock(fenceMutex());
+  globalFence() = previous_;
 }
 
 void atomicWriteFile(const std::string& path, const void* data, size_t size) {

@@ -6,8 +6,8 @@
 # sanitizers are part of the pre-merge checklist.
 #
 # Usage: tests/run_sanitized.sh [asan-ubsan|tsan|ubsan|tsan-degraded|
-# tsan-chaos|tsan-obs|tsan-storage|asan-memory]  (default: both full
-# suites).
+# tsan-chaos|tsan-obs|tsan-storage|tsan-splitbrain|asan-memory]
+# (default: both full suites).
 # `tsan-degraded` builds
 # the TSan preset but runs only the tests labeled `degraded` (eviction,
 # buddy replication, degraded recovery) — the membership machinery races
@@ -21,7 +21,11 @@
 # `tsan-storage` runs the `storage` label under TSan: the storage fault
 # injector and checkpoint-health latch are shared process-wide across every
 # host thread, and the straggler monitor is read from concurrent receivers,
-# so their synchronization gets a focused lane too. `asan-memory` runs the
+# so their synchronization gets a focused lane too. `tsan-splitbrain` runs
+# the `splitbrain` label under TSan: quorum fencing races host threads
+# against each other (concurrent agreeMembership evictions, the shared
+# write fence, suspicion tracking, partitioned-send failure paths), so the
+# split-brain machinery gets its own lane. `asan-memory` runs the
 # `memory` label under ASan+UBSan: the memory governor moves the pipeline's
 # buffers through charge/release pairs, spill files and takeVector()
 # handoffs, so leaks and use-after-release there are exactly what ASan
@@ -52,6 +56,9 @@ for preset in "${presets[@]}"; do
   elif [ "$preset" = "tsan-storage" ]; then
     build_preset="tsan"
     label_args=(-L storage)
+  elif [ "$preset" = "tsan-splitbrain" ]; then
+    build_preset="tsan"
+    label_args=(-L splitbrain)
   elif [ "$preset" = "asan-memory" ]; then
     build_preset="asan-ubsan"
     label_args=(-L memory)

@@ -284,6 +284,7 @@ TEST_P(FaultPlanFuzz, CompletesValidlyOrFailsStructured) {
   } catch (const comm::HostEvicted&) {      // structured: membership change
   } catch (const comm::MessageCorrupt&) {   // structured: persistent corruption
   } catch (const comm::StragglerDeadline&) {  // structured: condemned laggard
+  } catch (const comm::MinorityPartition&) {  // structured: quorum fencing
   } catch (const support::StorageError&) {  // structured: storage fault
   }
   // Any other exception type escapes and fails the test.

@@ -317,6 +317,29 @@ TEST(CheckpointStorageTest, GcKeepsFreshQuarantinesCollectsStaleOnes) {
   EXPECT_FALSE(std::filesystem::exists(dir.file("h0.p3.ckpt.quarantined")));
 }
 
+TEST(CheckpointStorageTest, DriverGcAgeConfigControlsQuarantineSweep) {
+  // The forensic-retention window is operator-configurable
+  // (ResilienceConfig::checkpointGcAgeSeconds, --checkpoint-gc-age): the
+  // driver's startup sweep keeps a fresh quarantine under the default 24h
+  // grace but collects it when the window is tightened to zero.
+  const graph::CsrGraph g = graph::generateErdosRenyi(120, 500, 3);
+  const graph::GraphFile file = graph::GraphFile::fromCsr(g);
+  TempDir dir;
+  const std::string quarantined = dir.file("h0.p4.ckpt.quarantined");
+  std::ofstream(quarantined) << "corrupt image";
+
+  core::PartitionerConfig config;
+  config.numHosts = 2;
+  config.resilience.checkpointDir = dir.path();
+  config.resilience.enableCheckpoints = true;
+  core::partitionGraphResilient(file, core::makePolicy("EEC"), config);
+  EXPECT_TRUE(std::filesystem::exists(quarantined));
+
+  config.resilience.checkpointGcAgeSeconds = 0.0;
+  core::partitionGraphResilient(file, core::makePolicy("EEC"), config);
+  EXPECT_FALSE(std::filesystem::exists(quarantined));
+}
+
 TEST(CheckpointStorageTest, ReadFailureFallsThroughToBuddyReplica) {
   TempDir dir;
   obs::ScopedObservability obsScope;
