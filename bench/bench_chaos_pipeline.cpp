@@ -71,7 +71,8 @@ void addMessageNoise(comm::FaultPlan& plan, uint64_t seed, uint64_t count) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cusp::bench::BenchMain benchMain(argc, argv);
   const uint32_t hosts = 8;
   const uint64_t edges = 250'000;
   const auto& g = bench::standIn("kron", edges);

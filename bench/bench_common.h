@@ -69,6 +69,26 @@ inline void recordMemoryMetrics() {
   }
 }
 
+// Standard bench main() prologue: consumes --metrics-out (obs::MetricsCli)
+// and guarantees that EVERY bench's JSON export carries bench.peak_rss_bytes
+// (plus the governor gauges when a budget is attached) — the perf
+// trajectory captures memory alongside time. Destruction order does the
+// sequencing: the destructor body refreshes the gauges first, then the
+// MetricsCli member (destroyed after the body runs) writes the exports.
+class BenchMain {
+ public:
+  BenchMain(int& argc, char** argv) : metrics_(argc, argv) {}
+  ~BenchMain() { recordMemoryMetrics(); }
+
+  BenchMain(const BenchMain&) = delete;
+  BenchMain& operator=(const BenchMain&) = delete;
+
+  bool metricsEnabled() const { return metrics_.enabled(); }
+
+ private:
+  obs::MetricsCli metrics_;
+};
+
 inline const std::vector<std::string>& inputNames() {
   static const std::vector<std::string> names = {"kron", "gsh", "clueweb",
                                                  "uk", "wdc"};

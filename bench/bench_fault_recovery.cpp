@@ -65,7 +65,7 @@ void cleanupCheckpointDir(const std::string& dir, uint32_t hosts) {
 
 int main(int argc, char** argv) {
   using namespace cusp;
-  obs::MetricsCli metricsCli(argc, argv);
+  bench::BenchMain benchMain(argc, argv);
   const uint64_t edges = 250'000;
   const uint32_t hosts = 8;
   const std::string input = "kron";

@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   using namespace cusp;
-  obs::MetricsCli metricsCli(argc, argv);
+  bench::BenchMain benchMain(argc, argv);
   const uint64_t edges = 250'000;
   const std::vector<uint32_t> hostCounts = {4, 8, 16};  // paper: 32/64/128
   bench::printHeader("Fig. 3: partitioning time (seconds)");

@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace cusp;
-  obs::MetricsCli metricsCli(argc, argv);
+  bench::BenchMain benchMain(argc, argv);
   const uint64_t edges = 250'000;
   const uint32_t hosts = 16;  // paper: 128
   const std::vector<std::string> phases = {

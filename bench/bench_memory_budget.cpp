@@ -56,7 +56,7 @@ struct Row {
 
 int main(int argc, char** argv) {
   using namespace cusp;
-  obs::MetricsCli metricsCli(argc, argv);
+  bench::BenchMain benchMain(argc, argv);
   const uint64_t edges = 2'500'000;  // 10x the Fig. 3 inputs
   const uint32_t hosts = 4;
   bench::printHeader("Memory governor: budgeted partitioning at 10x scale");

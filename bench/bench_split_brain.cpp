@@ -47,7 +47,8 @@ void cleanupCheckpointDir(const std::string& dir) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cusp::bench::BenchMain benchMain(argc, argv);
   using namespace cusp;
   const uint64_t edges = 100'000;
   const uint32_t hosts = 8;

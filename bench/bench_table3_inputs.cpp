@@ -9,7 +9,8 @@
 #include "bench_common.h"
 #include "graph/csr_graph.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cusp::bench::BenchMain benchMain(argc, argv);
   using namespace cusp;
   bench::printHeader("Table III: input graphs and their properties");
   std::printf("%-10s %12s %12s %8s %14s %14s\n", "input", "|V|", "|E|",

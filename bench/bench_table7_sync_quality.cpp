@@ -9,7 +9,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cusp::bench::BenchMain benchMain(argc, argv);
   using namespace cusp;
   const uint64_t edges = 150'000;
   const uint32_t hosts = 16;  // paper: 128

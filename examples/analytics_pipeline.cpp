@@ -29,8 +29,20 @@ using namespace cusp;
 
 int main(int argc, char** argv) {
   obs::MetricsCli metricsCli(argc, argv);
-  const uint64_t targetEdges =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 150'000;
+  uint64_t targetEdges = 150'000;
+  bool haveEdges = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 || haveEdges) {
+      std::fprintf(stderr, "analytics_pipeline: error: unknown %s '%s'\n",
+                   arg.rfind("--", 0) == 0 ? "flag" : "argument", arg.c_str());
+      std::fprintf(stderr,
+                   "usage: analytics_pipeline [edges] [--metrics-out FILE]\n");
+      return 2;
+    }
+    targetEdges = std::strtoull(arg.c_str(), nullptr, 10);
+    haveEdges = true;
+  }
   const uint32_t hosts = 4;
 
   const graph::CsrGraph input = graph::makeStandIn("clueweb", targetEdges);

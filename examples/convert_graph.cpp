@@ -34,6 +34,13 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "convert_graph: error: unknown flag '%s'\n",
+                   argv[i]);
+      return usage();
+    }
+  }
   if (argc < 3) {
     return usage();
   }
@@ -81,6 +88,10 @@ int main(int argc, char** argv) {
                   (unsigned long long)stats.maxInDegree,
                   (unsigned long long)stats.numIsolatedNodes);
     } else {
+      std::fprintf(stderr,
+                   "convert_graph: error: unknown mode or wrong argument "
+                   "count for '%s'\n",
+                   mode.c_str());
       return usage();
     }
   } catch (const std::exception& e) {

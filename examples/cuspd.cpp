@@ -1,0 +1,303 @@
+// cuspd — the CuSP partition service daemon, runnable end to end.
+//
+// Registers a handful of stand-in graphs, starts a service::Daemon over a
+// shared Engine, drives a seeded mix of partition + analytics jobs through
+// it, and prints the service-side story: accepted/shed/failed counts,
+// latency percentiles, partition-cache reuse. Chaos flags layer the full
+// fault surface on top — burst arrivals, client disconnects, malformed
+// requests, per-job comm/memory fault plans, and (with
+// --kill-after-events) a mid-run daemon kill followed by a crash-consistent
+// restart on the same journal.
+//
+//   cuspd [--jobs N] [--seed S] [--hosts H] [--workers W]
+//         [--queue-depth Q] [--journal-dir DIR] [--deadline SEC]
+//         [--chaos] [--kill-after-events K]
+//         [--metrics-out FILE] [--memory-budget BYTES]
+//
+// Unknown flags are rejected with a structured error and usage text
+// (exit 2) — the daemon refuses requests it does not understand instead of
+// guessing.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/policies.h"
+#include "graph/generators.h"
+#include "graph/graph_file.h"
+#include "obs/obs.h"
+#include "service/daemon.h"
+#include "support/memory.h"
+
+using namespace cusp;
+
+namespace {
+
+int usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: cuspd [--jobs N] [--seed S] [--hosts H] [--workers W]\n"
+               "             [--queue-depth Q] [--journal-dir DIR]\n"
+               "             [--deadline SEC] [--chaos]\n"
+               "             [--kill-after-events K]\n"
+               "             [--metrics-out FILE] [--memory-budget BYTES]\n");
+  return out == stderr ? 2 : 0;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+// Seeded mix of jobs over the registered graphs: partition runs across the
+// policy catalog plus analytics on the same keys (so the partition cache
+// sees reuse).
+std::vector<service::JobSpec> makeJobMix(uint64_t seed, size_t numJobs,
+                                         const std::vector<std::string>& graphs,
+                                         uint32_t hosts, double deadline,
+                                         bool chaos) {
+  const auto policies = core::policyCatalog();
+  std::mt19937_64 rng(seed);
+  std::vector<service::JobSpec> specs;
+  specs.reserve(numJobs);
+  for (size_t i = 0; i < numJobs; ++i) {
+    service::JobSpec spec;
+    const uint32_t kind = static_cast<uint32_t>(rng() % 5);
+    spec.type = static_cast<service::JobType>(kind);
+    spec.graphId = graphs[rng() % graphs.size()];
+    spec.policy = policies[rng() % policies.size()];
+    spec.numHosts = hosts;
+    spec.sourceGid = rng() % 64;  // stand-ins all have > 64 nodes
+    spec.deadlineSeconds = deadline;
+    if (chaos && rng() % 2 == 0) {
+      // Transient-only comm faults: the job recovers inside its resilience
+      // ladder and still produces the clean partitions.
+      spec.faultPlan = std::make_shared<const comm::FaultPlan>(
+          comm::randomFaultPlan(seed + i, hosts, 3, 1,
+                                /*allowPermanent=*/false));
+      spec.maxRecoveryAttempts = 4;
+    }
+    if (chaos && support::memoryBudgetAttached() && rng() % 4 == 0) {
+      spec.memoryFaultPlan = std::make_shared<const support::MemoryFaultPlan>(
+          support::randomMemoryFaultPlan(seed + 31 * i, hosts, 2));
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+struct MixOutcome {
+  uint64_t succeeded = 0, shed = 0, rejected = 0, failed = 0, cancelled = 0;
+  std::vector<double> latencies;
+  std::set<uint64_t> counted;  // job ids already tallied (kill/restart dedup)
+};
+
+MixOutcome driveMix(service::Daemon& daemon,
+                    const std::vector<service::JobSpec>& specs) {
+  MixOutcome out;
+  std::vector<uint64_t> accepted;
+  for (const auto& spec : specs) {
+    const auto submitted = daemon.submit(spec);
+    if (submitted.accepted) {
+      accepted.push_back(submitted.jobId);
+      continue;
+    }
+    const char* kind = service::jobErrorKindName(submitted.error.kind);
+    std::printf("  refused [%s] %s\n", kind, submitted.error.message.c_str());
+    switch (submitted.error.kind) {
+      case service::JobErrorKind::kShedMemory:
+      case service::JobErrorKind::kShedQueueFull:
+      case service::JobErrorKind::kShedDraining:
+        ++out.shed;
+        break;
+      default:
+        ++out.rejected;
+        break;
+    }
+  }
+  for (uint64_t id : accepted) {
+    const service::JobResult result = daemon.wait(id);
+    switch (result.state) {
+      case service::JobState::kSucceeded:
+        ++out.succeeded;
+        out.latencies.push_back(result.latencySeconds);
+        out.counted.insert(id);
+        break;
+      case service::JobState::kFailed:
+        ++out.failed;
+        out.counted.insert(id);
+        std::printf("  job %llu failed [%s] %s\n",
+                    (unsigned long long)result.jobId,
+                    service::jobErrorKindName(result.error.kind),
+                    result.error.message.c_str());
+        break;
+      case service::JobState::kCancelled:
+        ++out.cancelled;
+        out.counted.insert(id);
+        break;
+      default:
+        break;  // daemon killed mid-run: job abandoned for the restart
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::MetricsCli metricsCli(argc, argv);       // consumes --metrics-out
+  support::MemoryBudgetCli budgetCli(argc, argv);  // consumes --memory-budget
+
+  size_t jobs = 24;
+  uint64_t seed = 42;
+  uint32_t hosts = 4;
+  uint32_t workers = 3;
+  size_t queueDepth = 32;
+  std::string journalDir;
+  double deadline = 0.0;
+  bool chaos = false;
+  uint64_t killAfterEvents = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cuspd: error: flag '%s' needs a value\n",
+                     arg.c_str());
+        std::exit(usage(stderr));
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      return usage(stdout);
+    } else if (arg == "--jobs") {
+      jobs = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--hosts") {
+      hosts = static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--workers") {
+      workers = static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--queue-depth") {
+      queueDepth = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--journal-dir") {
+      journalDir = value();
+    } else if (arg == "--deadline") {
+      deadline = std::strtod(value(), nullptr);
+    } else if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg == "--kill-after-events") {
+      killAfterEvents = std::strtoull(value(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "cuspd: error: unknown flag '%s'\n", arg.c_str());
+      return usage(stderr);
+    }
+  }
+  if (killAfterEvents > 0 && journalDir.empty()) {
+    std::fprintf(stderr,
+                 "cuspd: error: --kill-after-events needs --journal-dir "
+                 "(crash recovery requires a journal)\n");
+    return usage(stderr);
+  }
+
+  // Shared engine: a few weighted stand-ins (weights make sssp runnable).
+  service::EngineOptions engineOptions;
+  engineOptions.hostPoolSize = std::max(16u, hosts * workers);
+  engineOptions.workDir = journalDir.empty() ? "" : journalDir + "/scratch";
+  auto engine = std::make_shared<service::Engine>(engineOptions);
+  for (const char* name : {"kron", "uk", "gsh"}) {
+    const graph::CsrGraph g = graph::withRandomWeights(
+        graph::makeStandIn(name, 20'000), 64, 7);
+    engine->registerGraph(name, graph::GraphFile::fromCsr(g));
+  }
+
+  service::DaemonOptions daemonOptions;
+  daemonOptions.workers = workers;
+  daemonOptions.maxQueueDepth = queueDepth;
+  daemonOptions.journalDir = journalDir;
+  if (chaos) {
+    daemonOptions.faultPlan = service::randomServiceFaultPlan(
+        seed, static_cast<uint32_t>(jobs));
+  }
+  if (killAfterEvents > 0) {
+    daemonOptions.faultPlan.killPoints.push_back(
+        service::DaemonKillPoint{killAfterEvents});
+  }
+
+  const auto specs =
+      makeJobMix(seed, jobs, engine->graphIds(), hosts, deadline, chaos);
+
+  std::printf("cuspd: %zu jobs, seed %llu, %u workers, queue %zu%s%s\n",
+              jobs, (unsigned long long)seed, workers, queueDepth,
+              chaos ? ", chaos" : "",
+              journalDir.empty() ? "" : (", journal " + journalDir).c_str());
+
+  MixOutcome mix;
+  bool wasKilled = false;
+  {
+    service::Daemon daemon(engine, daemonOptions);
+    mix = driveMix(daemon, specs);
+    wasKilled = daemon.killed();
+    if (wasKilled) {
+      std::printf("cuspd: daemon killed mid-run (after %llu journal events)\n",
+                  (unsigned long long)killAfterEvents);
+    }
+  }
+
+  if (wasKilled) {
+    // Crash-consistent restart: the new daemon replays the journal, reports
+    // terminal jobs as-is, and requeues + finishes everything else.
+    service::DaemonOptions restartOptions = daemonOptions;
+    restartOptions.faultPlan = {};  // the restarted daemon runs clean
+    service::Daemon restarted(engine, restartOptions);
+    const auto recovered = restarted.recoveredJobIds();
+    std::printf("cuspd: restarted on journal, %zu jobs recovered "
+                "(%llu requeued, %llu already terminal)\n",
+                recovered.size(),
+                (unsigned long long)restarted.stats().recoveredRequeued,
+                (unsigned long long)restarted.stats().recoveredTerminal);
+    for (uint64_t id : recovered) {
+      if (mix.counted.count(id)) {
+        continue;  // already tallied before the crash
+      }
+      const service::JobResult result = restarted.wait(id);
+      switch (result.state) {
+        case service::JobState::kSucceeded:
+          ++mix.succeeded;
+          mix.latencies.push_back(result.latencySeconds);
+          break;
+        case service::JobState::kFailed:
+          ++mix.failed;
+          break;
+        case service::JobState::kCancelled:
+          ++mix.cancelled;
+          break;
+        default:
+          break;
+      }
+    }
+    restarted.drain();
+  }
+
+  std::sort(mix.latencies.begin(), mix.latencies.end());
+  std::printf("\nsucceeded %llu, shed %llu, rejected %llu, failed %llu, "
+              "cancelled %llu\n",
+              (unsigned long long)mix.succeeded, (unsigned long long)mix.shed,
+              (unsigned long long)mix.rejected, (unsigned long long)mix.failed,
+              (unsigned long long)mix.cancelled);
+  std::printf("latency p50 %.3fs  p95 %.3fs  max %.3fs\n",
+              percentile(mix.latencies, 0.50), percentile(mix.latencies, 0.95),
+              mix.latencies.empty() ? 0.0 : mix.latencies.back());
+  std::printf("partition cache: %llu hits, %llu misses\n",
+              (unsigned long long)engine->cacheHits(),
+              (unsigned long long)engine->cacheMisses());
+  return 0;
+}

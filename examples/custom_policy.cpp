@@ -80,7 +80,14 @@ core::PartitionPolicy makeDegreeRangePolicy() {
   return policy;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  // custom_policy takes no arguments; refuse anything it does not
+  // understand instead of silently ignoring it.
+  if (argc > 1) {
+    std::fprintf(stderr, "custom_policy: error: unknown flag '%s'\n", argv[1]);
+    std::fprintf(stderr, "usage: custom_policy\n");
+    return 2;
+  }
   graph::WebCrawlParams genParams;
   genParams.numNodes = 10'000;
   genParams.avgOutDegree = 10.0;

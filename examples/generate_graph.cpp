@@ -61,6 +61,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--symmetric") {
       symmetric = true;
     } else {
+      std::fprintf(stderr, "generate_graph: error: unknown flag '%s'\n",
+                   arg.c_str());
       return usage();
     }
   }

@@ -186,6 +186,8 @@ int main(int argc, char** argv) {
         config.resilience.recvTimeoutSeconds = 10.0;
       }
     } else {
+      std::fprintf(stderr, "partition_tool: error: unknown flag '%s'\n",
+                   arg.c_str());
       return usage();
     }
   }

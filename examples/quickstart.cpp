@@ -15,7 +15,14 @@
 #include "graph/generators.h"
 #include "graph/graph_file.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // quickstart takes no arguments; refuse anything it does not understand
+  // instead of silently ignoring it.
+  if (argc > 1) {
+    std::fprintf(stderr, "quickstart: error: unknown flag '%s'\n", argv[1]);
+    std::fprintf(stderr, "usage: quickstart\n");
+    return 2;
+  }
   using namespace cusp;
 
   // 1. An input graph. Real deployments load a .cgr file from disk with

@@ -298,6 +298,12 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
   std::vector<DistGraph> degradedParts;
 
   for (;;) {
+    // A cancelled/expired job must not start another attempt; publish what
+    // happened so far, then unwind with JobCancelled (not a fault kind).
+    if (options.cancel && options.cancel->expired()) {
+      publish();
+      options.cancel->check("analytics attempt");
+    }
     ++report.attempts;
     comm::Network net(k, options.costModel);
     if (injector) {
@@ -404,6 +410,9 @@ std::vector<T> runResilientImpl(std::span<const DistGraph> partitions,
         }
         uint32_t s = resumePhase;  // next superstep index (0-based)
         for (;;) {
+          if (options.cancel) {
+            options.cancel->check("superstep " + std::to_string(s));
+          }
           obs::ScopedSpan stepSpan(obsSink.trace.get(), me,
                                    "superstep " + std::to_string(s));
           if (superstepsCtr != nullptr) {

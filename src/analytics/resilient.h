@@ -52,6 +52,7 @@
 #include "comm/fault.h"
 #include "comm/network.h"
 #include "core/dist_graph.h"
+#include "support/cancel.h"
 
 namespace cusp::analytics {
 
@@ -86,6 +87,13 @@ struct ResilienceOptions {
   comm::StragglerPolicy straggler;
 
   comm::NetworkCostModel costModel;
+
+  // Cooperative cancellation (support/cancel.h), mirroring
+  // core::ResilienceConfig: checked before every attempt and at each
+  // superstep boundary. An expired token unwinds with
+  // support::JobCancelled, which is not a fault kind and is therefore
+  // rethrown immediately (no recovery attempts spent). Null never cancels.
+  std::shared_ptr<support::CancelToken> cancel;
 };
 
 // What happened across all attempts of one resilient run.

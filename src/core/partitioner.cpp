@@ -159,6 +159,9 @@ class PartitionJob {
   // phase p+1, every host holds a phase-p checkpoint.
   template <typename Fn>
   void runPhase(uint32_t phase, const char* name, Fn&& body) {
+    if (const auto& cancel = config_.resilience.cancel) {
+      cancel->check("partition phase " + std::to_string(phase));
+    }
     net_.enterPhase(me_, phase);
     net_.faultPoint(me_);
     timedPhase(name, std::forward<Fn>(body));
@@ -1725,6 +1728,12 @@ PartitionResult partitionGraphResilient(const graph::GraphFile& file,
         report->resumedFromPhase = resume;
       }
       try {
+        // A cancelled/expired job must not start another full pipeline run;
+        // JobCancelled is not a fault, so the catch below rethrows it.
+        if (const auto& cancel = config.resilience.cancel) {
+          cancel->check("partition driver attempt " +
+                        std::to_string(totalAttempts + 1));
+        }
         ++totalAttempts;
         obs::ScopedSpan attemptSpan(
             obsSink.trace.get(), obs::kDriverLane,

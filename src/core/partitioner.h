@@ -29,6 +29,7 @@
 #include "core/dist_graph.h"
 #include "core/policies.h"
 #include "graph/graph_file.h"
+#include "support/cancel.h"
 #include "support/memory.h"
 #include "support/timer.h"
 
@@ -106,6 +107,14 @@ struct ResilienceConfig {
   // swept regardless of age. Exposed so operators (and tests) can tighten
   // the forensic-retention window (--checkpoint-gc-age).
   double checkpointGcAgeSeconds = 24.0 * 3600.0;
+
+  // Cooperative cancellation (support/cancel.h): when set, every host
+  // checks the token at phase boundaries and the resilient driver checks
+  // it before starting another attempt. An expired token unwinds the run
+  // with support::JobCancelled, which classifyFault does NOT treat as a
+  // fault — so it propagates to the caller immediately instead of burning
+  // recovery attempts. Null (the default) never cancels.
+  std::shared_ptr<support::CancelToken> cancel;
 
   // Checkpoint-store health latch (see CheckpointHealth above). Allocated
   // per config; copies alias it, so the driver's retries and every host of

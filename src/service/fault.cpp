@@ -1,0 +1,126 @@
+#include "service/fault.h"
+
+#include <random>
+
+namespace cusp::service {
+
+JobSpec malformSpec(const JobSpec& spec, MalformKind kind) {
+  JobSpec out = spec;
+  switch (kind) {
+    case MalformKind::kUnknownGraph:
+      out.graphId = "__no_such_graph__";
+      break;
+    case MalformKind::kUnknownPolicy:
+      out.policy = "__no_such_policy__";
+      break;
+    case MalformKind::kZeroHosts:
+      out.numHosts = 0;
+      break;
+    case MalformKind::kBadType:
+      out.type = static_cast<JobType>(0xDEADu);
+      break;
+  }
+  return out;
+}
+
+ServiceFaultInjector::ServiceFaultInjector(ServiceFaultPlan plan)
+    : plan_(std::move(plan)), killFired_(plan_.killPoints.size(), false) {}
+
+uint32_t ServiceFaultInjector::burstCopies(uint64_t submitIndex) const {
+  uint32_t copies = 0;
+  for (const auto& b : plan_.bursts) {
+    if (b.submitIndex == submitIndex) {
+      copies += b.extraCopies;
+    }
+  }
+  return copies;
+}
+
+bool ServiceFaultInjector::disconnects(uint64_t submitIndex) const {
+  for (const auto& d : plan_.disconnects) {
+    if (d.submitIndex == submitIndex) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<MalformKind> ServiceFaultInjector::malformKind(
+    uint64_t submitIndex) const {
+  for (const auto& m : plan_.malformed) {
+    if (m.submitIndex == submitIndex) {
+      return m.kind;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ServiceFaultInjector::shouldKillAfterRecord(uint64_t recordCount) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < plan_.killPoints.size(); ++i) {
+    if (!killFired_[i] &&
+        recordCount >= plan_.killPoints[i].afterJournalRecords) {
+      killFired_[i] = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+ServiceFaultPlan randomServiceFaultPlan(uint64_t seed, uint64_t numJobs,
+                                        uint32_t maxBursts,
+                                        uint32_t maxDisconnects,
+                                        uint32_t maxMalformed,
+                                        uint32_t maxKillPoints) {
+  ServiceFaultPlan plan;
+  if (numJobs == 0) {
+    return plan;
+  }
+  // One dedicated engine per family, split from the seed, so changing one
+  // family's max never perturbs the draws of the others (same discipline
+  // as comm::randomFaultPlan's historical-seed preservation).
+  std::mt19937_64 seeder(seed);
+  std::mt19937_64 burstRng(seeder());
+  std::mt19937_64 disconnectRng(seeder());
+  std::mt19937_64 malformRng(seeder());
+  std::mt19937_64 killRng(seeder());
+  std::uniform_int_distribution<uint64_t> pickJob(0, numJobs - 1);
+
+  if (maxBursts > 0) {
+    std::uniform_int_distribution<uint32_t> count(1, maxBursts);
+    std::uniform_int_distribution<uint32_t> copies(2, 8);
+    const uint32_t n = count(burstRng);
+    for (uint32_t i = 0; i < n; ++i) {
+      plan.bursts.push_back({pickJob(burstRng), copies(burstRng)});
+    }
+  }
+  if (maxDisconnects > 0) {
+    std::uniform_int_distribution<uint32_t> count(1, maxDisconnects);
+    const uint32_t n = count(disconnectRng);
+    for (uint32_t i = 0; i < n; ++i) {
+      plan.disconnects.push_back({pickJob(disconnectRng)});
+    }
+  }
+  if (maxMalformed > 0) {
+    std::uniform_int_distribution<uint32_t> count(1, maxMalformed);
+    std::uniform_int_distribution<uint32_t> kind(0, 3);
+    const uint32_t n = count(malformRng);
+    for (uint32_t i = 0; i < n; ++i) {
+      plan.malformed.push_back(
+          {pickJob(malformRng), static_cast<MalformKind>(kind(malformRng))});
+    }
+  }
+  if (maxKillPoints > 0) {
+    std::uniform_int_distribution<uint32_t> count(1, maxKillPoints);
+    // A journaled workload of J jobs writes roughly 2-3 records per job
+    // (submit, start, terminal); aim the kill inside the busy middle.
+    std::uniform_int_distribution<uint64_t> record(2, 2 * numJobs + 1);
+    const uint32_t n = count(killRng);
+    for (uint32_t i = 0; i < n; ++i) {
+      plan.killPoints.push_back({record(killRng)});
+    }
+  }
+  return plan;
+}
+
+}  // namespace cusp::service

@@ -1,0 +1,103 @@
+// Deterministic fault injection for the service layer, mirroring the
+// comm/storage/memory fault-plan idiom: an explicit, seedable plan of
+// scheduled events plus a thread-safe injector the daemon consults at its
+// seams. The four event families are the ways a fleet of clients (and the
+// operator's kill -9) hurt a real daemon:
+//
+//  * Burst arrivals     — one submit fans out into N extra copies of the
+//                         same request, flooding the bounded queue so
+//                         admission control has to shed.
+//  * Client disconnects — the submitting client goes away immediately; the
+//                         daemon must not wedge a worker computing a result
+//                         nobody will collect.
+//  * Malformed requests — the request is mangled before validation (unknown
+//                         graph/policy, zero hosts, bad job type) and must
+//                         bounce with a structured error, never a crash.
+//  * Daemon kill points — after the Nth journal record the daemon "loses
+//                         power": no more journaling, workers abandon jobs
+//                         at the next cancellation point, and recovery is
+//                         exercised by restarting on the same journal.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "service/job.h"
+
+namespace cusp::service {
+
+struct BurstArrival {
+  uint64_t submitIndex = 0;  // 0-based index of the triggering submit
+  uint32_t extraCopies = 0;  // additional copies enqueued by the daemon
+};
+
+struct ClientDisconnect {
+  uint64_t submitIndex = 0;  // this submit's client never collects/waits
+};
+
+// How a request is mangled before validation.
+enum class MalformKind : uint32_t {
+  kUnknownGraph = 0,
+  kUnknownPolicy = 1,
+  kZeroHosts = 2,
+  kBadType = 3,
+};
+
+struct MalformedRequest {
+  uint64_t submitIndex = 0;
+  MalformKind kind = MalformKind::kUnknownGraph;
+};
+
+struct DaemonKillPoint {
+  uint64_t afterJournalRecords = 0;  // fire once this many records persist
+};
+
+struct ServiceFaultPlan {
+  std::vector<BurstArrival> bursts;
+  std::vector<ClientDisconnect> disconnects;
+  std::vector<MalformedRequest> malformed;
+  std::vector<DaemonKillPoint> killPoints;
+
+  bool empty() const {
+    return bursts.empty() && disconnects.empty() && malformed.empty() &&
+           killPoints.empty();
+  }
+};
+
+// Applies `kind`'s mangling to a copy of `spec`.
+JobSpec malformSpec(const JobSpec& spec, MalformKind kind);
+
+// Thread-safe consumer of a plan. All lookups are pure functions of the
+// submit index except the kill points, which fire exactly once each.
+class ServiceFaultInjector {
+ public:
+  explicit ServiceFaultInjector(ServiceFaultPlan plan);
+
+  uint32_t burstCopies(uint64_t submitIndex) const;
+  bool disconnects(uint64_t submitIndex) const;
+  std::optional<MalformKind> malformKind(uint64_t submitIndex) const;
+
+  // Called by the daemon after every journal append with the cumulative
+  // record count; returns true exactly once per crossed kill point.
+  bool shouldKillAfterRecord(uint64_t recordCount);
+
+  const ServiceFaultPlan& plan() const { return plan_; }
+
+ private:
+  ServiceFaultPlan plan_;
+  std::mutex mutex_;
+  std::vector<bool> killFired_;
+};
+
+// Seeded random plan over a workload of `numJobs` submits, in the style of
+// comm::randomFaultPlan: the same seed always yields the same plan, and
+// raising a max leaves the draws of the other families unchanged.
+ServiceFaultPlan randomServiceFaultPlan(uint64_t seed, uint64_t numJobs,
+                                        uint32_t maxBursts = 2,
+                                        uint32_t maxDisconnects = 4,
+                                        uint32_t maxMalformed = 3,
+                                        uint32_t maxKillPoints = 0);
+
+}  // namespace cusp::service

@@ -1,0 +1,139 @@
+#include "service/journal.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "support/crc32.h"
+#include "support/serialize.h"
+#include "support/storage.h"
+
+namespace cusp::service {
+
+namespace {
+
+// Record magic "JNL1" in the style of the CGR1/CDG1/CRC1 file magics.
+constexpr uint64_t kJournalMagic = 0x00000000314C4E4AULL;
+
+// mkdir -p, matching the checkpoint store's idiom (journal dirs can be
+// nested under a run's scratch root).
+void ensureDirectory(const std::string& dir) {
+  for (size_t pos = 1; pos <= dir.size(); ++pos) {
+    if (pos == dir.size() || dir[pos] == '/') {
+      ::mkdir(dir.substr(0, pos).c_str(), 0777);  // fine if it exists
+    }
+  }
+}
+
+void serializeRecord(support::SendBuffer& buf, const JournalRecord& r) {
+  support::serializeAll(
+      buf, kJournalMagic, r.jobId, r.seq, static_cast<uint32_t>(r.event),
+      static_cast<uint32_t>(r.spec.type), r.spec.graphId, r.spec.policy,
+      r.spec.numHosts, r.spec.sourceGid, r.spec.deadlineSeconds,
+      r.spec.maxRetries, r.spec.recvTimeoutSeconds,
+      r.spec.maxRecoveryAttempts, static_cast<uint32_t>(r.errorKind),
+      r.errorMessage, r.runs);
+}
+
+bool deserializeRecord(std::vector<uint8_t> bytes, JournalRecord* out) {
+  if (support::verifyAndStripCrcFooter(bytes) !=
+      support::CrcFooterStatus::kVerified) {
+    return false;  // torn, bit-rotted, or legacy-garbage record
+  }
+  try {
+    support::RecvBuffer buf(std::move(bytes));
+    uint64_t magic = 0;
+    uint32_t event = 0, type = 0, errorKind = 0;
+    support::deserializeAll(
+        buf, magic, out->jobId, out->seq, event, type, out->spec.graphId,
+        out->spec.policy, out->spec.numHosts, out->spec.sourceGid,
+        out->spec.deadlineSeconds, out->spec.maxRetries,
+        out->spec.recvTimeoutSeconds, out->spec.maxRecoveryAttempts,
+        errorKind, out->errorMessage, out->runs);
+    if (magic != kJournalMagic) {
+      return false;
+    }
+    out->event = static_cast<JournalEvent>(event);
+    out->spec.type = static_cast<JobType>(type);
+    out->errorKind = static_cast<JobErrorKind>(errorKind);
+    return true;
+  } catch (const std::exception&) {
+    return false;  // truncated payload under a valid CRC cannot happen, but
+                   // a foreign file with a valid footer could
+  }
+}
+
+std::string recordPath(const std::string& dir, uint64_t jobId, uint32_t seq) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "j%llu.s%u.rec",
+                static_cast<unsigned long long>(jobId), seq);
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+Journal::Journal(std::string dir) : dir_(std::move(dir)) {
+  ensureDirectory(dir_);
+  // Recovery scan: newest VALID record per job wins; invalid records are
+  // skipped (never deleted — they are forensic evidence, and a job whose
+  // every record is invalid is dropped as never-acknowledged).
+  std::map<uint64_t, JournalRecord> newest;
+  DIR* d = ::opendir(dir_.c_str());
+  if (d != nullptr) {
+    while (dirent* entry = ::readdir(d)) {
+      unsigned long long jobId = 0;
+      unsigned seq = 0;
+      char trailing = 0;
+      if (std::sscanf(entry->d_name, "j%llu.s%u.re%c", &jobId, &seq,
+                      &trailing) != 3 ||
+          trailing != 'c') {
+        continue;
+      }
+      std::vector<uint8_t> bytes;
+      try {
+        auto read = support::readFileBytes(recordPath(dir_, jobId, seq));
+        if (!read) {
+          continue;
+        }
+        bytes = std::move(*read);
+      } catch (const support::StorageError&) {
+        continue;  // injected/real read fault: record treated as lost
+      }
+      JournalRecord rec;
+      if (!deserializeRecord(std::move(bytes), &rec) || rec.jobId != jobId) {
+        continue;
+      }
+      rec.seq = static_cast<uint32_t>(seq);
+      auto& slot = nextSeq_[jobId];
+      slot = std::max(slot, rec.seq + 1);
+      auto it = newest.find(jobId);
+      if (it == newest.end() || rec.seq > it->second.seq) {
+        newest[jobId] = std::move(rec);
+      }
+    }
+    ::closedir(d);
+  }
+  recovered_.reserve(newest.size());
+  for (auto& [id, rec] : newest) {
+    recovered_.push_back(std::move(rec));
+  }
+}
+
+uint64_t Journal::append(JournalRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.seq = nextSeq_[record.jobId]++;
+  support::SendBuffer buf;
+  serializeRecord(buf, record);
+  std::vector<uint8_t> bytes = buf.release();
+  support::appendCrcFooter(bytes);
+  // May throw StorageError; seq stays consumed so a retry by the caller
+  // cannot overwrite a possibly-partially-visible record.
+  support::atomicWriteFile(recordPath(dir_, record.jobId, record.seq),
+                           bytes.data(), bytes.size());
+  return ++appended_;
+}
+
+}  // namespace cusp::service

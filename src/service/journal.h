@@ -1,0 +1,99 @@
+// Crash-consistent job journal: a per-job write-ahead log of sequence-
+// numbered record files under one directory,
+//
+//   <dir>/j<jobId>.s<seq>.rec
+//
+// Each record is the full current state of its job (spec, event, terminal
+// error, run count), serialized with support/serialize.h, CRC32-footered,
+// and committed with support::atomicWriteFile — so a record either exists
+// whole and checksummed or not at all, regardless of where a crash (or an
+// injected storage fault) lands. Recovery reads every record, drops
+// corrupt/torn ones, and keeps the highest valid sequence number per job:
+//
+//   * newest record is terminal (succeeded/failed/shed/cancelled) — the job
+//     is done; a restarted daemon reports it and never re-executes it.
+//   * newest record is submitted/started/retried — the job was accepted but
+//     not finished; the daemon requeues it. A partition job restarted this
+//     way reuses its per-job checkpoint directory, so the resilient driver
+//     resumes from the last phase every host checkpointed rather than from
+//     scratch.
+//   * a job whose every record is invalid never had a submit acknowledged
+//     durably; it is dropped (the client was never promised anything).
+//
+// Journal appends go through the process-wide storage-fault seam like every
+// other durable write in this codebase, so chaos tests exercise torn and
+// failed journal records for free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/job.h"
+
+namespace cusp::service {
+
+enum class JournalEvent : uint32_t {
+  kSubmitted = 0,
+  kStarted = 1,
+  kRetried = 2,
+  kSucceeded = 3,
+  kFailed = 4,
+  kCancelled = 5,
+};
+
+inline const char* journalEventName(JournalEvent e) {
+  switch (e) {
+    case JournalEvent::kSubmitted: return "submitted";
+    case JournalEvent::kStarted: return "started";
+    case JournalEvent::kRetried: return "retried";
+    case JournalEvent::kSucceeded: return "succeeded";
+    case JournalEvent::kFailed: return "failed";
+    case JournalEvent::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+inline bool isTerminal(JournalEvent e) {
+  return e == JournalEvent::kSucceeded || e == JournalEvent::kFailed ||
+         e == JournalEvent::kCancelled;
+}
+
+struct JournalRecord {
+  uint64_t jobId = 0;
+  uint32_t seq = 0;  // assigned by append()
+  JournalEvent event = JournalEvent::kSubmitted;
+  JobSpec spec;  // plain fields only; fault-plan pointers are not persisted
+  JobErrorKind errorKind = JobErrorKind::kNone;
+  std::string errorMessage;
+  uint32_t runs = 0;
+};
+
+class Journal {
+ public:
+  // Opens (creating the directory if needed) and recovers: after
+  // construction recovered() holds the newest valid record of every job the
+  // journal knows, and append() continues each job's sequence numbering
+  // where the previous process left off.
+  explicit Journal(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  const std::vector<JournalRecord>& recovered() const { return recovered_; }
+
+  // Durably appends `record` (seq assigned internally) and returns the
+  // total records appended by THIS instance — the daemon's kill points
+  // count against it. Throws support::StorageError when the write fails
+  // (injected or real); the caller decides whether that loses an ack.
+  uint64_t append(JournalRecord record);
+
+ private:
+  std::string dir_;
+  std::mutex mutex_;
+  std::map<uint64_t, uint32_t> nextSeq_;
+  std::vector<JournalRecord> recovered_;
+  uint64_t appended_ = 0;
+};
+
+}  // namespace cusp::service

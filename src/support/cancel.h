@@ -1,0 +1,91 @@
+// Cooperative job cancellation for the service layer.
+//
+// A CancelToken is shared between a controller (the cuspd daemon, a test)
+// and the pipeline running the job. The controller requests cancellation or
+// arms a wall-clock deadline; the pipeline calls check() at its natural
+// consistency points — partitioner phase boundaries and analytics superstep
+// boundaries — and unwinds with JobCancelled. The token is deliberately NOT
+// a fault: core::classifyFault does not recognize JobCancelled, so the
+// resilient drivers rethrow it immediately instead of burning recovery
+// attempts re-running a job nobody wants anymore.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace cusp::support {
+
+// Thrown from CancelToken::check() at a cancellation point. `byDeadline`
+// distinguishes an operator cancel from an expired per-job deadline (the
+// service maps them to different structured job errors).
+class JobCancelled : public std::runtime_error {
+ public:
+  JobCancelled(const std::string& context, bool byDeadline)
+      : std::runtime_error((byDeadline ? "job deadline exceeded at "
+                                       : "job cancelled at ") +
+                           context),
+        byDeadline_(byDeadline) {}
+
+  bool byDeadline() const { return byDeadline_; }
+
+ private:
+  bool byDeadline_;
+};
+
+// Thread-safe; a check is two relaxed loads plus one steady_clock read when
+// a deadline is armed, cheap enough for per-superstep use from every host
+// thread of a run.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Request cancellation: the next check() on any thread throws.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // Arm (or rearm) a deadline `seconds` from now; check() throws once it
+  // has passed. <= 0 fires on the next check.
+  void armDeadline(double seconds) {
+    const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         Clock::now().time_since_epoch())
+                         .count();
+    deadlineNanos_.store(
+        now + static_cast<int64_t>(seconds * 1e9), std::memory_order_relaxed);
+  }
+
+  bool cancelRequested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool deadlineExceeded() const {
+    const int64_t d = deadlineNanos_.load(std::memory_order_relaxed);
+    if (d == 0) {
+      return false;
+    }
+    const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         Clock::now().time_since_epoch())
+                         .count();
+    return now >= d;
+  }
+
+  bool expired() const { return cancelRequested() || deadlineExceeded(); }
+
+  // Cooperative cancellation point: throws JobCancelled naming `context`
+  // when cancellation was requested or the armed deadline has passed.
+  void check(const std::string& context) const {
+    if (cancelRequested()) {
+      throw JobCancelled(context, /*byDeadline=*/false);
+    }
+    if (deadlineExceeded()) {
+      throw JobCancelled(context, /*byDeadline=*/true);
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadlineNanos_{0};  // steady-clock ns; 0 = unarmed
+};
+
+}  // namespace cusp::support

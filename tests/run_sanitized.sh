@@ -6,7 +6,8 @@
 # sanitizers are part of the pre-merge checklist.
 #
 # Usage: tests/run_sanitized.sh [asan-ubsan|tsan|ubsan|tsan-degraded|
-# tsan-chaos|tsan-obs|tsan-storage|tsan-splitbrain|asan-memory]
+# tsan-chaos|tsan-obs|tsan-storage|tsan-splitbrain|asan-memory|
+# tsan-service]
 # (default: both full suites).
 # `tsan-degraded` builds
 # the TSan preset but runs only the tests labeled `degraded` (eviction,
@@ -29,8 +30,12 @@
 # `memory` label under ASan+UBSan: the memory governor moves the pipeline's
 # buffers through charge/release pairs, spill files and takeVector()
 # handoffs, so leaks and use-after-release there are exactly what ASan
-# catches. `ubsan` is a standalone UBSan build for when an ASan report
-# needs to be separated from a UB report.
+# catches. `tsan-service` runs the `service` label under TSan: the daemon's
+# worker pool, the engine's shared partition cache and host-pool semaphore,
+# the journal, and the concurrent attach/detach hammering of the process-
+# wide seams (test_seams) are the service layer's concurrency surface, so
+# it gets its own lane. `ubsan` is a standalone UBSan build for when an
+# ASan report needs to be separated from a UB report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,6 +67,9 @@ for preset in "${presets[@]}"; do
   elif [ "$preset" = "asan-memory" ]; then
     build_preset="asan-ubsan"
     label_args=(-L memory)
+  elif [ "$preset" = "tsan-service" ]; then
+    build_preset="tsan"
+    label_args=(-L service)
   fi
   echo "==== [$preset] configure ===="
   cmake --preset "$build_preset"

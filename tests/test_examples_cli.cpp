@@ -1,0 +1,111 @@
+// Driver test for the examples' CLI contract: every example rejects an
+// unknown flag with a structured one-line error naming the flag, prints its
+// usage text, and exits 2 — no silent ignoring, no crash, no accidental
+// run. CUSP_EXAMPLES_DIR points at the build directory holding the example
+// binaries (wired in tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+  int exitCode = -1;
+  std::string output;  // stdout + stderr combined
+};
+
+RunResult runExample(const std::string& binary, const std::string& args) {
+  const std::string cmd =
+      std::string(CUSP_EXAMPLES_DIR) + "/" + binary + " " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  std::array<char, 4096> chunk;
+  while (size_t n = std::fread(chunk.data(), 1, chunk.size(), pipe)) {
+    result.output.append(chunk.data(), n);
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) {
+    result.exitCode = WEXITSTATUS(status);
+  }
+  return result;
+}
+
+void expectUnknownFlagRejection(const std::string& binary,
+                                const std::string& args,
+                                const std::string& flag) {
+  const RunResult result = runExample(binary, args);
+  EXPECT_EQ(result.exitCode, 2) << binary << " " << args << "\n"
+                                << result.output;
+  EXPECT_NE(result.output.find("error"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find(flag), std::string::npos)
+      << binary << " did not name the offending flag:\n"
+      << result.output;
+  EXPECT_NE(result.output.find("usage"), std::string::npos) << result.output;
+}
+
+TEST(ExamplesCliTest, CuspdRejectsUnknownFlag) {
+  expectUnknownFlagRejection("cuspd", "--bogus-flag", "--bogus-flag");
+}
+
+TEST(ExamplesCliTest, CuspdMissingFlagValueIsStructured) {
+  const RunResult result = runExample("cuspd", "--jobs");
+  EXPECT_EQ(result.exitCode, 2) << result.output;
+  EXPECT_NE(result.output.find("needs a value"), std::string::npos)
+      << result.output;
+}
+
+TEST(ExamplesCliTest, CuspdKillWithoutJournalIsStructured) {
+  const RunResult result = runExample("cuspd", "--kill-after-events 5");
+  EXPECT_EQ(result.exitCode, 2) << result.output;
+  EXPECT_NE(result.output.find("--journal-dir"), std::string::npos)
+      << result.output;
+}
+
+TEST(ExamplesCliTest, CuspdHelpExitsZero) {
+  const RunResult result = runExample("cuspd", "--help");
+  EXPECT_EQ(result.exitCode, 0) << result.output;
+  EXPECT_NE(result.output.find("usage"), std::string::npos) << result.output;
+}
+
+TEST(ExamplesCliTest, PartitionToolRejectsUnknownFlag) {
+  // The flag scan runs before any file I/O, so the input path need not
+  // exist for the rejection path.
+  expectUnknownFlagRejection("partition_tool", "in.cgr EEC 4 --frobnicate",
+                             "--frobnicate");
+}
+
+TEST(ExamplesCliTest, AnalyticsPipelineRejectsUnknownFlag) {
+  expectUnknownFlagRejection("analytics_pipeline", "--bogus", "--bogus");
+}
+
+TEST(ExamplesCliTest, AnalyticsPipelineRejectsExtraPositional) {
+  const RunResult result = runExample("analytics_pipeline", "50000 60000");
+  EXPECT_EQ(result.exitCode, 2) << result.output;
+  EXPECT_NE(result.output.find("60000"), std::string::npos) << result.output;
+}
+
+TEST(ExamplesCliTest, ConvertGraphRejectsUnknownFlag) {
+  expectUnknownFlagRejection("convert_graph", "--fast", "--fast");
+}
+
+TEST(ExamplesCliTest, GenerateGraphRejectsUnknownFlag) {
+  expectUnknownFlagRejection(
+      "generate_graph", "standin kron 100 /tmp/unused.cgr --turbo", "--turbo");
+}
+
+TEST(ExamplesCliTest, QuickstartRejectsAnyArgument) {
+  expectUnknownFlagRejection("quickstart", "--verbose", "--verbose");
+}
+
+TEST(ExamplesCliTest, CustomPolicyRejectsAnyArgument) {
+  expectUnknownFlagRejection("custom_policy", "--verbose", "--verbose");
+}
+
+}  // namespace
