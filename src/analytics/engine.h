@@ -84,11 +84,12 @@ class SyncContext {
         if (h == me_ || !net_.isAlive(h) || part_.myMirrorsByOwner[h].empty()) {
           continue;
         }
-        support::SendBuffer buf;
-        packDirty(part_.myMirrorsByOwner[h], values, dirty, buf,
+        auto writer = net_.packedWriter(me_, h, comm::kTagAppReduce);
+        packDirty(part_.myMirrorsByOwner[h], values, dirty, writer,
                   /*clearDirty=*/true);
-        net_.sendReliable(me_, h, comm::kTagAppReduce, std::move(buf));
+        writer.commit();
       }
+      net_.flushAggregated(me_);  // blocking on peer contributions next
       // Receive contributions for my masters from each host holding
       // mirrors.
       for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
@@ -123,11 +124,12 @@ class SyncContext {
         if (h == me_ || !net_.isAlive(h) || part_.mirrorsOnHost[h].empty()) {
           continue;
         }
-        support::SendBuffer buf;
-        packDirty(part_.mirrorsOnHost[h], values, dirty, buf,
+        auto writer = net_.packedWriter(me_, h, comm::kTagAppBroadcast);
+        packDirty(part_.mirrorsOnHost[h], values, dirty, writer,
                   /*clearDirty=*/false);
-        net_.sendReliable(me_, h, comm::kTagAppBroadcast, std::move(buf));
+        writer.commit();
       }
+      net_.flushAggregated(me_);  // blocking on peer broadcasts next
       for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
         if (h == me_ || !net_.isAlive(h) || part_.myMirrorsByOwner[h].empty()) {
           continue;
@@ -162,10 +164,11 @@ class SyncContext {
         for (uint64_t lid : part_.myMirrorsByOwner[h]) {
           payload.push_back(lists[lid]);
         }
-        support::SendBuffer buf;
-        support::serialize(buf, payload);
-        net_.sendReliable(me_, h, comm::kTagAppReduce, std::move(buf));
+        auto writer = net_.packedWriter(me_, h, comm::kTagAppReduce);
+        support::serialize(writer, payload);
+        writer.commit();
       }
+      net_.flushAggregated(me_);  // blocking on peer lists next
       for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
         if (h == me_ || !net_.isAlive(h) || part_.mirrorsOnHost[h].empty()) {
           continue;
@@ -196,10 +199,11 @@ class SyncContext {
         for (uint64_t lid : part_.mirrorsOnHost[h]) {
           payload.push_back(lists[lid]);
         }
-        support::SendBuffer buf;
-        support::serialize(buf, payload);
-        net_.sendReliable(me_, h, comm::kTagAppBroadcast, std::move(buf));
+        auto writer = net_.packedWriter(me_, h, comm::kTagAppBroadcast);
+        support::serialize(writer, payload);
+        writer.commit();
       }
+      net_.flushAggregated(me_);  // blocking on peer lists next
       for (comm::HostId h = 0; h < net_.numHosts(); ++h) {
         if (h == me_ || !net_.isAlive(h) || part_.myMirrorsByOwner[h].empty()) {
           continue;
@@ -246,10 +250,11 @@ class SyncContext {
     }
   }
 
-  // Serializes (position, value) pairs for the dirty subset of `lids`.
-  template <typename T>
+  // Serializes (position, value) pairs for the dirty subset of `lids` into
+  // any byte sink (a SendBuffer or a zero-copy comm::PackedWriter).
+  template <typename T, support::ByteSink Buf>
   void packDirty(const std::vector<uint64_t>& lids, const std::vector<T>& values,
-                 support::DynamicBitset& dirty, support::SendBuffer& buf,
+                 support::DynamicBitset& dirty, Buf& buf,
                  bool clearDirty) {
     std::vector<uint32_t> positions;
     std::vector<T> payload;
@@ -267,9 +272,9 @@ class SyncContext {
   }
 
   // packDirty with a const bitset (broadcast side).
-  template <typename T>
+  template <typename T, support::ByteSink Buf>
   void packDirty(const std::vector<uint64_t>& lids, const std::vector<T>& values,
-                 const support::DynamicBitset& dirty, support::SendBuffer& buf,
+                 const support::DynamicBitset& dirty, Buf& buf,
                  bool /*clearDirty*/) {
     std::vector<uint32_t> positions;
     std::vector<T> payload;

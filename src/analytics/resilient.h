@@ -44,6 +44,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -87,6 +88,10 @@ struct ResilienceOptions {
   comm::StragglerPolicy straggler;
 
   comm::NetworkCostModel costModel;
+
+  // Send-aggregation override for the attempt networks; unset = the
+  // process-wide default (comm::defaultAggregation()).
+  std::optional<comm::AggregationPolicy> aggregation;
 
   // Cooperative cancellation (support/cancel.h), mirroring
   // core::ResilienceConfig: checked before every attempt and at each

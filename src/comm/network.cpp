@@ -54,7 +54,22 @@ void countPartitionEvent(const char* which, HostId host) {
   }
 }
 
+// Process-wide aggregation default, snapshotted by every Network at
+// construction (see setAggregation for per-instance overrides).
+std::mutex gAggregationMutex;
+AggregationPolicy gAggregationDefault{};
+
 }  // namespace
+
+void setDefaultAggregation(const AggregationPolicy& policy) {
+  std::lock_guard<std::mutex> lock(gAggregationMutex);
+  gAggregationDefault = policy;
+}
+
+AggregationPolicy defaultAggregation() {
+  std::lock_guard<std::mutex> lock(gAggregationMutex);
+  return gAggregationDefault;
+}
 
 Network::Network(uint32_t numHosts, NetworkCostModel costModel)
     : costModel_(costModel) {
@@ -72,6 +87,11 @@ Network::Network(uint32_t numHosts, NetworkCostModel costModel)
     alive_.push_back(std::make_unique<std::atomic<bool>>(true));
   }
   suspected_.assign(numHosts, std::vector<bool>(numHosts, false));
+  agg_ = defaultAggregation();
+  aggChannels_.reserve(static_cast<size_t>(numHosts) * numHosts);
+  for (size_t i = 0; i < static_cast<size_t>(numHosts) * numHosts; ++i) {
+    aggChannels_.push_back(std::make_unique<detail::AggChannel>());
+  }
   // Resolve obs registry cells once, here: attach the sink BEFORE creating
   // the cluster. Each send then pays one null check (detached) or a few
   // relaxed atomic adds (attached) — never a map lookup.
@@ -94,6 +114,19 @@ Network::Network(uint32_t numHosts, NetworkCostModel costModel)
       obs_.corruptionsRecovered =
           &reg.counter("cusp.net.corruptions_recovered");
       obs_.sendRetries = &reg.counter("cusp.net.send_retries");
+      static constexpr const char* kCauseNames[kNumFlushCauses] = {
+          "size", "age", "pressure", "barrier"};
+      for (size_t c = 0; c < kNumFlushCauses; ++c) {
+        obs_.aggFlushes[c] =
+            &reg.counter("cusp.net.agg.flushes", {{"cause", kCauseNames[c]}});
+      }
+      obs_.aggPackets = &reg.counter("cusp.net.agg.packets");
+      obs_.aggPackedMessages = &reg.counter("cusp.net.agg.packed_messages");
+      obs_.aggPackedBytes = &reg.counter("cusp.net.agg.packed_bytes");
+      obs_.aggOversized = &reg.counter("cusp.net.agg.oversized_messages");
+      obs_.aggOverCap = &reg.counter("cusp.net.agg.overcap_packets");
+      obs_.aggPendingBytes = &reg.gauge("cusp.net.agg.pending_bytes");
+      obs_.aggOccupancy = &reg.histogram("cusp.net.agg.packet_messages");
     }
   }
 }
@@ -130,11 +163,21 @@ void Network::evict(HostId host) {
     Mailbox& box = *mailboxes_[h];
     std::lock_guard<std::mutex> lock(box.mutex);
     if (h == host) {
+      for (const Queued& entry : box.queue) {
+        backlogBytes_.fetch_sub(entry.msg.payload.size(),
+                                std::memory_order_relaxed);
+      }
       box.queue.clear();
       box.channels.clear();
     } else {
       for (auto it = box.queue.begin(); it != box.queue.end();) {
-        it = it->msg.from == host ? box.queue.erase(it) : std::next(it);
+        if (it->msg.from == host) {
+          backlogBytes_.fetch_sub(it->msg.payload.size(),
+                                  std::memory_order_relaxed);
+          it = box.queue.erase(it);
+        } else {
+          ++it;
+        }
       }
       for (auto it = box.channels.begin(); it != box.channels.end();) {
         it = it->first.first == host ? box.channels.erase(it) : std::next(it);
@@ -142,6 +185,30 @@ void Network::evict(HostId host) {
     }
     box.arrived.notify_all();
   }
+  // Purge the evicted host's aggregation channels in both directions:
+  // staged-but-unshipped traffic from or to a dead host can never be
+  // trusted, and its budget overdraft must stop exerting pressure.
+  for (HostId h = 0; h < numHosts(); ++h) {
+    for (const bool outgoing : {true, false}) {
+      if (h == host) {
+        continue;
+      }
+      detail::AggChannel& ch =
+          outgoing ? aggChannel(host, h) : aggChannel(h, host);
+      std::lock_guard<std::mutex> lock(ch.mutex);
+      if (!ch.bytes.empty() || !ch.metas.empty()) {
+        aggVolume_.pendingBytes.fetch_sub(ch.bytes.size(),
+                                          std::memory_order_relaxed);
+        ch.bytes.clear();
+        ch.metas.clear();
+      }
+      if (ch.chargedBytes > 0 && support::memoryBudgetAttached()) {
+        support::memoryBudget()->release(ch.chargedBytes);
+      }
+      ch.chargedBytes = 0;
+    }
+  }
+  setPendingGauge();
   // The purged backlog was counted into the attached memory budget's comm
   // gauge; re-sample so the evicted host's share stops exerting pressure.
   if (support::memoryBudgetAttached()) {
@@ -346,22 +413,7 @@ bool Network::send(HostId from, HostId to, Tag tag,
   if (injector_) {
     injector_->onCrossing(from);  // may throw HostFailure
   }
-  if (from != to && tag < kFirstReserved) {
-    double micros = costModel_.sendOverheadMicros;
-    if (costModel_.bandwidthMBps > 0.0) {
-      micros += static_cast<double>(buffer.size()) / costModel_.bandwidthMBps;
-    }
-    if (micros > 0.0) {
-      if (injector_) {
-        // A degraded link (LinkFault::degradeFactor) multiplies the modeled
-        // cost of every message that crosses it. Injector-gated, so a
-        // fault-free network's accounting stays byte-identical.
-        micros *= injector_->linkDegradeFactor(from, to);
-      }
-      modeledCommNanos_[from]->fetch_add(
-          static_cast<int64_t>(micros * 1000.0), std::memory_order_relaxed);
-    }
-  }
+  chargeModeled(from, to, tag, buffer.size());
   std::optional<FaultInjector::SendDecision> decision;
   if (injector_ && from != to) {
     decision = injector_->onSend(from, to, tag);
@@ -406,6 +458,7 @@ bool Network::send(HostId from, HostId to, Tag tag,
   Mailbox& box = *mailboxes_[to];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
+    const size_t payloadLen = wire.size();
     Queued entry;
     entry.msg = Message{from, tag, support::RecvBuffer(std::move(wire))};
     if (injector_) {
@@ -419,11 +472,33 @@ bool Network::send(HostId from, HostId to, Tag tag,
     }
     if (decision && decision->action == FaultAction::kDuplicate) {
       box.queue.push_back(entry);  // same seq: the filter suppresses one copy
+      backlogBytes_.fetch_add(payloadLen, std::memory_order_relaxed);
     }
     box.queue.push_back(std::move(entry));
+    backlogBytes_.fetch_add(payloadLen, std::memory_order_relaxed);
   }
   box.arrived.notify_all();
   return true;
+}
+
+void Network::chargeModeled(HostId from, HostId to, Tag tag, size_t bytes) {
+  if (from == to || tag >= kFirstReserved) {
+    return;
+  }
+  double micros = costModel_.sendOverheadMicros;
+  if (costModel_.bandwidthMBps > 0.0) {
+    micros += static_cast<double>(bytes) / costModel_.bandwidthMBps;
+  }
+  if (micros > 0.0) {
+    if (injector_) {
+      // A degraded link (LinkFault::degradeFactor) multiplies the modeled
+      // cost of every message that crosses it. Injector-gated, so a
+      // fault-free network's accounting stays byte-identical.
+      micros *= injector_->linkDegradeFactor(from, to);
+    }
+    modeledCommNanos_[from]->fetch_add(static_cast<int64_t>(micros * 1000.0),
+                                       std::memory_order_relaxed);
+  }
 }
 
 void Network::sendReliable(HostId from, HostId to, Tag tag,
@@ -497,6 +572,352 @@ void Network::sendReliable(HostId from, HostId to, Tag tag,
   throw SendRetriesExhausted(from, to, tag, attempts);
 }
 
+// --- send aggregation ------------------------------------------------------
+
+void Network::packedCommitDraws(HostId from, HostId to, Tag tag, size_t len,
+                                uint32_t* delayScans, bool* duplicate) {
+  *delayScans = 0;
+  *duplicate = false;
+  if (!injector_) {
+    if (!isAlive(to) || !isAlive(from)) {
+      throw HostEvicted(from, isAlive(to) ? from : to, tag, membershipEpoch());
+    }
+    chargeModeled(from, to, tag, len);
+    accountSend(from, to, tag, len, 0);
+    return;
+  }
+  // Replay the legacy sendReliable attempt loop verbatim — same alive
+  // checks, injector draws, cost charges, retry backoff hash and error
+  // surface per attempt — so every historical FaultPlan seed draws the same
+  // sequence whether the message ships packed or bare. Only the mailbox
+  // enqueue is deferred: a delivered draw records its delay/duplicate
+  // outcome in the meta, re-applied at packet-unpack time.
+  const uint32_t attempts = std::max(1u, retryPolicy_.maxAttempts);
+  const bool framed = crcFraming_.load(std::memory_order_relaxed);
+  bool sawCorruption = false;
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    const bool last = attempt + 1 == attempts;
+    if (!isAlive(to) || !isAlive(from)) {
+      throw HostEvicted(from, isAlive(to) ? from : to, tag, membershipEpoch());
+    }
+    injector_->onCrossing(from);
+    chargeModeled(from, to, tag, len);
+    const auto decision = injector_->onSend(from, to, tag);
+    bool delivered = false;
+    if (decision && decision->action == FaultAction::kDrop) {
+      // Sender-visible loss; retry below.
+    } else if (framed && decision &&
+               decision->action == FaultAction::kCorrupt) {
+      // The framed attempt fails verification at the receiver NIC: the
+      // burned transmission is accounted with its own footer, then NACKed
+      // and retransmitted (exactly the legacy MessageCorrupt round trip).
+      accountSend(from, to, tag, len, support::kCrcFooterSize);
+      volume_.corruptionsDetected.fetch_add(1, std::memory_order_relaxed);
+      if (obs_.corruptionsDetected != nullptr) {
+        obs_.corruptionsDetected->add();
+      }
+      if (last) {
+        throw MessageCorrupt(from, to, tag);
+      }
+      sawCorruption = true;
+    } else {
+      delivered = true;
+      if (decision && decision->action == FaultAction::kDelay) {
+        *delayScans = std::max(1u, decision->delayScans);
+      }
+      if (decision && decision->action == FaultAction::kDuplicate) {
+        *duplicate = true;
+      }
+      accountSend(from, to, tag, len, 0);
+    }
+    if (delivered) {
+      if (sawCorruption) {
+        volume_.corruptionsRecovered.fetch_add(1, std::memory_order_relaxed);
+        if (obs_.corruptionsRecovered != nullptr) {
+          obs_.corruptionsRecovered->add();
+        }
+      }
+      return;
+    }
+    if (!last) {
+      injector_->countRetry();
+      if (obs_.sendRetries != nullptr) {
+        obs_.sendRetries->add();
+      }
+      const uint64_t jitterHash = support::hashU64(
+          (static_cast<uint64_t>(from) << 48) ^
+          (static_cast<uint64_t>(to) << 32) ^
+          (static_cast<uint64_t>(tag) << 8) ^ attempt);
+      const double jitter =
+          0.5 + static_cast<double>(jitterHash % 1024) / 1024.0;
+      const double backoffMicros =
+          retryPolicy_.backoffMicros * static_cast<double>(1u << attempt) *
+          jitter;
+      if (backoffMicros > 0.0 && from != to && tag < kFirstReserved) {
+        modeledCommNanos_[from]->fetch_add(
+            static_cast<int64_t>(backoffMicros * 1000.0),
+            std::memory_order_relaxed);
+      }
+    }
+  }
+  enforceQuorumOnFailure(from, to, tag);
+  throw SendRetriesExhausted(from, to, tag, attempts);
+}
+
+void Network::finishPackedCommit(detail::AggChannel& ch, HostId from,
+                                 HostId to, Tag tag, size_t start) {
+  const size_t len = ch.bytes.size() - start;
+  // No-straddling rule: if this commit would push the pending packet past
+  // the cap, ship the existing prefix as its own packet first so the new
+  // message starts a fresh one. Together with the size flush below this
+  // guarantees every over-cap packet is exactly one over-cap message.
+  if (start > 0 && start + len > agg_.packetBytes) {
+    std::vector<uint8_t> tail(ch.bytes.begin() + static_cast<ptrdiff_t>(start),
+                              ch.bytes.end());
+    ch.bytes.resize(start);
+    flushChannelLocked(ch, from, to, FlushCause::kSize);
+    ch.bytes = std::move(tail);
+    start = 0;
+  }
+  uint32_t delayScans = 0;
+  bool duplicate = false;
+  try {
+    packedCommitDraws(from, to, tag, len, &delayScans, &duplicate);
+  } catch (...) {
+    // The message never shipped (evicted peer, exhausted retries, terminal
+    // corruption): un-stage its bytes so the channel holds only messages
+    // whose draws succeeded.
+    ch.bytes.resize(start);
+    throw;
+  }
+  if (ch.metas.empty()) {
+    ch.oldestStage = std::chrono::steady_clock::now();
+  }
+  detail::AggChannel::Meta meta;
+  meta.tag = tag;
+  meta.len = static_cast<uint32_t>(len);
+  meta.delayScans = delayScans;
+  meta.duplicate = duplicate;
+  ch.metas.push_back(meta);
+  aggVolume_.pendingBytes.fetch_add(len, std::memory_order_relaxed);
+  setPendingGauge();
+  if (support::memoryBudgetAttached()) {
+    // Overdraft, like BufferedSender: a committed message must ship, not
+    // drop; pressure is relieved by the early flush below.
+    support::memoryBudget()->reserveOverdraft(len);
+    ch.chargedBytes += len;
+  }
+  if (len > agg_.packetBytes) {
+    aggVolume_.oversizedMessages.fetch_add(1, std::memory_order_relaxed);
+    if (obs_.aggOversized != nullptr) {
+      obs_.aggOversized->add();
+    }
+  }
+  if (ch.bytes.size() >= agg_.packetBytes) {
+    flushChannelLocked(ch, from, to, FlushCause::kSize);
+  } else if (support::memoryBudgetAttached() &&
+             support::memoryBudget()->underPressure()) {
+    flushChannelLocked(ch, from, to, FlushCause::kPressure);
+  }
+}
+
+void Network::flushChannelLocked(detail::AggChannel& ch, HostId from,
+                                 HostId to, FlushCause cause) {
+  if (ch.metas.empty()) {
+    return;
+  }
+  std::vector<uint8_t> blob = std::move(ch.bytes);
+  std::vector<detail::AggChannel::Meta> metas = std::move(ch.metas);
+  ch.bytes = {};
+  ch.metas = {};
+  aggVolume_.pendingBytes.fetch_sub(blob.size(), std::memory_order_relaxed);
+  setPendingGauge();
+  if (ch.chargedBytes > 0 && support::memoryBudgetAttached()) {
+    support::memoryBudget()->release(ch.chargedBytes);
+  }
+  ch.chargedBytes = 0;
+  deliverPacket(from, to, std::move(blob), std::move(metas), cause);
+}
+
+void Network::flushChannel(HostId from, HostId to, FlushCause cause) {
+  detail::AggChannel& ch = aggChannel(from, to);
+  std::lock_guard<std::mutex> lock(ch.mutex);
+  flushChannelLocked(ch, from, to, cause);
+}
+
+void Network::flushAggregated(HostId me) {
+  if (me >= numHosts()) {
+    throw std::out_of_range(
+        "Network::flushAggregated: host id out of range");
+  }
+  for (HostId to = 0; to < numHosts(); ++to) {
+    if (to != me) {
+      flushChannel(me, to, FlushCause::kBarrier);
+    }
+  }
+}
+
+void Network::deliverPacket(HostId from, HostId to,
+                            std::vector<uint8_t>&& blob,
+                            std::vector<detail::AggChannel::Meta>&& metas,
+                            FlushCause cause) {
+  const size_t causeIdx = static_cast<size_t>(cause);
+  aggVolume_.flushes[causeIdx].fetch_add(1, std::memory_order_relaxed);
+  if (obs_.aggFlushes[causeIdx] != nullptr) {
+    obs_.aggFlushes[causeIdx]->add();
+  }
+  if (!isAlive(from) || !isAlive(to)) {
+    // An eviction raced the flush: drop the packet exactly like the mailbox
+    // purge drops already-queued messages from/to a dead host.
+    return;
+  }
+  aggVolume_.packets.fetch_add(1, std::memory_order_relaxed);
+  aggVolume_.packedMessages.fetch_add(metas.size(), std::memory_order_relaxed);
+  aggVolume_.packedBytes.fetch_add(blob.size(), std::memory_order_relaxed);
+  if (blob.size() > agg_.packetBytes) {
+    aggVolume_.overCapPackets.fetch_add(1, std::memory_order_relaxed);
+    if (obs_.aggOverCap != nullptr) {
+      obs_.aggOverCap->add();
+    }
+  }
+  if (obs_.aggPackets != nullptr) {
+    obs_.aggPackets->add();
+  }
+  if (obs_.aggPackedMessages != nullptr) {
+    obs_.aggPackedMessages->add(metas.size());
+  }
+  if (obs_.aggPackedBytes != nullptr) {
+    obs_.aggPackedBytes->add(blob.size());
+  }
+  if (obs_.aggOccupancy != nullptr) {
+    obs_.aggOccupancy->observe(static_cast<double>(metas.size()));
+  }
+  if (crcFraming_.load(std::memory_order_relaxed)) {
+    // One CRC32 footer protects the whole packet, plus an 8-byte per-message
+    // length header — modeled at both NIC ends and accounted as framing,
+    // never payload. Corruption draws already happened per message at commit
+    // time, so this frame always verifies.
+    support::appendCrcFooter(blob);
+    (void)support::verifyAndStripCrcFooter(blob);
+    const uint64_t framing = support::kCrcFooterSize + 8ull * metas.size();
+    volume_.framingBytes.fetch_add(framing, std::memory_order_relaxed);
+    if (obs_.framingBytes != nullptr) {
+      obs_.framingBytes->add(framing);
+    }
+  }
+  // Unpack into the destination mailbox under one lock acquisition: every
+  // message gets a zero-copy view over the shared packet blob, its own
+  // dup-filter sequence number and its recorded delay/duplicate outcome —
+  // then ONE wake for the whole packet.
+  auto blobPtr =
+      std::make_shared<const std::vector<uint8_t>>(std::move(blob));
+  Mailbox& box = *mailboxes_[to];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    size_t offset = 0;
+    for (const auto& meta : metas) {
+      Queued entry;
+      entry.msg = Message{from, meta.tag,
+                          support::RecvBuffer(blobPtr, offset, meta.len)};
+      offset += meta.len;
+      if (injector_) {
+        ChannelState& channel = box.channels[{from, meta.tag}];
+        entry.seq = ++channel.nextSeq;
+        channel.lastUse = ++box.channelUseCounter;
+        compactChannelsLocked(box);
+        entry.delayScans = meta.delayScans;
+      }
+      if (meta.duplicate) {
+        box.queue.push_back(entry);  // same seq: the filter suppresses one
+        backlogBytes_.fetch_add(meta.len, std::memory_order_relaxed);
+      }
+      box.queue.push_back(std::move(entry));
+      backlogBytes_.fetch_add(meta.len, std::memory_order_relaxed);
+    }
+  }
+  box.arrived.notify_all();
+}
+
+void Network::pullAgedIncoming(HostId me) {
+  const auto now = std::chrono::steady_clock::now();
+  for (HostId src = 0; src < numHosts(); ++src) {
+    if (src == me) {
+      continue;
+    }
+    detail::AggChannel& ch = aggChannel(src, me);
+    std::lock_guard<std::mutex> lock(ch.mutex);
+    if (!ch.metas.empty() &&
+        std::chrono::duration<double>(now - ch.oldestStage).count() >=
+            agg_.maxAgeSeconds) {
+      flushChannelLocked(ch, src, me, FlushCause::kAge);
+    }
+  }
+}
+
+void Network::sendPacked(HostId from, HostId to, Tag tag,
+                         support::SendBuffer&& buffer) {
+  if (from >= numHosts() || to >= numHosts()) {
+    throw std::out_of_range("Network::sendPacked: host id out of range");
+  }
+  if (!aggregatesTag(from, to, tag)) {
+    sendReliable(from, to, tag, std::move(buffer));
+    return;
+  }
+  detail::AggChannel& ch = aggChannel(from, to);
+  std::lock_guard<std::mutex> lock(ch.mutex);
+  if (buffer.size() >= agg_.packetBytes) {
+    // Already packet-sized: ship pending, then move the buffer straight into
+    // a packet blob of its own — no copy through the channel.
+    flushChannelLocked(ch, from, to, FlushCause::kSize);
+    const size_t len = buffer.size();
+    uint32_t delayScans = 0;
+    bool duplicate = false;
+    packedCommitDraws(from, to, tag, len, &delayScans, &duplicate);
+    if (len > agg_.packetBytes) {
+      aggVolume_.oversizedMessages.fetch_add(1, std::memory_order_relaxed);
+      if (obs_.aggOversized != nullptr) {
+        obs_.aggOversized->add();
+      }
+    }
+    std::vector<detail::AggChannel::Meta> metas(1);
+    metas[0].tag = tag;
+    metas[0].len = static_cast<uint32_t>(len);
+    metas[0].delayScans = delayScans;
+    metas[0].duplicate = duplicate;
+    deliverPacket(from, to, buffer.release(), std::move(metas),
+                  FlushCause::kSize);
+    return;
+  }
+  const size_t start = ch.bytes.size();
+  ch.bytes.insert(ch.bytes.end(), buffer.data(),
+                  buffer.data() + buffer.size());
+  finishPackedCommit(ch, from, to, tag, start);
+}
+
+AggVolume Network::aggSnapshot() const {
+  AggVolume snap;
+  for (size_t i = 0; i < kNumFlushCauses; ++i) {
+    snap.flushes[i] = aggVolume_.flushes[i].load(std::memory_order_relaxed);
+  }
+  snap.packets = aggVolume_.packets.load(std::memory_order_relaxed);
+  snap.packedMessages =
+      aggVolume_.packedMessages.load(std::memory_order_relaxed);
+  snap.packedBytes = aggVolume_.packedBytes.load(std::memory_order_relaxed);
+  snap.oversizedMessages =
+      aggVolume_.oversizedMessages.load(std::memory_order_relaxed);
+  snap.overCapPackets =
+      aggVolume_.overCapPackets.load(std::memory_order_relaxed);
+  snap.pendingBytes = aggVolume_.pendingBytes.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Network::setPendingGauge() {
+  if (obs_.aggPendingBytes != nullptr) {
+    obs_.aggPendingBytes->set(static_cast<double>(
+        aggVolume_.pendingBytes.load(std::memory_order_relaxed)));
+  }
+}
+
 std::optional<Message> Network::scanLocked(Mailbox& box, Tag tag,
                                            HostId from) {
   // Channels with an earlier still-delayed message this scan; later
@@ -509,6 +930,8 @@ std::optional<Message> Network::scanLocked(Mailbox& box, Tag tag,
       if (state != box.channels.end() &&
           it->seq <= state->second.lastDelivered) {
         injector_->countDuplicateSuppressed();
+        backlogBytes_.fetch_sub(it->msg.payload.size(),
+                                std::memory_order_relaxed);
         it = box.queue.erase(it);
         continue;
       }
@@ -529,6 +952,7 @@ std::optional<Message> Network::scanLocked(Mailbox& box, Tag tag,
         state.lastUse = ++box.channelUseCounter;
       }
       Message msg = std::move(it->msg);
+      backlogBytes_.fetch_sub(msg.payload.size(), std::memory_order_relaxed);
       box.queue.erase(it);
       return msg;
     }
@@ -574,7 +998,7 @@ size_t Network::dupFilterChannels(HostId me) const {
   return box.channels.size();
 }
 
-uint64_t Network::mailboxBacklogBytes() const {
+uint64_t Network::mailboxBacklogBytesExact() const {
   uint64_t total = 0;
   for (const auto& boxPtr : mailboxes_) {
     Mailbox& box = *boxPtr;
@@ -673,6 +1097,13 @@ Message Network::recvImpl(HostId me, Tag tag, HostId from) {
   auto lastBlameMark = start;  // start of the current blame window
   std::unique_lock<std::mutex> lock(box.mutex);
   for (;;) {
+    if (agePullActive()) {
+      // Opt-in latency bound: ship any incoming channel whose oldest
+      // committed message has aged past the policy before scanning.
+      lock.unlock();
+      pullAgedIncoming(me);
+      lock.lock();
+    }
     if (auto msg = scanLocked(box, tag, from)) {
       return std::move(*msg);
     }
@@ -721,14 +1152,24 @@ Message Network::recvImpl(HostId me, Tag tag, HostId from) {
         timedOut = timeoutNanos > 0 &&
                    std::chrono::steady_clock::now() >= deadline;
       }
-    } else if (timeoutNanos > 0 || stragglerWatch) {
-      // Wake at the earlier of the recv deadline and the next soft
-      // straggler mark; only an expired RECV deadline counts as a timeout.
+    } else if (timeoutNanos > 0 || stragglerWatch || agePullActive()) {
+      // Wake at the earliest of the recv deadline, the next soft straggler
+      // mark, and the next age-pull poll; only an expired RECV deadline
+      // counts as a timeout.
       auto waitDeadline = timeoutNanos > 0
                               ? deadline
                               : std::chrono::steady_clock::time_point::max();
       if (stragglerWatch && lastBlameMark + softDur < waitDeadline) {
         waitDeadline = lastBlameMark + softDur;
+      }
+      if (agePullActive()) {
+        const auto ageMark =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(agg_.maxAgeSeconds));
+        if (ageMark < waitDeadline) {
+          waitDeadline = ageMark;
+        }
       }
       timedOut = box.arrived.wait_until(lock, waitDeadline) ==
                      std::cv_status::timeout &&
@@ -797,6 +1238,9 @@ std::optional<Message> Network::tryRecv(HostId me, Tag tag) {
   if (injector_) {
     injector_->onCrossing(me);
   }
+  if (agePullActive()) {
+    pullAgedIncoming(me);
+  }
   Mailbox& box = *mailboxes_[me];
   std::lock_guard<std::mutex> lock(box.mutex);
   if (auto msg = scanLocked(box, tag, kAnyHost)) {
@@ -825,6 +1269,11 @@ void Network::barrier(HostId me) {
   // host — 0 on full membership) using reserved tags; payloads are empty so
   // barriers contribute only message counts to collective stats.
   faultPoint(me);
+  if (agg_.enabled) {
+    // A barrier is a phase edge: everything committed before it must be
+    // visible after it, so ship every pending aggregation channel first.
+    flushAggregated(me);
+  }
   if (numAliveHosts() <= 1) {
     return;
   }
@@ -969,13 +1418,17 @@ void BufferedSender::flush(HostId dst) {
   support::SendBuffer buffer = std::move(pending_[dst]);
   pending_[dst] = support::SendBuffer();
   releasePending(buffer.size());
-  net_.sendReliable(me_, dst, tag_, std::move(buffer));
+  net_.sendPacked(me_, dst, tag_, std::move(buffer));
 }
 
 void BufferedSender::flushAll() {
   for (HostId dst = 0; dst < net_.numHosts(); ++dst) {
     flush(dst);
   }
+  // flush(dst) commits each pending buffer into its aggregation channel;
+  // drain the channels too so flushAll keeps its historical contract that
+  // everything appended is visible to the receivers on return.
+  net_.flushAggregated(me_);
 }
 
 void runHosts(Network& net, const std::function<void(HostId)>& hostMain) {
@@ -987,6 +1440,9 @@ void runHosts(Network& net, const std::function<void(HostId)>& hostMain) {
   auto guarded = [&](HostId host) {
     try {
       hostMain(host);
+      // A host's exit is a phase edge: anything it committed but never
+      // explicitly flushed must not rot in the aggregation channels.
+      net.flushAggregated(host);
     } catch (const NetworkAborted&) {
       // Sibling of the faulting host; swallow the unwind signal.
     } catch (...) {

@@ -60,11 +60,37 @@
 //  * agreeMembership() is the eviction agreement round: a collective in
 //    which every alive host exchanges and confirms the (epoch, alive set)
 //    view before the survivors proceed.
+//
+// Send aggregation (the buffered, batched hot path; on by default):
+//  * Protocol senders obtain a PackedWriter (packedWriter()) that serializes
+//    RECORDS STRAIGHT INTO the per-(source, destination) aggregation buffer
+//    — no intermediate per-message vector — and commit() seals the record
+//    as one logical message. BufferedSender flushes ride the same path via
+//    sendPacked().
+//  * A channel ships as one multi-message PACKET once it reaches
+//    AggregationPolicy::packetBytes (~1400 B, the Gluon buffered.cpp
+//    lineage), when the attached MemoryBudget reports pressure, at every
+//    explicit flush point (flushAggregated(), barrier entry, BufferedSender
+//    ::flushAll(), runHosts exit), or — opt-in — when a blocking receiver
+//    pulls channels older than AggregationPolicy::maxAgeSeconds.
+//  * One CRC32 frames the whole packet (framing = one footer plus an 8-byte
+//    per-message header, accounted in VolumeStats::framingBytes as today);
+//    unpacked messages are zero-copy views into the shared packet blob, and
+//    a drained packet wakes the consumer ONCE, not per message.
+//  * Fault semantics are preserved at message granularity: injector draws
+//    (drop/duplicate/delay/corrupt, crossings, retries, modeled cost and
+//    backoff) happen at commit() time in exactly the per-message order the
+//    legacy sendReliable path used, so every FaultPlan seed keeps its
+//    historical meaning; the duplicate filter, sequence assignment and
+//    delay scans are re-seated at packet-unpack time. Bare send()/
+//    sendReliable() keep the legacy immediate path bit-for-bit.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <map>
@@ -188,6 +214,89 @@ struct NetworkCostModel {
   double bandwidthMBps = 0.0;       // per-byte cost; 0 = infinite bandwidth
 };
 
+// Tuning of the buffered send path (see "Send aggregation" above).
+// maxAgeSeconds defaults to 0 (no receiver-side age pull): the default
+// flush causes are all program-order deterministic, which is what keeps the
+// obs counter/histogram determinism guarantee intact. Tests and latency-
+// sensitive callers opt into the age bound explicitly.
+struct AggregationPolicy {
+  bool enabled = true;
+  size_t packetBytes = 1400;   // seal a packet once a channel reaches this
+  double maxAgeSeconds = 0.0;  // >0: blocked receivers pull channels this old
+};
+
+// Process-wide default applied to every Network at construction (override
+// per instance with setAggregation before traffic starts). The seam lets
+// whole pipelines — partitioner, analytics, service — switch between the
+// buffered and legacy paths without threading a knob through every layer.
+void setDefaultAggregation(const AggregationPolicy& policy);
+AggregationPolicy defaultAggregation();
+
+// RAII seam override for tests (differential buffered-vs-legacy runs).
+class ScopedAggregation {
+ public:
+  explicit ScopedAggregation(const AggregationPolicy& policy)
+      : saved_(defaultAggregation()) {
+    setDefaultAggregation(policy);
+  }
+  ~ScopedAggregation() { setDefaultAggregation(saved_); }
+  ScopedAggregation(const ScopedAggregation&) = delete;
+  ScopedAggregation& operator=(const ScopedAggregation&) = delete;
+
+ private:
+  AggregationPolicy saved_;
+};
+
+// Why a channel was flushed into a packet.
+enum class FlushCause : uint8_t {
+  kSize = 0,      // pending reached packetBytes (or an oversized message)
+  kAge = 1,       // receiver pulled a channel older than maxAgeSeconds
+  kPressure = 2,  // MemoryBudget under pressure at commit time
+  kBarrier = 3,   // explicit flush: flushAggregated/barrier/flushAll/exit
+};
+inline constexpr size_t kNumFlushCauses = 4;
+
+// Point-in-time view of the aggregation counters (mirrored to the obs
+// registry as cusp.net.agg.* when a sink is attached).
+struct AggVolume {
+  uint64_t flushes[kNumFlushCauses] = {};
+  uint64_t packets = 0;
+  uint64_t packedMessages = 0;
+  uint64_t packedBytes = 0;          // payload bytes shipped in packets
+  uint64_t oversizedMessages = 0;    // single messages > packetBytes
+  uint64_t overCapPackets = 0;       // packets over the cap (== oversized)
+  uint64_t pendingBytes = 0;         // staged, committed, not yet shipped
+  uint64_t totalFlushes() const {
+    uint64_t sum = 0;
+    for (uint64_t f : flushes) {
+      sum += f;
+    }
+    return sum;
+  }
+};
+
+namespace detail {
+// One ordered (source, destination) aggregation channel: committed message
+// payloads laid back to back plus their per-message metadata. The mutex is
+// held for the lifetime of a PackedWriter (serialization writes straight
+// into `bytes`) and by flushes; it never nests inside a mailbox mutex.
+struct AggChannel {
+  struct Meta {
+    Tag tag = 0;
+    uint32_t len = 0;
+    uint32_t delayScans = 0;  // injector kDelay, re-applied at unpack
+    bool duplicate = false;   // injector kDuplicate, re-applied at unpack
+  };
+  std::mutex mutex;
+  std::vector<uint8_t> bytes;
+  std::vector<Meta> metas;
+  uint64_t chargedBytes = 0;  // MemoryBudget overdraft held for `bytes`
+  std::chrono::steady_clock::time_point oldestStage{};
+};
+}  // namespace detail
+
+class PackedWriter;
+
 class Network {
  public:
   explicit Network(uint32_t numHosts,
@@ -216,6 +325,31 @@ class Network {
   // partitioner/engine protocol sends use this.
   void sendReliable(HostId from, HostId to, Tag tag,
                     support::SendBuffer&& buffer);
+
+  // --- buffered hot path (send aggregation) ---
+
+  // Zero-copy buffered send: serialize into the returned writer and
+  // commit(). Falls back to a plain sendReliable when aggregation is
+  // disabled, for self-sends, and for reserved tags, so call sites stay
+  // uniform. See the PackedWriter class below.
+  PackedWriter packedWriter(HostId from, HostId to, Tag tag);
+
+  // sendReliable semantics over the aggregation path: `buffer` becomes one
+  // logical message in the (from, to) channel. A buffer of packetBytes or
+  // more ships immediately as its own packet with no extra copy.
+  void sendPacked(HostId from, HostId to, Tag tag,
+                  support::SendBuffer&& buffer);
+
+  // Ships every pending aggregation channel sourced at `me` (the explicit
+  // flush barrier; cause kBarrier). Called automatically on barrier entry,
+  // by BufferedSender::flushAll and at runHosts exit; protocol code calls
+  // it before blocking on replies to traffic it just committed.
+  void flushAggregated(HostId me);
+
+  void setAggregation(const AggregationPolicy& policy) { agg_ = policy; }
+  const AggregationPolicy& aggregation() const { return agg_; }
+
+  AggVolume aggSnapshot() const;
 
   // Non-blocking receive of any message with `tag` (any source). Throws
   // NetworkAborted once the network is aborted, so polling loops unwind
@@ -413,11 +547,19 @@ class Network {
   size_t dupFilterChannels(HostId me) const;
 
   // Total payload bytes currently queued across every mailbox — the
-  // network's contribution to memory pressure. Computed on demand (one
-  // lock-and-sum per mailbox) rather than maintained per-op: the memory
-  // governor samples it at phase boundaries, so a gauge beats threading
-  // accounting through every enqueue/dequeue/duplicate-drop path.
-  uint64_t mailboxBacklogBytes() const;
+  // network's contribution to memory pressure. Maintained as a single
+  // atomic updated on every enqueue/dequeue/duplicate-drop/eviction-purge
+  // path: the aggregation commit path consults the memory budget on every
+  // send, so the former on-demand lock-and-sum would serialize the hot
+  // path against every mailbox.
+  uint64_t mailboxBacklogBytes() const {
+    return backlogBytes_.load(std::memory_order_relaxed);
+  }
+
+  // The lock-and-sum ground truth for mailboxBacklogBytes(); quiescent
+  // callers (tests) use it to prove the cached counter stays exact across
+  // duplicate-drop and eviction-purge paths.
+  uint64_t mailboxBacklogBytesExact() const;
 
   // Duplicate-filter memory bound: the per-channel sequence state is
   // compacted once a mailbox tracks more than this many distinct
@@ -428,6 +570,8 @@ class Network {
   static constexpr size_t kMaxDupFilterChannels = 1024;
 
  private:
+  friend class PackedWriter;
+
   using ChannelKey = std::pair<HostId, Tag>;
 
   // A queued message plus its fault-mode bookkeeping: `delayScans` holds
@@ -459,6 +603,43 @@ class Network {
   };
 
   Message recvImpl(HostId me, Tag tag, HostId from);
+  // --- aggregation internals ---
+  detail::AggChannel& aggChannel(HostId from, HostId to) {
+    return *aggChannels_[static_cast<size_t>(from) * numHosts() + to];
+  }
+  bool aggregatesTag(HostId from, HostId to, Tag tag) const {
+    return agg_.enabled && from != to && tag < kFirstReserved;
+  }
+  // Models one reliable transmission of a committed message: the exact
+  // injector-draw / cost / retry / corruption sequence of the legacy
+  // sendReliable path, minus the enqueue. Fills delayScans/duplicate for
+  // the unpack step; throws exactly what sendReliable would.
+  void packedCommitDraws(HostId from, HostId to, Tag tag, size_t len,
+                         uint32_t* delayScans, bool* duplicate);
+  // Seals a commit staged at ch.bytes[start..): runs the draws, appends the
+  // meta and fires size/pressure flushes. ch.mutex held; rolls the staged
+  // bytes back on any throw.
+  void finishPackedCommit(detail::AggChannel& ch, HostId from, HostId to,
+                          Tag tag, size_t start);
+  // Ships the channel's pending packet (ch.mutex held). No-op when empty.
+  void flushChannelLocked(detail::AggChannel& ch, HostId from, HostId to,
+                          FlushCause cause);
+  void flushChannel(HostId from, HostId to, FlushCause cause);
+  // Delivers one sealed packet into `to`'s mailbox: per-packet CRC framing
+  // accounting, per-message sequence/duplicate/delay re-seating under the
+  // mailbox lock, one condition-variable wake for the whole packet.
+  void deliverPacket(HostId from, HostId to, std::vector<uint8_t>&& blob,
+                     std::vector<detail::AggChannel::Meta>&& metas,
+                     FlushCause cause);
+  // Receiver-side age pull (only when agg_.maxAgeSeconds > 0): ships every
+  // channel destined to `me` whose oldest committed message exceeds the
+  // age bound. Called with no locks held.
+  void pullAgedIncoming(HostId me);
+  bool agePullActive() const {
+    return agg_.enabled && agg_.maxAgeSeconds > 0.0;
+  }
+  void chargeModeled(HostId from, HostId to, Tag tag, size_t bytes);
+  void setPendingGauge();
   // Records that `me` observed a connectivity failure toward `peer` (send
   // retries exhausted, or a stalled wait on that specific peer).
   void noteSuspect(HostId me, HostId peer);
@@ -524,6 +705,24 @@ class Network {
   };
   AtomicVolume volume_;
 
+  // Aggregation state: one channel per ordered (source, destination) pair,
+  // plus always-on atomic counters behind aggSnapshot().
+  AggregationPolicy agg_;
+  std::vector<std::unique_ptr<detail::AggChannel>> aggChannels_;
+  struct AtomicAgg {
+    std::atomic<uint64_t> flushes[kNumFlushCauses] = {};
+    std::atomic<uint64_t> packets{0};
+    std::atomic<uint64_t> packedMessages{0};
+    std::atomic<uint64_t> packedBytes{0};
+    std::atomic<uint64_t> oversizedMessages{0};
+    std::atomic<uint64_t> overCapPackets{0};
+    std::atomic<uint64_t> pendingBytes{0};
+  };
+  AtomicAgg aggVolume_;
+
+  // Cached mailbox backlog (see mailboxBacklogBytes above).
+  std::atomic<uint64_t> backlogBytes_{0};
+
   // Registry cells resolved once at construction when a process-wide obs
   // sink was attached (see obs/obs.h); all null otherwise, so the per-send
   // cost without a sink is one pointer check. The shared_ptr keeps the
@@ -538,15 +737,109 @@ class Network {
     obs::Counter* corruptionsDetected = nullptr;
     obs::Counter* corruptionsRecovered = nullptr;
     obs::Counter* sendRetries = nullptr;
+    obs::Counter* aggFlushes[kNumFlushCauses] = {};
+    obs::Counter* aggPackets = nullptr;
+    obs::Counter* aggPackedMessages = nullptr;
+    obs::Counter* aggPackedBytes = nullptr;
+    obs::Counter* aggOversized = nullptr;
+    obs::Counter* aggOverCap = nullptr;
+    obs::Gauge* aggPendingBytes = nullptr;
+    obs::Histogram* aggOccupancy = nullptr;  // messages per packet
   };
   ObsHandles obs_;
 };
 
+// Zero-copy buffered send handle. Serialization writes DIRECTLY into the
+// (from, to) aggregation channel — the channel mutex is held for the
+// writer's lifetime, so keep writers short-lived: serialize, commit,
+// destroy. commit() seals the staged bytes as one logical message, running
+// the full reliable-send fault sequence (and throwing exactly what
+// sendReliable would); a writer destroyed without commit() abandons its
+// staged bytes. When the network aggregation is disabled — or for
+// self-sends and reserved tags — the writer transparently stages into a
+// private buffer and commit() forwards to sendReliable, so call sites need
+// no mode checks. At most one live writer per (host, destination) per
+// thread; a second one would self-deadlock on the channel mutex.
+class PackedWriter {
+ public:
+  PackedWriter(PackedWriter&&) = delete;  // constructed in place (RVO)
+  PackedWriter(const PackedWriter&) = delete;
+  PackedWriter& operator=(const PackedWriter&) = delete;
+  ~PackedWriter() {
+    if (!committed_ && channel_ != nullptr) {
+      channel_->bytes.resize(start_);  // abandon staged bytes
+    }
+  }
+
+  void appendBytes(const void* src, size_t len) {
+    if (channel_ != nullptr) {
+      if (len == 0) {
+        return;
+      }
+      const size_t offset = channel_->bytes.size();
+      channel_->bytes.resize(offset + len);
+      std::memcpy(channel_->bytes.data() + offset, src, len);
+    } else {
+      fallback_.appendBytes(src, len);
+    }
+  }
+
+  // Bytes staged by THIS writer so far.
+  size_t size() const {
+    return channel_ != nullptr ? channel_->bytes.size() - start_
+                               : fallback_.size();
+  }
+
+  void commit() {
+    committed_ = true;
+    if (channel_ != nullptr) {
+      net_->finishPackedCommit(*channel_, from_, to_, tag_, start_);
+      lock_.unlock();
+      channel_ = nullptr;
+    } else {
+      net_->sendReliable(from_, to_, tag_, std::move(fallback_));
+    }
+  }
+
+ private:
+  friend class Network;
+  PackedWriter(Network& net, HostId from, HostId to, Tag tag,
+               detail::AggChannel* channel)
+      : net_(&net), from_(from), to_(to), tag_(tag), channel_(channel) {
+    if (channel_ != nullptr) {
+      lock_ = std::unique_lock<std::mutex>(channel_->mutex);
+      start_ = channel_->bytes.size();
+    }
+  }
+
+  Network* net_;
+  HostId from_;
+  HostId to_;
+  Tag tag_;
+  detail::AggChannel* channel_;  // null => fallback (legacy) mode
+  std::unique_lock<std::mutex> lock_;
+  size_t start_ = 0;
+  bool committed_ = false;
+  support::SendBuffer fallback_;
+};
+
+inline PackedWriter Network::packedWriter(HostId from, HostId to, Tag tag) {
+  if (from >= numHosts() || to >= numHosts()) {
+    throw std::out_of_range("Network::packedWriter: host id out of range");
+  }
+  return PackedWriter(*this, from, to, tag,
+                      aggregatesTag(from, to, tag) ? &aggChannel(from, to)
+                                                   : nullptr);
+}
+
 // Accumulates serialized records per destination and ships each
 // destination's buffer as one message once it exceeds `threshold` bytes
 // (paper Section IV-D3; threshold 0 sends every record immediately, the
-// "0 MB" point of Fig. 7). flushAll() must be called to drain remainders.
-// Flushes go through sendReliable, so injected drops are retried.
+// "0 MB" point of Fig. 7). flushAll() must be called to drain remainders;
+// it also drains this host's aggregation channels, so everything shipped
+// is visible to receivers when it returns. Flushes go through the
+// sendPacked aggregation path (sendReliable when aggregation is disabled),
+// so injected drops are retried either way.
 //
 // Memory-governed: when a process-wide MemoryBudget is attached at
 // construction time, the sender charges its pending aggregation bytes

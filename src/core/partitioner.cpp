@@ -634,10 +634,11 @@ class PartitionJob {
         continue;
       }
       totalExpected += requestsTo[h].size();
-      SendBuffer buf;
-      support::serialize(buf, requestsTo[h]);
-      net_.sendReliable(me_, h, comm::kTagMasterRequest, std::move(buf));
+      auto writer = net_.packedWriter(me_, h, comm::kTagMasterRequest);
+      support::serialize(writer, requestsTo[h]);
+      writer.commit();
     }
+    net_.flushAggregated(me_);  // about to block on the other hosts' requests
     std::vector<std::vector<uint64_t>> requestsFrom(numHosts());
     for (HostId h = 0; h < numHosts(); ++h) {
       if (h == me_) {
@@ -694,9 +695,9 @@ class PartitionJob {
           ++cursor;
         }
         if (!gids.empty()) {
-          SendBuffer buf;
-          support::serializeAll(buf, gids, parts);
-          net_.sendReliable(me_, h, comm::kTagMasterAssign, std::move(buf));
+          auto writer = net_.packedWriter(me_, h, comm::kTagMasterAssign);
+          support::serializeAll(writer, gids, parts);
+          writer.commit();
         }
       }
       // Drain whatever has arrived without blocking (paper IV-D5: no
@@ -706,7 +707,10 @@ class PartitionJob {
       state_.exchangeAsync(net_, me_);
     }
     // Block until every requested assignment and every state delta has
-    // arrived, so nothing leaks into later phases.
+    // arrived, so nothing leaks into later phases. Ship any assignments and
+    // deltas still sitting in aggregation channels first: every host flushes
+    // before it blocks, so nobody waits on unflushed traffic.
+    net_.flushAggregated(me_);
     totalReceived +=
         drainMasterAssignments(true, totalExpected - totalReceived);
     state_.finishExchanges(net_, me_);
@@ -873,10 +877,12 @@ class PartitionJob {
       const bool anyEdges = std::any_of(outCounts_[h].begin(),
                                         outCounts_[h].end(),
                                         [](uint64_t c) { return c != 0; });
-      SendBuffer countsBuf;
-      support::serialize(countsBuf,
-                         anyEdges ? outCounts_[h] : std::vector<uint64_t>());
-      net_.sendReliable(me_, h, comm::kTagEdgeCounts, std::move(countsBuf));
+      {
+        auto writer = net_.packedWriter(me_, h, comm::kTagEdgeCounts);
+        support::serialize(writer,
+                           anyEdges ? outCounts_[h] : std::vector<uint64_t>());
+        writer.commit();
+      }
 
       std::vector<uint64_t> gids;
       mirrorFlags[h].collectSetBits(gids);
@@ -884,10 +890,13 @@ class PartitionJob {
       for (size_t i = 0; i < gids.size(); ++i) {
         masters[i] = masterOf(gids[i]);
       }
-      SendBuffer mirrorBuf;
-      support::serializeAll(mirrorBuf, gids, masters);
-      net_.sendReliable(me_, h, comm::kTagMirrorFlags, std::move(mirrorBuf));
+      // Rides in the same aggregation channel as the counts message above,
+      // so small counts + flags pairs ship as a single packet per peer.
+      auto writer = net_.packedWriter(me_, h, comm::kTagMirrorFlags);
+      support::serializeAll(writer, gids, masters);
+      writer.commit();
     }
+    net_.flushAggregated(me_);  // blocking on every peer's counts next
     // Local contribution (host == me) is absorbed directly.
     countsFrom_.assign(k, {});
     countsFrom_[me_] = outCounts_[me_];
@@ -932,10 +941,11 @@ class PartitionJob {
         if (h == me_) {
           continue;
         }
-        SendBuffer buf;
-        support::serialize(buf, listFor[h]);
-        net_.sendReliable(me_, h, comm::kTagMasterList, std::move(buf));
+        auto writer = net_.packedWriter(me_, h, comm::kTagMasterList);
+        support::serialize(writer, listFor[h]);
+        writer.commit();
       }
+      net_.flushAggregated(me_);  // blocking on every peer's list next
       myMasterNodes_ = std::move(listFor[me_]);
       for (HostId h = 0; h < k; ++h) {
         if (h == me_) {
@@ -1033,10 +1043,11 @@ class PartitionJob {
       for (uint64_t lid : result_.myMirrorsByOwner[h]) {
         gids.push_back(result_.localToGlobal[lid]);
       }
-      SendBuffer buf;
-      support::serialize(buf, gids);
-      net_.sendReliable(me_, h, comm::kTagMirrorToMaster, std::move(buf));
+      auto writer = net_.packedWriter(me_, h, comm::kTagMirrorToMaster);
+      support::serialize(writer, gids);
+      writer.commit();
     }
+    net_.flushAggregated(me_);  // blocking on every peer's mirror list next
     for (HostId h = 0; h < k; ++h) {
       if (h == me_) {
         continue;
@@ -1420,6 +1431,9 @@ PartitionResult runPipeline(
     const std::shared_ptr<comm::FaultInjector>& injector,
     const std::shared_ptr<comm::StragglerMonitor>& monitor = nullptr) {
   comm::Network net(config.numHosts, config.networkCostModel);
+  if (config.aggregation) {
+    net.setAggregation(*config.aggregation);
+  }
   if (injector) {
     net.setFaultInjector(injector);
   }
@@ -1494,6 +1508,9 @@ PartitionResult runRedistributionRound(
     const std::vector<uint32_t>& deadRanks) {
   const uint32_t k = baseConfig.numHosts;
   comm::Network net(k, baseConfig.networkCostModel);
+  if (baseConfig.aggregation) {
+    net.setAggregation(*baseConfig.aggregation);
+  }
   if (injector) {
     net.setFaultInjector(injector);
   }

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -249,6 +250,12 @@ struct PartitionerConfig {
   // Interconnect cost model for the simulated cluster (per-message
   // overhead and bandwidth); zero-cost by default.
   comm::NetworkCostModel networkCostModel;
+
+  // Send-aggregation override for this run's networks. Unset = the
+  // process-wide default (comm::defaultAggregation(), aggregation ON with a
+  // 1400-byte packet cap); set to {.enabled = false} to force the legacy
+  // per-message path, or customize packetBytes / maxAgeSeconds.
+  std::optional<comm::AggregationPolicy> aggregation;
 
   // Simulated per-host disk bandwidth for the graph-reading phase, in
   // MB/s; 0 disables throttling. The simulation's "disk" is host memory,

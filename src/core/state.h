@@ -156,9 +156,9 @@ class PartitionState {
       if (h == me) {
         continue;
       }
-      support::SendBuffer buf;
-      support::serializeAll(buf, deltas, maskNodes, maskBits);
-      net.sendReliable(me, h, comm::kTagStateReduce, std::move(buf));
+      auto writer = net.packedWriter(me, h, comm::kTagStateReduce);
+      support::serializeAll(writer, deltas, maskNodes, maskBits);
+      writer.commit();
     }
     ++roundsSent_;
     drainPending(net, me);
@@ -178,6 +178,9 @@ class PartitionState {
     if (empty() || net.numHosts() == 1) {
       return;
     }
+    // Committed deltas may still sit in aggregation channels; ship them
+    // before blocking so every peer can finish its own expected count.
+    net.flushAggregated(me);
     const uint64_t expected = roundsSent_ * (net.numHosts() - 1);
     while (received_ < expected) {
       auto msg = net.recv(me, comm::kTagStateReduce);

@@ -7,6 +7,12 @@
 // IV-D3, Fig. 7) meaningful: a SendBuffer accumulates serialized records and
 // is shipped as one message when full.
 //
+// The serialize overloads are generic over any byte sink exposing
+// appendBytes(const void*, size_t): a plain SendBuffer, or the network's
+// zero-copy comm::PackedWriter which serializes straight into the
+// per-destination aggregation buffer with no intermediate per-message
+// vector.
+//
 // Supported types: trivially-copyable values, std::vector<trivially
 // copyable>, std::vector<std::string>, std::string, std::pair, and nested
 // vectors thereof via recursive overloads.
@@ -14,6 +20,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -21,6 +28,12 @@
 #include <vector>
 
 namespace cusp::support {
+
+// Anything serialize() can write into: SendBuffer, comm::PackedWriter, ...
+template <typename B>
+concept ByteSink = requires(B& b, const void* p, size_t n) {
+  b.appendBytes(p, n);
+};
 
 class SendBuffer {
  public:
@@ -47,33 +60,56 @@ class SendBuffer {
   std::vector<uint8_t> data_;
 };
 
+// Read-side buffer. Two storage modes share one read API:
+//  * owned — the buffer holds the message bytes itself (legacy per-message
+//    delivery);
+//  * shared view — a (blob, base, length) window into a multi-message packet
+//    blob kept alive by shared_ptr, so unpacking a packet hands every
+//    message a zero-copy view instead of a per-message copy.
 class RecvBuffer {
  public:
   RecvBuffer() = default;
-  explicit RecvBuffer(std::vector<uint8_t> data) : data_(std::move(data)) {}
+  explicit RecvBuffer(std::vector<uint8_t> data)
+      : owned_(std::move(data)), len_(owned_.size()) {}
+  RecvBuffer(std::shared_ptr<const std::vector<uint8_t>> blob, size_t base,
+             size_t len)
+      : blob_(std::move(blob)), base_(base), len_(len) {
+    if (blob_ == nullptr || base_ + len_ > blob_->size()) {
+      throw std::out_of_range("RecvBuffer: view outside packet blob");
+    }
+  }
 
-  size_t size() const { return data_.size(); }
-  size_t remaining() const { return data_.size() - offset_; }
-  bool exhausted() const { return offset_ >= data_.size(); }
+  size_t size() const { return len_; }
+  size_t remaining() const { return len_ - offset_; }
+  bool exhausted() const { return offset_ >= len_; }
 
   void readBytes(void* dst, size_t len) {
     if (remaining() < len) {
       throw std::out_of_range("RecvBuffer: read past end of message");
     }
-    std::memcpy(dst, data_.data() + offset_, len);
+    std::memcpy(dst, data() + offset_, len);
     offset_ += len;
   }
 
  private:
-  std::vector<uint8_t> data_;
+  // Pointer computed on demand so default copy/move stay correct for both
+  // storage modes.
+  const uint8_t* data() const {
+    return blob_ != nullptr ? blob_->data() + base_ : owned_.data();
+  }
+
+  std::vector<uint8_t> owned_;
+  std::shared_ptr<const std::vector<uint8_t>> blob_;
+  size_t base_ = 0;
+  size_t len_ = 0;
   size_t offset_ = 0;
 };
 
 // --- Scalar (trivially copyable) ---
 
-template <typename T>
+template <ByteSink Buf, typename T>
   requires std::is_trivially_copyable_v<T>
-void serialize(SendBuffer& buf, const T& value) {
+void serialize(Buf& buf, const T& value) {
   buf.appendBytes(&value, sizeof(T));
 }
 
@@ -85,7 +121,8 @@ void deserialize(RecvBuffer& buf, T& value) {
 
 // --- std::string ---
 
-inline void serialize(SendBuffer& buf, const std::string& value) {
+template <ByteSink Buf>
+void serialize(Buf& buf, const std::string& value) {
   const uint64_t len = value.size();
   buf.appendBytes(&len, sizeof(len));
   buf.appendBytes(value.data(), value.size());
@@ -102,8 +139,8 @@ inline void deserialize(RecvBuffer& buf, std::string& value) {
 
 // --- std::pair ---
 
-template <typename A, typename B>
-void serialize(SendBuffer& buf, const std::pair<A, B>& value) {
+template <ByteSink Buf, typename A, typename B>
+void serialize(Buf& buf, const std::pair<A, B>& value) {
   serialize(buf, value.first);
   serialize(buf, value.second);
 }
@@ -116,9 +153,9 @@ void deserialize(RecvBuffer& buf, std::pair<A, B>& value) {
 
 // --- std::vector ---
 
-template <typename T>
+template <ByteSink Buf, typename T>
   requires std::is_trivially_copyable_v<T>
-void serialize(SendBuffer& buf, const std::vector<T>& values) {
+void serialize(Buf& buf, const std::vector<T>& values) {
   const uint64_t count = values.size();
   buf.appendBytes(&count, sizeof(count));
   if (count > 0) {
@@ -126,9 +163,9 @@ void serialize(SendBuffer& buf, const std::vector<T>& values) {
   }
 }
 
-template <typename T>
+template <ByteSink Buf, typename T>
   requires(!std::is_trivially_copyable_v<T>)
-void serialize(SendBuffer& buf, const std::vector<T>& values) {
+void serialize(Buf& buf, const std::vector<T>& values) {
   const uint64_t count = values.size();
   buf.appendBytes(&count, sizeof(count));
   for (const auto& value : values) {
@@ -165,8 +202,8 @@ void deserialize(RecvBuffer& buf, std::vector<T>& values) {
 }
 
 // Variadic convenience: gSerialize/gDeserialize in Galois style.
-template <typename... Ts>
-void serializeAll(SendBuffer& buf, const Ts&... values) {
+template <ByteSink Buf, typename... Ts>
+void serializeAll(Buf& buf, const Ts&... values) {
   (serialize(buf, values), ...);
 }
 

@@ -7,7 +7,7 @@
 #
 # Usage: tests/run_sanitized.sh [asan-ubsan|tsan|ubsan|tsan-degraded|
 # tsan-chaos|tsan-obs|tsan-storage|tsan-splitbrain|asan-memory|
-# tsan-service]
+# tsan-service|tsan-commbuf]
 # (default: both full suites).
 # `tsan-degraded` builds
 # the TSan preset but runs only the tests labeled `degraded` (eviction,
@@ -34,8 +34,14 @@
 # worker pool, the engine's shared partition cache and host-pool semaphore,
 # the journal, and the concurrent attach/detach hammering of the process-
 # wide seams (test_seams) are the service layer's concurrency surface, so
-# it gets its own lane. `ubsan` is a standalone UBSan build for when an
-# ASan report needs to be separated from a UB report.
+# it gets its own lane. `tsan-commbuf` runs the `commbuf` label under TSan:
+# the send-aggregation channels are written by sender threads holding the
+# channel mutex while blocked receivers age-pull and flush them, and the
+# cached mailbox-backlog counter is bumped from every enqueue/dedup/evict
+# path — exactly the lock-ordering and atomic discipline a differential
+# buffered-vs-legacy battery exercises hardest. `ubsan` is a standalone
+# UBSan build for when an ASan report needs to be separated from a UB
+# report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,6 +76,9 @@ for preset in "${presets[@]}"; do
   elif [ "$preset" = "tsan-service" ]; then
     build_preset="tsan"
     label_args=(-L service)
+  elif [ "$preset" = "tsan-commbuf" ]; then
+    build_preset="tsan"
+    label_args=(-L commbuf)
   fi
   echo "==== [$preset] configure ===="
   cmake --preset "$build_preset"

@@ -234,6 +234,19 @@ TEST_P(FaultPlanFuzz, CompletesValidlyOrFailsStructured) {
   support::ScopedStorageFaults storageFaults(
       support::randomStorageFaultPlan(seed, hosts, /*maxFaults=*/3));
 
+  // Send-aggregation policy randomized alongside the fault plan (drawn
+  // after every historical draw, so old seeds keep their exact schedules):
+  // packet caps from tiny — every protocol message straddles and seals its
+  // own packet — to far past any message size, with the receiver-side age
+  // pull armed on half the schedules. The bit-identity assertion against
+  // the fault-free baseline below (which runs on the process default)
+  // doubles as the invariance check: no cap or age choice may change what
+  // a deterministic policy produces.
+  comm::AggregationPolicy agg;
+  agg.packetBytes = 64 + rng.nextBounded(1 << 15);
+  agg.maxAgeSeconds = rng.nextBounded(2) == 1 ? 0.01 : 0.0;
+  config.aggregation = agg;
+
   bool hasPermanent = false;
   for (const auto& crash : plan->crashes) {
     hasPermanent = hasPermanent || crash.permanent;

@@ -692,6 +692,96 @@ TEST(ServiceSoakTest, FiftyJobChaosSoakSurvivesCombinedFaultPlans) {
             accepted.size());
 }
 
+// Send-aggregation invariance through the whole service stack: the same
+// deterministic job mix — transient comm faults included — must produce
+// bit-identical accepted-job results whether the engine's networks run the
+// default buffered policy, a randomized packet cap, or the receiver-side
+// age pull. Stateful policies are excluded for the same reason the fuzz
+// suite skips their bit-identity check: their scores synchronize
+// asynchronously, so their output is timing-dependent even without faults.
+TEST(ServiceSoakTest, AggregationPolicyNeverChangesAcceptedJobResults) {
+  constexpr size_t kJobs = 32;
+  auto mix = soakMix(/*seed=*/101, kJobs);
+  std::vector<service::JobSpec> specs;
+  for (auto& spec : mix) {
+    const auto policy = core::makePolicy(spec.policy);
+    if (policy.master.isPure() && !policy.edge.usesState) {
+      // Memory-fault plans ride the chaos soak above; here every
+      // divergence must be attributable to the aggregation layer alone.
+      spec.memoryFaultPlan = nullptr;
+      specs.push_back(std::move(spec));
+    }
+  }
+  ASSERT_GE(specs.size(), 6u);
+
+  struct JobOutcome {
+    bool accepted = false;
+    service::JobState state = service::JobState::kQueued;
+    service::JobErrorKind errorKind = service::JobErrorKind::kNone;
+    std::vector<uint64_t> intValues;
+    std::vector<double> doubleValues;
+    bool operator==(const JobOutcome&) const = default;
+  };
+  struct SoakOutcome {
+    std::vector<JobOutcome> jobs;
+    // Serialized partition sets by cache key, for the partition jobs.
+    std::map<std::string, std::vector<uint8_t>> partitionSets;
+  };
+
+  const auto runSoak = [&](const comm::AggregationPolicy& agg) {
+    comm::ScopedAggregation scoped(agg);
+    TempDir root;
+    auto engine = makeEngine(root.path() + "/scratch");
+    service::DaemonOptions options;
+    options.workers = 1;  // serial execution: cache hits in program order
+    options.maxQueueDepth = 256;
+    options.journalDir = root.path() + "/journal";
+    service::Daemon daemon(engine, options);
+    SoakOutcome out;
+    for (const auto& spec : specs) {
+      const auto submitted = daemon.submit(spec);
+      JobOutcome job;
+      job.accepted = submitted.accepted;
+      if (submitted.accepted) {
+        const auto result = daemon.wait(submitted.jobId);
+        job.state = result.state;
+        job.errorKind = result.error.kind;
+        job.intValues = result.intValues;
+        job.doubleValues = result.doubleValues;
+        if (spec.type == service::JobType::kPartition &&
+            result.state == service::JobState::kSucceeded) {
+          const auto cached = engine->cachedPartitions(spec.graphId,
+                                                       spec.policy,
+                                                       spec.numHosts);
+          if (cached != nullptr) {
+            out.partitionSets[spec.graphId + "/" + spec.policy] =
+                serializePartitions(*cached);
+          }
+        }
+      }
+      out.jobs.push_back(std::move(job));
+    }
+    daemon.drain();
+    return out;
+  };
+
+  const SoakOutcome baseline = runSoak(comm::AggregationPolicy{});
+  std::mt19937_64 rng(4242);
+  for (int round = 0; round < 3; ++round) {
+    comm::AggregationPolicy agg;
+    agg.packetBytes = 64 + rng() % (1 << 14);
+    agg.maxAgeSeconds = round == 2 ? 0.01 : 0.0;
+    SCOPED_TRACE("packetBytes=" + std::to_string(agg.packetBytes) +
+                 " maxAgeSeconds=" + std::to_string(agg.maxAgeSeconds));
+    const SoakOutcome probe = runSoak(agg);
+    ASSERT_EQ(probe.jobs.size(), baseline.jobs.size());
+    for (size_t i = 0; i < baseline.jobs.size(); ++i) {
+      EXPECT_TRUE(probe.jobs[i] == baseline.jobs[i]) << "job " << i;
+    }
+    EXPECT_EQ(probe.partitionSets, baseline.partitionSets);
+  }
+}
+
 TEST(ServiceSoakTest, KillMidSoakThenRestartLosesAndDuplicatesNothing) {
   constexpr size_t kJobs = 50;
   TempDir root;
